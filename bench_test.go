@@ -1,0 +1,269 @@
+// Package safetsa's root benchmarks regenerate the paper's evaluation:
+// one benchmark per table/figure plus the consumer-side cost comparisons
+// of section 9. Custom metrics report the table cells (bytes,
+// instructions, checks) alongside the usual ns/op.
+//
+//	go test -bench=. -benchmem
+package safetsa
+
+import (
+	"testing"
+
+	"safetsa/internal/bench"
+	"safetsa/internal/bytecode"
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/lang/sema"
+	"safetsa/internal/opt"
+	"safetsa/internal/wire"
+)
+
+// frontendAll parses and checks the whole corpus once.
+func frontendAll(b *testing.B) []*sema.Program {
+	b.Helper()
+	var progs []*sema.Program
+	for _, u := range corpus.Units() {
+		p, err := driver.Frontend(u.Files)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+// BenchmarkFigure5 produces the Figure 5 columns: it compiles the whole
+// corpus to both formats and reports the aggregate sizes and instruction
+// counts as metrics.
+func BenchmarkFigure5(b *testing.B) {
+	var bcBytes, bcInstrs, tsaBytes, tsaInstrs, optBytes, optInstrs float64
+	for i := 0; i < b.N; i++ {
+		bcBytes, bcInstrs, tsaBytes, tsaInstrs, optBytes, optInstrs = 0, 0, 0, 0, 0, 0
+		rows, err := bench.MeasureAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			bcBytes += float64(r.BCSize)
+			bcInstrs += float64(r.BCInstrs)
+			tsaBytes += float64(r.TSASize)
+			tsaInstrs += float64(r.TSAInstrs)
+			optBytes += float64(r.TSAOptSize)
+			optInstrs += float64(r.TSAOptInstrs)
+		}
+	}
+	b.ReportMetric(bcBytes, "bytecode-bytes")
+	b.ReportMetric(tsaBytes, "safetsa-bytes")
+	b.ReportMetric(optBytes, "safetsa-opt-bytes")
+	b.ReportMetric(bcInstrs, "bytecode-instrs")
+	b.ReportMetric(tsaInstrs, "safetsa-instrs")
+	b.ReportMetric(optInstrs, "safetsa-opt-instrs")
+}
+
+// BenchmarkFigure6 times the producer-side optimizer over the corpus and
+// reports the aggregate check/phi eliminations of Figure 6.
+func BenchmarkFigure6(b *testing.B) {
+	progs := frontendAll(b)
+	var phiB, phiA, nullB, nullA, arrB, arrA float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phiB, phiA, nullB, nullA, arrB, arrA = 0, 0, 0, 0, 0, 0
+		for _, p := range progs {
+			mod, err := driver.CompileTSA(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := opt.Optimize(mod)
+			phiB += float64(st.PhisBefore)
+			phiA += float64(st.PhisAfter)
+			nullB += float64(st.NullChecksBefore)
+			nullA += float64(st.NullChecksAfter)
+			arrB += float64(st.ArrayChecksBefore)
+			arrA += float64(st.ArrayChecksAfter)
+		}
+	}
+	b.ReportMetric(phiB, "phi-before")
+	b.ReportMetric(phiA, "phi-after")
+	b.ReportMetric(nullB, "nullchk-before")
+	b.ReportMetric(nullA, "nullchk-after")
+	b.ReportMetric(arrB, "arrchk-before")
+	b.ReportMetric(arrA, "arrchk-after")
+}
+
+// corpusModules compiles the corpus once for the consumer-side benches.
+func corpusModules(b *testing.B, optimize bool) ([]*core.Module, []*bytecode.Program) {
+	b.Helper()
+	var mods []*core.Module
+	var bcs []*bytecode.Program
+	for _, p := range frontendAll(b) {
+		mod, err := driver.CompileTSA(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if optimize {
+			if _, err := driver.OptimizeModule(mod); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mods = append(mods, mod)
+		bc, err := driver.CompileBytecode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bcs = append(bcs, bc)
+	}
+	return mods, bcs
+}
+
+// BenchmarkVerifySafeTSA measures the consumer-side verification SafeTSA
+// needs: the structural/counter checks of the module verifier (section 9:
+// "simple counters holding the numbers of defined values").
+func BenchmarkVerifySafeTSA(b *testing.B) {
+	mods, _ := corpusModules(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range mods {
+			if err := m.Verify(core.VerifyOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyBytecode measures the baseline's dataflow verification —
+// the "time consuming verification phase" the paper eliminates.
+func BenchmarkVerifyBytecode(b *testing.B) {
+	_, bcs := corpusModules(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range bcs {
+			if err := p.Verify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWireEncode/Decode measure the externalization round trip over
+// the optimized corpus (section 7's three-phase symbol stream).
+func BenchmarkWireEncode(b *testing.B) {
+	mods, _ := corpusModules(b, true)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, m := range mods {
+			total += len(wire.EncodeModule(m))
+		}
+	}
+	b.ReportMetric(float64(total), "bytes")
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	mods, _ := corpusModules(b, true)
+	var units [][]byte
+	for _, m := range mods {
+		units = append(units, wire.EncodeModule(m))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			if _, err := wire.DecodeModule(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExecuteLinpackSafeTSA/Bytecode run the numeric workload on the
+// two consumers over the shared runtime.
+func BenchmarkExecuteLinpackSafeTSA(b *testing.B) {
+	u, _ := corpus.ByName("Linpack")
+	mod, _, err := driver.CompileTSASourceOpt(u.Files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunModule(mod, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteLinpackBytecode(b *testing.B) {
+	u, _ := corpus.ByName("Linpack")
+	prog, err := driver.Frontend(u.Files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := driver.CompileBytecode(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunBytecode(bc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFieldSensitiveMem compares the paper's measured
+// configuration (single conservative Mem) against its proposed
+// improvement (Mem partitioned by field name / element type, section 8's
+// "simple form of field analysis") and reports the residual load counts.
+func BenchmarkAblationFieldSensitiveMem(b *testing.B) {
+	progs := frontendAll(b)
+	var consLoads, partLoads float64
+	countLoads := func(m *core.Module) (n int) {
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				blk.Instrs(func(in *core.Instr) {
+					if in.Op == core.OpGetField || in.Op == core.OpGetElt {
+						n++
+					}
+				})
+			}
+		}
+		return n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consLoads, partLoads = 0, 0
+		for _, p := range progs {
+			m1, err := driver.CompileTSA(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.Optimize(m1)
+			consLoads += float64(countLoads(m1))
+
+			m2, err := driver.CompileTSA(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt.OptimizeWithOptions(m2, opt.Options{FieldSensitiveMem: true})
+			partLoads += float64(countLoads(m2))
+		}
+	}
+	b.ReportMetric(consLoads, "loads-single-mem")
+	b.ReportMetric(partLoads, "loads-field-mem")
+}
+
+// BenchmarkCompileSafeTSA measures the producer pipeline end to end
+// (parse to optimized distribution unit) over the corpus.
+func BenchmarkCompileSafeTSA(b *testing.B) {
+	units := corpus.Units()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			mod, _, err := driver.CompileTSASourceOpt(u.Files)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.EncodeModule(mod)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command benchtables regenerates the paper's evaluation artifacts:
+//
+//	benchtables -table fig5    # Figure 5: sizes and instruction counts
+//	benchtables -table fig6    # Figure 6: checks before/after optimization
+//	benchtables -claims        # section 7/8 prose claims, paper vs measured
+//	benchtables -all           # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safetsa/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "", "table to print: fig5 or fig6")
+	claims := flag.Bool("claims", false, "check the prose claims")
+	all := flag.Bool("all", false, "print every table and the claims")
+	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md body (Markdown)")
+	flag.Parse()
+
+	rows, err := bench.MeasureAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	if *experiments {
+		fmt.Print(bench.FormatExperiments(rows))
+		return
+	}
+	printed := false
+	if *all || *table == "fig5" {
+		fmt.Println(bench.FormatFig5(rows))
+		printed = true
+	}
+	if *all || *table == "fig6" {
+		fmt.Println(bench.FormatFig6(rows))
+		printed = true
+	}
+	if *all || *claims {
+		fmt.Println(bench.FormatClaims(rows))
+		printed = true
+	}
+	if !printed {
+		fmt.Println(bench.FormatFig5(rows))
+		fmt.Println(bench.FormatFig6(rows))
+		fmt.Println(bench.FormatClaims(rows))
+	}
+}

@@ -1,0 +1,69 @@
+// Command safetsac is the code producer: it compiles TJ source files to a
+// SafeTSA distribution unit.
+//
+//	safetsac [-O] [-o out.tsa] [-dump] file.tj...
+//
+// -O runs the producer-side optimizations (constant propagation, CSE with
+// the Mem variable, DCE / check elimination) before encoding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safetsa/internal/driver"
+	"safetsa/internal/wire"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "run producer-side optimizations")
+	out := flag.String("o", "out.tsa", "output distribution unit")
+	dump := flag.Bool("dump", false, "print the SafeTSA form instead of writing the unit")
+	stats := flag.Bool("stats", false, "print optimization statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: safetsac [-O] [-o out.tsa] file.tj...")
+		os.Exit(2)
+	}
+
+	files := make(map[string]string)
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		files[name] = string(src)
+	}
+	mod, err := driver.CompileTSASource(files)
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		st, err := driver.OptimizeModule(mod)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr,
+				"instructions %d -> %d, phis %d -> %d, null checks %d -> %d, array checks %d -> %d\n",
+				st.InstrsBefore, st.InstrsAfter, st.PhisBefore, st.PhisAfter,
+				st.NullChecksBefore, st.NullChecksAfter,
+				st.ArrayChecksBefore, st.ArrayChecksAfter)
+		}
+	}
+	if *dump {
+		fmt.Print(mod.Dump())
+		return
+	}
+	data := wire.EncodeModule(mod)
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d bytes, %d instructions\n", *out, len(data), mod.NumInstrs())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "safetsac:", err)
+	os.Exit(1)
+}

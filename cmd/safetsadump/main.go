@@ -1,0 +1,42 @@
+// Command safetsadump disassembles a SafeTSA distribution unit into the
+// textual form of the paper's Figure 4 (type-separated instructions with
+// (l-r) operand references inside the Control Structure Tree).
+//
+//	safetsadump unit.tsa
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safetsa/internal/wire"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: safetsadump unit.tsa")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := wire.DecodeModule(data)
+	if err != nil {
+		fatal(err)
+	}
+	tt := mod.Types
+	fmt.Printf("types: %d (%d implicit)\n", len(tt.ByID)-1, tt.ImplicitLen-1)
+	for _, cd := range mod.Classes {
+		fmt.Printf("class %s extends %s (%d slots, %d statics, %d dispatch slots)\n",
+			tt.Describe(cd.Type), tt.Describe(cd.Super),
+			cd.NumSlots, cd.NumStatics, len(cd.VTable))
+	}
+	fmt.Println()
+	fmt.Print(mod.Dump())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "safetsadump:", err)
+	os.Exit(1)
+}

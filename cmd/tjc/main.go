@@ -1,0 +1,64 @@
+// Command tjc is the baseline compiler: TJ source to the JVM-style
+// stack-bytecode class files the paper compares SafeTSA against.
+//
+//	tjc [-run] [-dis] [-verify] file.tj...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safetsa/internal/driver"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute static main after compiling")
+	dis := flag.Bool("dis", false, "print the disassembly")
+	verify := flag.Bool("verify", true, "run the dataflow bytecode verifier")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tjc [-run] [-dis] file.tj...")
+		os.Exit(2)
+	}
+	files := make(map[string]string)
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		files[name] = string(src)
+	}
+	prog, err := driver.Frontend(files)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := driver.CompileBytecode(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		if err := p.Verify(); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+	}
+	for _, cf := range p.Classes {
+		fmt.Fprintf(os.Stderr, "%s: %d instructions, %d bytes\n",
+			cf.Name, cf.NumInstrs(), cf.SerializedSize())
+		if *dis {
+			fmt.Print(cf.Disassemble())
+		}
+	}
+	if *run {
+		out, err := driver.RunBytecode(p, 0)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tjc:", err)
+	os.Exit(1)
+}

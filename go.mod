@@ -1,0 +1,3 @@
+module safetsa
+
+go 1.22

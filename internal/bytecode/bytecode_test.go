@@ -1,0 +1,131 @@
+package bytecode_test
+
+import (
+	"testing"
+
+	"safetsa/internal/bytecode"
+	"safetsa/internal/driver"
+)
+
+func compile(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	prog, err := driver.Frontend(map[string]string{"Main.tj": src})
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := bytecode.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+const verifySrc = `
+class Point {
+    int x; int y;
+    Point(int a, int b) { x = a; y = b; }
+    double dist() { return Math.sqrt(x * x + y * y); }
+}
+class Main {
+    static long counter = 5L;
+    static void main() {
+        Point p = new Point(3, 4);
+        System.out.println(p.dist());
+        double[] d = new double[4];
+        for (int i = 0; i < d.length; i++) d[i] = i * 0.5;
+        double s = 0.0;
+        for (int i = 0; i < d.length; i++) s += d[i];
+        System.out.println(s);
+        try {
+            int z = 1 / (p.x - 3);
+            System.out.println(z);
+        } catch (ArithmeticException e) {
+            System.out.println("div0: " + e.getMessage());
+        } finally {
+            counter += 1L;
+        }
+        System.out.println(counter);
+        String msg = "p=" + p.x + "," + p.y;
+        System.out.println(msg.substring(2, 5));
+    }
+}`
+
+func TestVerifyAcceptsGeneratedCode(t *testing.T) {
+	p := compile(t, verifySrc)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("generated code rejected by the dataflow verifier: %v", err)
+	}
+}
+
+func TestVerifyRejectsCorruptCode(t *testing.T) {
+	cases := []func(p *bytecode.Program){
+		// Branch out of the code array.
+		func(p *bytecode.Program) {
+			m := firstUserMethod(p)
+			m.Code = append(m.Code, bytecode.Instr{Op: bytecode.GOTO, A: 9999})
+		},
+		// Type confusion: iadd on a reference.
+		func(p *bytecode.Program) {
+			m := firstUserMethod(p)
+			m.Code = append([]bytecode.Instr{
+				{Op: bytecode.ACONSTNULL},
+				{Op: bytecode.ICONST, A: 1},
+				{Op: bytecode.IADD},
+			}, m.Code...)
+		},
+		// Stack underflow.
+		func(p *bytecode.Program) {
+			m := firstUserMethod(p)
+			m.Code = append([]bytecode.Instr{{Op: bytecode.POP}}, m.Code...)
+		},
+		// Falling off the end of the code.
+		func(p *bytecode.Program) {
+			m := firstUserMethod(p)
+			m.Code = m.Code[:len(m.Code)-1]
+		},
+	}
+	for i, corrupt := range cases {
+		p := compile(t, verifySrc)
+		corrupt(p)
+		if err := p.Verify(); err == nil {
+			t.Errorf("case %d: corrupted program passed verification", i)
+		}
+	}
+}
+
+func firstUserMethod(p *bytecode.Program) *bytecode.Method {
+	for _, cf := range p.Classes {
+		for _, m := range cf.Methods {
+			if m.Name == "main" {
+				return m
+			}
+		}
+	}
+	panic("no main")
+}
+
+func TestSerializeRoundSize(t *testing.T) {
+	p := compile(t, verifySrc)
+	for _, cf := range p.Classes {
+		data := cf.Serialize()
+		if len(data) < 50 {
+			t.Errorf("class %s serialized suspiciously small: %d bytes", cf.Name, len(data))
+		}
+		if data[0] != 0xCA || data[1] != 0xFE {
+			t.Errorf("class %s: bad magic", cf.Name)
+		}
+		if cf.NumInstrs() == 0 && cf.Name == "Main" {
+			t.Errorf("class %s has no instructions", cf.Name)
+		}
+	}
+	if p.SerializedSize() <= 0 {
+		t.Fatal("no serialized size")
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	p := compile(t, verifySrc)
+	if s := p.Classes[0].Disassemble(); len(s) == 0 {
+		t.Fatal("empty disassembly")
+	}
+}

@@ -1,0 +1,971 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/sema"
+	"safetsa/internal/lang/token"
+)
+
+func (g *gen) storeLocal(l *sema.Local) {
+	slot := g.slots[l]
+	switch l.Type.Kind {
+	case sema.KindLong:
+		g.emit(LSTORE, slot)
+	case sema.KindDouble:
+		g.emit(DSTORE, slot)
+	case sema.KindInt, sema.KindBoolean, sema.KindChar:
+		g.emit(ISTORE, slot)
+	default:
+		g.emit(ASTORE, slot)
+	}
+}
+
+func (g *gen) loadLocal(l *sema.Local) {
+	slot := g.slots[l]
+	switch l.Type.Kind {
+	case sema.KindLong:
+		g.emit(LLOAD, slot)
+	case sema.KindDouble:
+		g.emit(DLOAD, slot)
+	case sema.KindInt, sema.KindBoolean, sema.KindChar:
+		g.emit(ILOAD, slot)
+	default:
+		g.emit(ALOAD, slot)
+	}
+}
+
+// genExprStmt evaluates an expression for effect, dropping any value.
+func (g *gen) genExprStmt(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Assign:
+		g.genAssign(e, false)
+		return
+	case *ast.IncDec:
+		g.genIncDec(e, false)
+		return
+	case *ast.CallExpr, *ast.SuperCall, *ast.NewObject:
+		g.genExpr(e)
+		t := sema.TypeOf(e)
+		if t != nil && t.Kind != sema.KindVoid {
+			g.emit0(popOf(t))
+		}
+		return
+	case *ast.SuperCtorCall:
+		panic("bytecode: super(...) outside constructor preamble")
+	}
+	g.genExpr(e)
+	if t := sema.TypeOf(e); t != nil && t.Kind != sema.KindVoid {
+		g.emit0(popOf(t))
+	}
+}
+
+// genConv emits a numeric conversion chain.
+func (g *gen) genConv(from, to *sema.Type) {
+	if from == to || from.Kind == to.Kind {
+		return
+	}
+	if from.Kind == sema.KindChar {
+		g.genConvKinds(sema.KindInt, to.Kind)
+		return
+	}
+	g.genConvKinds(from.Kind, to.Kind)
+}
+
+func (g *gen) genConvKinds(from, to sema.TypeKind) {
+	if from == to {
+		return
+	}
+	switch {
+	case from == sema.KindBoolean || to == sema.KindBoolean:
+		// boolean is int-encoded; no instruction.
+	case from == sema.KindInt && to == sema.KindLong:
+		g.emit0(I2L)
+	case from == sema.KindInt && to == sema.KindDouble:
+		g.emit0(I2D)
+	case from == sema.KindInt && to == sema.KindChar:
+		g.emit0(I2C)
+	case from == sema.KindLong && to == sema.KindInt:
+		g.emit0(L2I)
+	case from == sema.KindLong && to == sema.KindDouble:
+		g.emit0(L2D)
+	case from == sema.KindLong && to == sema.KindChar:
+		g.emit0(L2I)
+		g.emit0(I2C)
+	case from == sema.KindDouble && to == sema.KindInt:
+		g.emit0(D2I)
+	case from == sema.KindDouble && to == sema.KindLong:
+		g.emit0(D2L)
+	case from == sema.KindDouble && to == sema.KindChar:
+		g.emit0(D2I)
+		g.emit0(I2C)
+	case to == sema.KindClass || to == sema.KindArray || to == sema.KindNull:
+		// Reference widening needs no code.
+	default:
+		panic(fmt.Sprintf("bytecode: no conversion %v -> %v", from, to))
+	}
+}
+
+func (g *gen) genExprConv(e ast.Expr, want *sema.Type) {
+	g.genExpr(e)
+	have := sema.TypeOf(e)
+	if have.IsNumeric() && want.IsNumeric() {
+		g.genConv(have, want)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Conditions
+
+// genCondBranches emits branches taken when the condition equals
+// jumpWhen; returns the branch indexes to patch to the target.
+func (g *gen) genCondBranches(e ast.Expr, jumpWhen bool) []int {
+	switch e := e.(type) {
+	case *ast.BoolLit:
+		if e.Value == jumpWhen {
+			return []int{g.branch(GOTO)}
+		}
+		return nil
+	case *ast.Unary:
+		if e.Op == token.NOT {
+			return g.genCondBranches(e.X, !jumpWhen)
+		}
+	case *ast.Binary:
+		switch e.Op {
+		case token.LAND:
+			if jumpWhen {
+				// Jump if both true: fall through on first false.
+				fall := g.genCondBranches(e.X, false)
+				jumps := g.genCondBranches(e.Y, true)
+				g.patchAll(fall)
+				return jumps
+			}
+			// Jump if either false.
+			j1 := g.genCondBranches(e.X, false)
+			j2 := g.genCondBranches(e.Y, false)
+			return append(j1, j2...)
+		case token.LOR:
+			if jumpWhen {
+				j1 := g.genCondBranches(e.X, true)
+				j2 := g.genCondBranches(e.Y, true)
+				return append(j1, j2...)
+			}
+			fall := g.genCondBranches(e.X, true)
+			jumps := g.genCondBranches(e.Y, false)
+			g.patchAll(fall)
+			return jumps
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return []int{g.genComparison(e, jumpWhen)}
+		}
+	}
+	// Generic boolean value (variable, call, field, &/|/^ on booleans):
+	// materialize the 0/1 and branch on it.
+	g.genExprRaw(e)
+	if jumpWhen {
+		return []int{g.branch(IFNE)}
+	}
+	return []int{g.branch(IFEQ)}
+}
+
+var icmpOps = map[token.Kind][2]Opcode{
+	token.EQL: {IFICMPEQ, IFICMPNE},
+	token.NEQ: {IFICMPNE, IFICMPEQ},
+	token.LSS: {IFICMPLT, IFICMPGE},
+	token.LEQ: {IFICMPLE, IFICMPGT},
+	token.GTR: {IFICMPGT, IFICMPLE},
+	token.GEQ: {IFICMPGE, IFICMPLT},
+}
+
+var ifOps = map[token.Kind][2]Opcode{
+	token.EQL: {IFEQ, IFNE},
+	token.NEQ: {IFNE, IFEQ},
+	token.LSS: {IFLT, IFGE},
+	token.LEQ: {IFLE, IFGT},
+	token.GTR: {IFGT, IFLE},
+	token.GEQ: {IFGE, IFLT},
+}
+
+// genComparison emits a fused comparison branch, returning the branch
+// index.
+func (g *gen) genComparison(e *ast.Binary, jumpWhen bool) int {
+	sel := 0
+	if !jumpWhen {
+		sel = 1
+	}
+	xt, yt := sema.TypeOf(e.X), sema.TypeOf(e.Y)
+	if xt.IsRef() && yt.IsRef() {
+		g.genExpr(e.X)
+		g.genExpr(e.Y)
+		ops := map[token.Kind][2]Opcode{
+			token.EQL: {IFACMPEQ, IFACMPNE},
+			token.NEQ: {IFACMPNE, IFACMPEQ},
+		}
+		return g.branch(ops[e.Op][sel])
+	}
+	if xt == g.prog.Boolean && yt == g.prog.Boolean {
+		g.genExpr(e.X)
+		g.genExpr(e.Y)
+		return g.branch(icmpOps[e.Op][sel])
+	}
+	ct := g.prog.Promote(xt, yt)
+	g.genExprConv(e.X, ct)
+	g.genExprConv(e.Y, ct)
+	switch ct.Kind {
+	case sema.KindInt:
+		return g.branch(icmpOps[e.Op][sel])
+	case sema.KindLong:
+		g.emit0(LCMP)
+		return g.branch(ifOps[e.Op][sel])
+	default:
+		// Choose the NaN-conservative comparison like javac.
+		if e.Op == token.LSS || e.Op == token.LEQ {
+			g.emit0(DCMPG)
+		} else {
+			g.emit0(DCMPL)
+		}
+		return g.branch(ifOps[e.Op][sel])
+	}
+}
+
+// genBoolValue materializes a boolean expression as 0/1 on the stack via
+// branches, as javac does.
+func (g *gen) genBoolValue(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.BoolLit:
+		if e.Value {
+			g.emit(ICONST, 1)
+		} else {
+			g.emit(ICONST, 0)
+		}
+		return
+	case *ast.Ident, *ast.FieldAccess, *ast.IndexExpr, *ast.CallExpr,
+		*ast.SuperCall, *ast.Assign, *ast.IncDec:
+		g.genExprRaw(e)
+		return
+	case *ast.Binary:
+		// Non-short-circuit boolean operators are plain int arithmetic.
+		switch e.Op {
+		case token.AND, token.OR, token.XOR:
+			g.genExprRaw(e)
+			return
+		}
+	}
+	trueBr := g.genCondBranches(e, true)
+	g.emit(ICONST, 0)
+	end := g.branch(GOTO)
+	g.patchAll(trueBr)
+	g.emit(ICONST, 1)
+	g.patch(end)
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+func (g *gen) genExpr(e ast.Expr) {
+	t := sema.TypeOf(e)
+	if t == g.prog.Boolean {
+		g.genBoolValue(e)
+		return
+	}
+	g.genExprRaw(e)
+}
+
+func (g *gen) genExprRaw(e ast.Expr) {
+	cp := g.cf.CP
+	switch e := e.(type) {
+	case *ast.IntLit:
+		g.emit(ICONST, e.Value)
+	case *ast.LongLit:
+		g.emit(LCONST, cp.Long(e.Value))
+	case *ast.DoubleLit:
+		g.emit(DCONST, cp.Double(e.Value))
+	case *ast.BoolLit:
+		v := int32(0)
+		if e.Value {
+			v = 1
+		}
+		g.emit(ICONST, v)
+	case *ast.CharLit:
+		g.emit(ICONST, int32(uint16(e.Value)))
+	case *ast.StringLit:
+		g.emit(SCONST, cp.Str(e.Value))
+	case *ast.NullLit:
+		g.emit0(ACONSTNULL)
+	case *ast.ThisExpr:
+		g.emit(ALOAD, 0)
+	case *ast.Ident:
+		switch sym := e.Sym.(type) {
+		case *sema.Local:
+			g.loadLocal(sym)
+		case *sema.FieldSym:
+			g.genFieldLoad(sym, nil)
+		default:
+			panic("bytecode: identifier is not a value: " + e.Name)
+		}
+	case *ast.FieldAccess:
+		if e.IsLength {
+			g.genExpr(e.X)
+			g.emit0(ARRAYLENGTH)
+			return
+		}
+		sym := e.Sym.(*sema.FieldSym)
+		if sym.Static {
+			g.genFieldLoad(sym, nil)
+			return
+		}
+		g.genFieldLoad(sym, e.X)
+	case *ast.IndexExpr:
+		g.genExpr(e.X)
+		g.genExprConv(e.Index, g.prog.Int)
+		g.emit0(arrayLoadOp(sema.TypeOf(e)))
+	case *ast.Assign:
+		g.genAssign(e, true)
+	case *ast.IncDec:
+		g.genIncDec(e, true)
+	case *ast.Unary:
+		g.genUnary(e)
+	case *ast.Binary:
+		g.genBinary(e)
+	case *ast.CallExpr:
+		g.genCall(e)
+	case *ast.SuperCall:
+		m := e.Sym.(*sema.MethodSym)
+		g.emit(ALOAD, 0)
+		for i, a := range e.Args {
+			g.genExprConv(a, m.Params[i])
+		}
+		g.emit(INVOKESPECIAL, cp.MethodRef(m.Owner.Name, m.Name, methodDescOf(m)))
+	case *ast.NewObject:
+		cls := sema.TypeOf(e).Class
+		g.emit(NEW, cp.Class(cls.Name))
+		g.emit0(DUP)
+		ctor, _ := e.Ctor.(*sema.MethodSym)
+		desc := "()V"
+		if ctor != nil {
+			for i, a := range e.Args {
+				g.genExprConv(a, ctor.Params[i])
+			}
+			desc = methodDescOf(ctor)
+		}
+		g.emit(INVOKESPECIAL, cp.MethodRef(cls.Name, "<init>", desc))
+	case *ast.NewArray:
+		g.genNewArray(e)
+	case *ast.Cast:
+		g.genCast(e)
+	case *ast.InstanceOf:
+		g.genExpr(e.X)
+		tt := g.prog.InstanceOfType[e]
+		g.emit(INSTANCEOF, cp.Class(classNameOf(tt)))
+	case *ast.Cond:
+		elseBr := g.genCondBranches(e.C, false)
+		t := sema.TypeOf(e)
+		g.genExprConv(e.Then, t)
+		end := g.branch(GOTO)
+		g.patchAll(elseBr)
+		g.genExprConv(e.Else, t)
+		g.patch(end)
+	default:
+		panic(fmt.Sprintf("bytecode: unhandled expression %T", e))
+	}
+}
+
+// classNameOf renders a class or array type as a constant-pool class
+// name.
+func classNameOf(t *sema.Type) string {
+	if t.Kind == sema.KindArray {
+		return descOf(t)
+	}
+	return t.Class.Name
+}
+
+func arrayLoadOp(elem *sema.Type) Opcode {
+	switch elem.Kind {
+	case sema.KindInt, sema.KindBoolean:
+		return IALOAD
+	case sema.KindLong:
+		return LALOAD
+	case sema.KindDouble:
+		return DALOAD
+	case sema.KindChar:
+		return CALOAD
+	default:
+		return AALOAD
+	}
+}
+
+func arrayStoreOp(elem *sema.Type) Opcode {
+	switch elem.Kind {
+	case sema.KindInt, sema.KindBoolean:
+		return IASTORE
+	case sema.KindLong:
+		return LASTORE
+	case sema.KindDouble:
+		return DASTORE
+	case sema.KindChar:
+		return CASTORE
+	default:
+		return AASTORE
+	}
+}
+
+func (g *gen) genFieldLoad(sym *sema.FieldSym, recv ast.Expr) {
+	ref := g.cf.CP.FieldRef(sym.Owner.Name, sym.Name, descOf(sym.Type))
+	if sym.Static {
+		g.emit(GETSTATIC, ref)
+		return
+	}
+	if recv == nil {
+		g.emit(ALOAD, 0)
+	} else {
+		g.genExpr(recv)
+	}
+	g.emit(GETFIELD, ref)
+}
+
+func (g *gen) genAssign(e *ast.Assign, needValue bool) {
+	if e.Op == token.ASSIGN {
+		g.genPlainAssign(e, needValue)
+		return
+	}
+	g.genCompoundAssign(e, needValue)
+}
+
+// dupUnder duplicates the top value (of type t) below the address words
+// already on the stack — not needed for plain stores, where javac keeps
+// the value with a pre-store dup when the expression value is used.
+func (g *gen) genPlainAssign(e *ast.Assign, needValue bool) {
+	cp := g.cf.CP
+	switch lhs := e.LHS.(type) {
+	case *ast.Ident:
+		switch sym := lhs.Sym.(type) {
+		case *sema.Local:
+			g.genExprConv(e.RHS, sym.Type)
+			if needValue {
+				g.dupValue(sym.Type)
+			}
+			g.storeLocal(sym)
+			return
+		case *sema.FieldSym:
+			g.genFieldStore(sym, nil, e.RHS, needValue)
+			return
+		}
+	case *ast.FieldAccess:
+		sym := lhs.Sym.(*sema.FieldSym)
+		if sym.Static {
+			g.genFieldStore(sym, nil, e.RHS, needValue)
+			return
+		}
+		g.genFieldStore(sym, lhs.X, e.RHS, needValue)
+		return
+	case *ast.IndexExpr:
+		elem := sema.TypeOf(lhs)
+		g.genExpr(lhs.X)
+		g.genExprConv(lhs.Index, g.prog.Int)
+		g.genExprConv(e.RHS, elem)
+		if needValue {
+			// Keep a copy in a scratch local (avoids dup2_x forms).
+			tmp := g.allocSlot(slotWidth(elem))
+			g.storeScratch(elem, tmp)
+			g.loadScratch(elem, tmp)
+			g.emit0(arrayStoreOp(elem))
+			g.loadScratch(elem, tmp)
+			return
+		}
+		g.emit0(arrayStoreOp(elem))
+		return
+	}
+	_ = cp
+	panic("bytecode: bad assignment target")
+}
+
+func (g *gen) dupValue(t *sema.Type) {
+	if slotWidth(t) == 2 {
+		g.emit0(DUP2)
+	} else {
+		g.emit0(DUP)
+	}
+}
+
+func (g *gen) storeScratch(t *sema.Type, slot int32) {
+	switch t.Kind {
+	case sema.KindLong:
+		g.emit(LSTORE, slot)
+	case sema.KindDouble:
+		g.emit(DSTORE, slot)
+	case sema.KindInt, sema.KindBoolean, sema.KindChar:
+		g.emit(ISTORE, slot)
+	default:
+		g.emit(ASTORE, slot)
+	}
+}
+
+func (g *gen) loadScratch(t *sema.Type, slot int32) {
+	switch t.Kind {
+	case sema.KindLong:
+		g.emit(LLOAD, slot)
+	case sema.KindDouble:
+		g.emit(DLOAD, slot)
+	case sema.KindInt, sema.KindBoolean, sema.KindChar:
+		g.emit(ILOAD, slot)
+	default:
+		g.emit(ALOAD, slot)
+	}
+}
+
+func (g *gen) genFieldStore(sym *sema.FieldSym, recv ast.Expr, rhs ast.Expr, needValue bool) {
+	ref := g.cf.CP.FieldRef(sym.Owner.Name, sym.Name, descOf(sym.Type))
+	if sym.Static {
+		g.genExprConv(rhs, sym.Type)
+		if needValue {
+			g.dupValue(sym.Type)
+		}
+		g.emit(PUTSTATIC, ref)
+		return
+	}
+	if recv == nil {
+		g.emit(ALOAD, 0)
+	} else {
+		g.genExpr(recv)
+	}
+	g.genExprConv(rhs, sym.Type)
+	if needValue {
+		tmp := g.allocSlot(slotWidth(sym.Type))
+		g.storeScratch(sym.Type, tmp)
+		g.loadScratch(sym.Type, tmp)
+		g.emit(PUTFIELD, ref)
+		g.loadScratch(sym.Type, tmp)
+		return
+	}
+	g.emit(PUTFIELD, ref)
+}
+
+// genCompute folds the RHS into the loaded LHS value on the stack.
+func (g *gen) genCompute(lt *sema.Type, op token.Kind, rhs ast.Expr) {
+	if lt == g.prog.String && op == token.ADD {
+		g.genConcatWith(rhs)
+		return
+	}
+	ct := g.compoundType(lt, sema.TypeOf(rhs), op)
+	g.genConv(lt, ct)
+	if op == token.SHL || op == token.SHR {
+		g.genExprConv(rhs, g.prog.Int)
+	} else {
+		g.genExprConv(rhs, ct)
+	}
+	g.genArith(op, ct)
+	g.genConv(ct, lt)
+}
+
+func (g *gen) genCompoundAssign(e *ast.Assign, needValue bool) {
+	op := e.Op.CompoundOp()
+	lt := sema.TypeOf(e.LHS)
+
+	switch lhs := e.LHS.(type) {
+	case *ast.Ident:
+		if sym, ok := lhs.Sym.(*sema.Local); ok {
+			// iinc special case: i += smallConst on an int local.
+			if !needValue && sym.Type == g.prog.Int {
+				if lit, ok := e.RHS.(*ast.IntLit); ok &&
+					(op == token.ADD || op == token.SUB) &&
+					lit.Value >= -128 && lit.Value < 128 {
+					d := lit.Value
+					if op == token.SUB {
+						d = -d
+					}
+					g.emit2(IINC, g.slots[sym], d)
+					return
+				}
+			}
+			g.loadLocal(sym)
+			g.genCompute(lt, op, e.RHS)
+			if needValue {
+				g.dupValue(lt)
+			}
+			g.storeLocal(sym)
+			return
+		}
+		g.genCompoundFieldAssign(lhs.Sym.(*sema.FieldSym), nil, lt, op, e.RHS, needValue)
+		return
+	case *ast.FieldAccess:
+		sym := lhs.Sym.(*sema.FieldSym)
+		var recv ast.Expr
+		if !sym.Static {
+			recv = lhs.X
+		}
+		g.genCompoundFieldAssign(sym, recv, lt, op, e.RHS, needValue)
+		return
+	case *ast.IndexExpr:
+		elem := sema.TypeOf(lhs)
+		g.genExpr(lhs.X)
+		g.genExprConv(lhs.Index, g.prog.Int)
+		g.emit0(DUP2) // arr idx arr idx
+		g.emit0(arrayLoadOp(elem))
+		g.genCompute(elem, op, e.RHS)
+		if needValue {
+			tmp := g.allocSlot(slotWidth(elem))
+			g.storeScratch(elem, tmp)
+			g.loadScratch(elem, tmp)
+			g.emit0(arrayStoreOp(elem))
+			g.loadScratch(elem, tmp)
+			return
+		}
+		g.emit0(arrayStoreOp(elem))
+		return
+	}
+	panic("bytecode: bad compound assignment target")
+}
+
+func (g *gen) genCompoundFieldAssign(sym *sema.FieldSym, recv ast.Expr,
+	lt *sema.Type, op token.Kind, rhs ast.Expr, needValue bool) {
+	ref := g.cf.CP.FieldRef(sym.Owner.Name, sym.Name, descOf(sym.Type))
+	if sym.Static {
+		g.emit(GETSTATIC, ref)
+		g.genCompute(lt, op, rhs)
+		if needValue {
+			g.dupValue(lt)
+		}
+		g.emit(PUTSTATIC, ref)
+		return
+	}
+	if recv == nil {
+		g.emit(ALOAD, 0)
+	} else {
+		g.genExpr(recv)
+	}
+	g.emit0(DUP) // obj obj
+	g.emit(GETFIELD, ref)
+	g.genCompute(lt, op, rhs)
+	if needValue {
+		tmp := g.allocSlot(slotWidth(lt))
+		g.storeScratch(lt, tmp)
+		g.loadScratch(lt, tmp)
+		g.emit(PUTFIELD, ref)
+		g.loadScratch(lt, tmp)
+		return
+	}
+	g.emit(PUTFIELD, ref)
+}
+
+func (g *gen) compoundType(lt, rt *sema.Type, op token.Kind) *sema.Type {
+	p := g.prog
+	if op == token.SHL || op == token.SHR {
+		if lt.Kind == sema.KindChar {
+			return p.Int
+		}
+		return lt
+	}
+	if lt == p.Boolean {
+		return p.Boolean
+	}
+	return p.Promote(lt, rt)
+}
+
+func (g *gen) genIncDec(e *ast.IncDec, needValue bool) {
+	t := sema.TypeOf(e)
+	// Postfix: the expression value is the OLD value.
+	switch lhs := e.X.(type) {
+	case *ast.Ident:
+		if sym, ok := lhs.Sym.(*sema.Local); ok {
+			if sym.Type == g.prog.Int && !needValue {
+				d := int32(1)
+				if e.Op == token.DEC {
+					d = -1
+				}
+				g.emit2(IINC, g.slots[sym], d)
+				return
+			}
+			g.loadLocal(sym)
+			if needValue {
+				g.dupValue(sym.Type)
+			}
+			g.genOne(sym.Type)
+			g.genArithIncDec(e.Op, sym.Type)
+			g.storeLocal(sym)
+			return
+		}
+	}
+	// Field/array targets: lower as a compound assignment; the old
+	// value is recovered via a scratch local when needed.
+	one := &ast.IntLit{Value: 1}
+	one.SetTypeInfo(g.prog.Int)
+	op := token.ADDASSIGN
+	if e.Op == token.DEC {
+		op = token.SUBASSIGN
+	}
+	asn := &ast.Assign{Op: op, LHS: e.X, RHS: one}
+	asn.SetTypeInfo(t)
+	if !needValue {
+		g.genCompoundAssign(asn, false)
+		return
+	}
+	// Postfix value: new value minus/plus one.
+	g.genCompoundAssign(asn, true)
+	g.genOne(t)
+	rev := token.SUB
+	if e.Op == token.DEC {
+		rev = token.ADD
+	}
+	ct := t
+	if ct.Kind == sema.KindChar {
+		g.genConv(t, g.prog.Int)
+		ct = g.prog.Int
+	}
+	g.genArith(rev, ct)
+	g.genConv(ct, t)
+}
+
+func (g *gen) genOne(t *sema.Type) {
+	switch t.Kind {
+	case sema.KindLong:
+		g.emit(LCONST, g.cf.CP.Long(1))
+	case sema.KindDouble:
+		g.emit(DCONST, g.cf.CP.Double(1))
+	default:
+		g.emit(ICONST, 1)
+	}
+}
+
+func (g *gen) genArithIncDec(op token.Kind, t *sema.Type) {
+	k := token.ADD
+	if op == token.DEC {
+		k = token.SUB
+	}
+	ct := t
+	if ct.Kind == sema.KindChar {
+		ct = g.prog.Int
+	}
+	g.genArith(k, ct)
+	if t.Kind == sema.KindChar {
+		g.emit0(I2C)
+	}
+}
+
+var arithOps = map[sema.TypeKind]map[token.Kind]Opcode{
+	sema.KindInt: {
+		token.ADD: IADD, token.SUB: ISUB, token.MUL: IMUL,
+		token.QUO: IDIV, token.REM: IREM, token.SHL: ISHL, token.SHR: ISHR,
+		token.AND: IAND, token.OR: IOR, token.XOR: IXOR,
+	},
+	sema.KindLong: {
+		token.ADD: LADD, token.SUB: LSUB, token.MUL: LMUL,
+		token.QUO: LDIV, token.REM: LREM, token.SHL: LSHL, token.SHR: LSHR,
+		token.AND: LAND, token.OR: LOR, token.XOR: LXOR,
+	},
+	sema.KindDouble: {
+		token.ADD: DADD, token.SUB: DSUB, token.MUL: DMUL,
+		token.QUO: DDIV, token.REM: DREM,
+	},
+	sema.KindBoolean: {
+		token.AND: IAND, token.OR: IOR, token.XOR: IXOR,
+	},
+}
+
+func (g *gen) genArith(op token.Kind, t *sema.Type) {
+	o, ok := arithOps[t.Kind][op]
+	if !ok {
+		panic(fmt.Sprintf("bytecode: no arithmetic op %s on %s", op, t))
+	}
+	g.emit0(o)
+}
+
+func (g *gen) genUnary(e *ast.Unary) {
+	t := sema.TypeOf(e)
+	switch e.Op {
+	case token.ADD:
+		g.genExprConv(e.X, t)
+	case token.SUB:
+		g.genExprConv(e.X, t)
+		switch t.Kind {
+		case sema.KindInt:
+			g.emit0(INEG)
+		case sema.KindLong:
+			g.emit0(LNEG)
+		case sema.KindDouble:
+			g.emit0(DNEG)
+		}
+	case token.TILDE:
+		g.genExprConv(e.X, t)
+		switch t.Kind {
+		case sema.KindInt:
+			g.emit(ICONST, -1)
+			g.emit0(IXOR)
+		case sema.KindLong:
+			g.emit(LCONST, g.cf.CP.Long(-1))
+			g.emit0(LXOR)
+		}
+	default:
+		panic("bytecode: unhandled unary " + e.Op.String())
+	}
+}
+
+func (g *gen) genBinary(e *ast.Binary) {
+	t := sema.TypeOf(e)
+	if e.Op == token.ADD && t == g.prog.String {
+		g.genConcat(e)
+		return
+	}
+	switch e.Op {
+	case token.SHL, token.SHR:
+		lt := sema.TypeOf(e.X)
+		if lt.Kind == sema.KindChar {
+			lt = g.prog.Int
+		}
+		g.genExprConv(e.X, lt)
+		g.genExprConv(e.Y, g.prog.Int)
+		g.genArith(e.Op, lt)
+		return
+	}
+	g.genExprConv(e.X, t)
+	g.genExprConv(e.Y, t)
+	g.genArith(e.Op, t)
+}
+
+// genConcat builds string concatenation through StringBuilder, exactly
+// the shape javac emits (and a major contributor to bytecode instruction
+// counts).
+func (g *gen) genConcat(e *ast.Binary) {
+	cp := g.cf.CP
+	g.emit(NEW, cp.Class("StringBuilder"))
+	g.emit0(DUP)
+	g.emit(INVOKESPECIAL, cp.MethodRef("StringBuilder", "<init>", "()V"))
+	var appendOperand func(x ast.Expr)
+	appendOperand = func(x ast.Expr) {
+		if b, ok := x.(*ast.Binary); ok && b.Op == token.ADD && sema.TypeOf(b) == g.prog.String {
+			appendOperand(b.X)
+			appendOperand(b.Y)
+			return
+		}
+		g.genAppend(x)
+	}
+	appendOperand(e.X)
+	appendOperand(e.Y)
+	g.emit(INVOKEVIRTUAL, cp.MethodRef("StringBuilder", "toString", "()LString;"))
+}
+
+// genConcatWith appends rhs to the string on the stack top (the s += x
+// lowering): ...,left → NEW SB; DUP_X1 → SB,left,SB; <init> consumes the
+// top SB → SB,left; append(left); append(rhs); toString.
+func (g *gen) genConcatWith(rhs ast.Expr) {
+	cp := g.cf.CP
+	g.emit(NEW, cp.Class("StringBuilder"))
+	g.emit0(DUPX1)
+	g.emit(INVOKESPECIAL, cp.MethodRef("StringBuilder", "<init>", "()V"))
+	g.emit(INVOKEVIRTUAL, cp.MethodRef("StringBuilder", "append", "(LString;)LStringBuilder;"))
+	g.genAppend(rhs)
+	g.emit(INVOKEVIRTUAL, cp.MethodRef("StringBuilder", "toString", "()LString;"))
+}
+
+func (g *gen) genAppend(x ast.Expr) {
+	cp := g.cf.CP
+	t := sema.TypeOf(x)
+	g.genExpr(x)
+	var desc string
+	switch {
+	case t == g.prog.String:
+		desc = "(LString;)LStringBuilder;"
+	case t.Kind == sema.KindInt:
+		desc = "(I)LStringBuilder;"
+	case t.Kind == sema.KindLong:
+		desc = "(J)LStringBuilder;"
+	case t.Kind == sema.KindDouble:
+		desc = "(D)LStringBuilder;"
+	case t.Kind == sema.KindBoolean:
+		desc = "(Z)LStringBuilder;"
+	case t.Kind == sema.KindChar:
+		desc = "(C)LStringBuilder;"
+	default:
+		desc = "(LObject;)LStringBuilder;"
+	}
+	g.emit(INVOKEVIRTUAL, cp.MethodRef("StringBuilder", "append", desc))
+}
+
+func (g *gen) genNewArray(e *ast.NewArray) {
+	t := sema.TypeOf(e)
+	for _, l := range e.Lens {
+		g.genExprConv(l, g.prog.Int)
+	}
+	if len(e.Lens) > 1 {
+		g.emit2(MULTIANEWARRAY, g.cf.CP.Class(descOf(t)), int32(len(e.Lens)))
+		return
+	}
+	elem := t.Elem
+	switch elem.Kind {
+	case sema.KindClass, sema.KindArray:
+		// The element is recorded as its descriptor so the runtime's
+		// array-type interning agrees with instanceof/checkcast.
+		g.emit(ANEWARRAY, g.cf.CP.Class(descOf(elem)))
+	default:
+		g.emit(NEWARRAY, int32(elem.Kind))
+	}
+}
+
+func (g *gen) genCast(e *ast.Cast) {
+	from := sema.TypeOf(e.X)
+	to := sema.TypeOf(e)
+	if from.IsNumeric() && to.IsNumeric() {
+		g.genExpr(e.X)
+		g.genConv(from, to)
+		return
+	}
+	g.genExpr(e.X)
+	if !g.prog.Widens(from, to) {
+		g.emit(CHECKCAST, g.cf.CP.Class(classNameOf(to)))
+	}
+}
+
+func (g *gen) genCall(e *ast.CallExpr) {
+	cp := g.cf.CP
+	switch sym := e.Sym.(type) {
+	case *sema.Builtin:
+		// Math statics and System.out printing, as the real class
+		// library calls.
+		if len(sym.Name) > 5 && sym.Name[:5] == "Math." {
+			for i, a := range e.Args {
+				g.genExprConv(a, sym.Params[i])
+			}
+			params := make([]string, len(sym.Params))
+			for i, p := range sym.Params {
+				params[i] = descOf(p)
+			}
+			g.emit(INVOKESTATIC, cp.MethodRef("Math", sym.Name[5:],
+				MethodDesc(params, descOf(sym.Return))))
+			return
+		}
+		// System.out.println(x): getstatic System.out, args,
+		// invokevirtual.
+		g.emit(GETSTATIC, cp.FieldRef("System", "out", "LPrintStream;"))
+		for i, a := range e.Args {
+			g.genExprConv(a, sym.Params[i])
+		}
+		params := make([]string, len(sym.Params))
+		for i, p := range sym.Params {
+			params[i] = descOf(p)
+		}
+		name := "println"
+		if sym.Name == "System.out.print" {
+			name = "print"
+		}
+		g.emit(INVOKEVIRTUAL, cp.MethodRef("PrintStream", name, MethodDesc(params, "V")))
+		return
+	case *sema.MethodSym:
+		if sym.Static {
+			for i, a := range e.Args {
+				g.genExprConv(a, sym.Params[i])
+			}
+			g.emit(INVOKESTATIC, cp.MethodRef(sym.Owner.Name, sym.Name, methodDescOf(sym)))
+			return
+		}
+		if e.Recv != nil {
+			g.genExpr(e.Recv)
+		} else {
+			g.emit(ALOAD, 0)
+		}
+		for i, a := range e.Args {
+			g.genExprConv(a, sym.Params[i])
+		}
+		g.emit(INVOKEVIRTUAL, cp.MethodRef(sym.Owner.Name, sym.Name, methodDescOf(sym)))
+		return
+	}
+	panic("bytecode: unresolved call " + e.Name)
+}

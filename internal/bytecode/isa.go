@@ -1,0 +1,258 @@
+// Package bytecode is the baseline the paper compares against: a
+// JVM-style stack-machine code format for TJ with class-file containers,
+// a dataflow verifier (the expensive consumer-side analysis SafeTSA
+// eliminates), and an interpreter sharing the runtime of package rt. The
+// instruction set mirrors the Java bytecode design points the paper
+// discusses: 0-address operands, fused array accesses (aload includes the
+// null check, bounds check, address computation, and load), per-use local
+// variable traffic, and a constant pool with symbolic linking.
+package bytecode
+
+import "fmt"
+
+// Opcode enumerates the instructions.
+type Opcode uint8
+
+// The instruction set.
+const (
+	NOP Opcode = iota
+
+	// Constants. A is the immediate or constant-pool index.
+	ICONST // A = int immediate
+	LCONST // A = constant-pool index (long)
+	DCONST // A = constant-pool index (double)
+	SCONST // A = constant-pool index (string)
+	ACONSTNULL
+
+	// Locals. A = slot.
+	ILOAD
+	LLOAD
+	DLOAD
+	ALOAD
+	ISTORE
+	LSTORE
+	DSTORE
+	ASTORE
+
+	// Stack.
+	POP
+	POP2
+	DUP
+	DUPX1
+	DUP2
+	SWAP
+
+	// int arithmetic.
+	IADD
+	ISUB
+	IMUL
+	IDIV
+	IREM
+	INEG
+	ISHL
+	ISHR
+	IAND
+	IOR
+	IXOR
+
+	// long arithmetic.
+	LADD
+	LSUB
+	LMUL
+	LDIV
+	LREM
+	LNEG
+	LSHL
+	LSHR
+	LAND
+	LOR
+	LXOR
+	LCMP
+
+	// double arithmetic.
+	DADD
+	DSUB
+	DMUL
+	DDIV
+	DREM
+	DNEG
+	DCMPL
+	DCMPG
+
+	// Conversions.
+	I2L
+	I2D
+	I2C
+	L2I
+	L2D
+	D2I
+	D2L
+
+	// Branches. A = target pc.
+	GOTO
+	IFEQ
+	IFNE
+	IFLT
+	IFGE
+	IFGT
+	IFLE
+	IFICMPEQ
+	IFICMPNE
+	IFICMPLT
+	IFICMPGE
+	IFICMPGT
+	IFICMPLE
+	IFACMPEQ
+	IFACMPNE
+	IFNULL
+	IFNONNULL
+
+	// Fields. A = constant-pool field-ref index.
+	GETSTATIC
+	PUTSTATIC
+	GETFIELD
+	PUTFIELD
+
+	// Calls. A = constant-pool method-ref index.
+	INVOKEVIRTUAL
+	INVOKESTATIC
+	INVOKESPECIAL
+
+	// Objects and arrays. A = constant-pool class/type index where
+	// applicable; MULTIANEWARRAY carries the dimension count in B.
+	NEW
+	NEWARRAY // A = primitive element tag
+	ANEWARRAY
+	MULTIANEWARRAY
+	ARRAYLENGTH
+	IALOAD
+	LALOAD
+	DALOAD
+	AALOAD
+	CALOAD
+	IASTORE
+	LASTORE
+	DASTORE
+	AASTORE
+	CASTORE
+	CHECKCAST
+	INSTANCEOF
+	ATHROW
+
+	// Returns.
+	IRETURN
+	LRETURN
+	DRETURN
+	ARETURN
+	RETURN
+
+	// IINC increments int local A by immediate B.
+	IINC
+
+	numOpcodes
+)
+
+var opNames = map[Opcode]string{
+	NOP: "nop", ICONST: "iconst", LCONST: "lconst", DCONST: "dconst",
+	SCONST: "sconst", ACONSTNULL: "aconst_null",
+	ILOAD: "iload", LLOAD: "lload", DLOAD: "dload", ALOAD: "aload",
+	ISTORE: "istore", LSTORE: "lstore", DSTORE: "dstore", ASTORE: "astore",
+	POP: "pop", POP2: "pop2", DUP: "dup", DUPX1: "dup_x1", DUP2: "dup2", SWAP: "swap",
+	IADD: "iadd", ISUB: "isub", IMUL: "imul", IDIV: "idiv", IREM: "irem",
+	INEG: "ineg", ISHL: "ishl", ISHR: "ishr", IAND: "iand", IOR: "ior", IXOR: "ixor",
+	LADD: "ladd", LSUB: "lsub", LMUL: "lmul", LDIV: "ldiv", LREM: "lrem",
+	LNEG: "lneg", LSHL: "lshl", LSHR: "lshr", LAND: "land", LOR: "lor",
+	LXOR: "lxor", LCMP: "lcmp",
+	DADD: "dadd", DSUB: "dsub", DMUL: "dmul", DDIV: "ddiv", DREM: "drem",
+	DNEG: "dneg", DCMPL: "dcmpl", DCMPG: "dcmpg",
+	I2L: "i2l", I2D: "i2d", I2C: "i2c", L2I: "l2i", L2D: "l2d", D2I: "d2i", D2L: "d2l",
+	GOTO: "goto", IFEQ: "ifeq", IFNE: "ifne", IFLT: "iflt", IFGE: "ifge",
+	IFGT: "ifgt", IFLE: "ifle",
+	IFICMPEQ: "if_icmpeq", IFICMPNE: "if_icmpne", IFICMPLT: "if_icmplt",
+	IFICMPGE: "if_icmpge", IFICMPGT: "if_icmpgt", IFICMPLE: "if_icmple",
+	IFACMPEQ: "if_acmpeq", IFACMPNE: "if_acmpne",
+	IFNULL: "ifnull", IFNONNULL: "ifnonnull",
+	GETSTATIC: "getstatic", PUTSTATIC: "putstatic",
+	GETFIELD: "getfield", PUTFIELD: "putfield",
+	INVOKEVIRTUAL: "invokevirtual", INVOKESTATIC: "invokestatic",
+	INVOKESPECIAL: "invokespecial",
+	NEW:           "new", NEWARRAY: "newarray", ANEWARRAY: "anewarray",
+	MULTIANEWARRAY: "multianewarray", ARRAYLENGTH: "arraylength",
+	IALOAD: "iaload", LALOAD: "laload", DALOAD: "daload", AALOAD: "aaload",
+	CALOAD:  "caload",
+	IASTORE: "iastore", LASTORE: "lastore", DASTORE: "dastore",
+	AASTORE: "aastore", CASTORE: "castore",
+	CHECKCAST: "checkcast", INSTANCEOF: "instanceof", ATHROW: "athrow",
+	IRETURN: "ireturn", LRETURN: "lreturn", DRETURN: "dreturn",
+	ARETURN: "areturn", RETURN: "return", IINC: "iinc",
+}
+
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction; A and B carry the immediate,
+// constant-pool index, local slot, branch target, or dimension count.
+type Instr struct {
+	Op Opcode
+	A  int32
+	B  int32
+}
+
+// ByteLen models the class-file encoding length of the instruction, in
+// bytes, following the JVM's actual formats (short forms for small
+// constants and low local slots).
+func (in Instr) ByteLen() int {
+	switch in.Op {
+	case NOP, ACONSTNULL, POP, POP2, DUP, DUPX1, DUP2, SWAP,
+		IADD, ISUB, IMUL, IDIV, IREM, INEG, ISHL, ISHR, IAND, IOR, IXOR,
+		LADD, LSUB, LMUL, LDIV, LREM, LNEG, LSHL, LSHR, LAND, LOR, LXOR, LCMP,
+		DADD, DSUB, DMUL, DDIV, DREM, DNEG, DCMPL, DCMPG,
+		I2L, I2D, I2C, L2I, L2D, D2I, D2L,
+		ARRAYLENGTH, IALOAD, LALOAD, DALOAD, AALOAD, CALOAD,
+		IASTORE, LASTORE, DASTORE, AASTORE, CASTORE, ATHROW,
+		IRETURN, LRETURN, DRETURN, ARETURN, RETURN:
+		return 1
+	case ICONST:
+		switch {
+		case in.A >= -1 && in.A <= 5:
+			return 1 // iconst_<n>
+		case in.A >= -128 && in.A <= 127:
+			return 2 // bipush
+		case in.A >= -32768 && in.A <= 32767:
+			return 3 // sipush
+		}
+		return 2 // ldc
+	case LCONST, DCONST:
+		return 3 // ldc2_w
+	case SCONST:
+		return 2 // ldc
+	case ILOAD, LLOAD, DLOAD, ALOAD, ISTORE, LSTORE, DSTORE, ASTORE:
+		if in.A <= 3 {
+			return 1 // xload_<n>
+		}
+		return 2
+	case NEWARRAY:
+		return 2
+	case MULTIANEWARRAY:
+		return 4
+	case IINC:
+		return 3
+	case GOTO, IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE,
+		IFICMPEQ, IFICMPNE, IFICMPLT, IFICMPGE, IFICMPGT, IFICMPLE,
+		IFACMPEQ, IFACMPNE, IFNULL, IFNONNULL,
+		GETSTATIC, PUTSTATIC, GETFIELD, PUTFIELD,
+		INVOKEVIRTUAL, INVOKESTATIC, INVOKESPECIAL,
+		NEW, ANEWARRAY, CHECKCAST, INSTANCEOF:
+		return 3
+	}
+	return 1
+}
+
+// IsBranch reports whether A is a code target.
+func (o Opcode) IsBranch() bool {
+	return o >= GOTO && o <= IFNONNULL
+}

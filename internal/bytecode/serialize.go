@@ -1,0 +1,184 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Serialize renders a class in the class-file layout: magic, constant
+// pool, class/super references, field and method tables, and per-method
+// Code attributes with real instruction encodings (short forms included)
+// and exception tables. The byte counts are what Figure 5's size columns
+// measure for the baseline.
+func (cf *ClassFile) Serialize() []byte {
+	var b []byte
+	u16 := func(v int) { b = binary.BigEndian.AppendUint16(b, uint16(v)) }
+	u32 := func(v int) { b = binary.BigEndian.AppendUint32(b, uint32(v)) }
+
+	b = append(b, 0xCA, 0xFE, 0xBA, 0xBE)
+	u16(0)  // minor
+	u16(46) // major (JDK 1.2)
+
+	u16(len(cf.CP.Entries))
+	for _, e := range cf.CP.Entries[1:] {
+		b = append(b, byte(e.Tag))
+		switch e.Tag {
+		case cpUTF8:
+			u16(len(e.S))
+			b = append(b, e.S...)
+		case cpInt:
+			u32(int(e.I))
+		case cpLong:
+			b = binary.BigEndian.AppendUint64(b, uint64(e.I))
+		case cpDouble:
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(e.D))
+		case cpString, cpClass:
+			u16(int(e.A))
+		case cpFieldRef, cpMethodRef:
+			u16(int(e.A))
+			u16(int(e.B))
+		}
+	}
+
+	u16(0x0021) // access flags: public super
+	u16(int(cf.CP.Class(cf.Name)))
+	u16(int(cf.CP.Class(cf.Super)))
+	u16(0) // interfaces
+
+	u16(len(cf.Fields))
+	for _, f := range cf.Fields {
+		flags := 0x0001
+		if f.Static {
+			flags |= 0x0008
+		}
+		u16(flags)
+		u16(int(cf.CP.UTF8(f.Name)))
+		u16(int(cf.CP.UTF8(f.Desc)))
+		u16(0) // attributes
+	}
+
+	u16(len(cf.Methods))
+	for _, m := range cf.Methods {
+		flags := 0x0001
+		if m.Static {
+			flags |= 0x0008
+		}
+		u16(flags)
+		u16(int(cf.CP.UTF8(m.Name)))
+		u16(int(cf.CP.UTF8(m.Desc)))
+		u16(1) // one attribute: Code
+		u16(int(cf.CP.UTF8("Code")))
+		code := encodeCode(m)
+		u32(2 + 2 + 4 + len(code) + 2 + 8*len(m.ExcTable) + 2)
+		u16(maxStackEstimate(m))
+		u16(m.MaxLocals)
+		u32(len(code))
+		b = append(b, code...)
+		u16(len(m.ExcTable))
+		for range m.ExcTable {
+			u16(0)
+			u16(0)
+			u16(0)
+			u16(0)
+		}
+		u16(0) // code attributes
+	}
+	u16(0) // class attributes
+	return b
+}
+
+// encodeCode renders instructions at their modeled byte lengths; branch
+// targets become byte offsets.
+func encodeCode(m *Method) []byte {
+	offsets := make([]int, len(m.Code)+1)
+	off := 0
+	for i, in := range m.Code {
+		offsets[i] = off
+		off += in.ByteLen()
+	}
+	offsets[len(m.Code)] = off
+	out := make([]byte, 0, off)
+	for _, in := range m.Code {
+		n := in.ByteLen()
+		out = append(out, byte(in.Op))
+		arg := int(in.A)
+		if in.Op.IsBranch() {
+			if in.A >= 0 && int(in.A) <= len(m.Code) {
+				arg = offsets[in.A]
+			}
+		}
+		for k := 1; k < n; k++ {
+			out = append(out, byte(arg>>((n-1-k)*8)))
+		}
+	}
+	return out
+}
+
+// maxStackEstimate reports a conservative operand-stack bound (class
+// files must declare one; a simple linear estimate is enough here).
+func maxStackEstimate(m *Method) int {
+	max, cur := 2, 0
+	for _, in := range m.Code {
+		switch in.Op {
+		case ICONST, LCONST, DCONST, SCONST, ACONSTNULL,
+			ILOAD, LLOAD, DLOAD, ALOAD, DUP, DUP2, DUPX1, NEW,
+			GETSTATIC:
+			cur += 2
+		case INVOKEVIRTUAL, INVOKESTATIC, INVOKESPECIAL:
+			cur = cur/2 + 2
+		default:
+			if cur > 0 {
+				cur--
+			}
+		}
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// SerializedSize is the class-file byte count.
+func (cf *ClassFile) SerializedSize() int { return len(cf.Serialize()) }
+
+// SerializedSize sums all class files.
+func (p *Program) SerializedSize() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += c.SerializedSize()
+	}
+	return n
+}
+
+// Disassemble renders the program textually.
+func (cf *ClassFile) Disassemble() string {
+	s := fmt.Sprintf("class %s extends %s\n", cf.Name, cf.Super)
+	for _, f := range cf.Fields {
+		s += fmt.Sprintf("  field %s %s\n", f.Name, f.Desc)
+	}
+	for _, m := range cf.Methods {
+		s += fmt.Sprintf("  method %s%s (maxLocals=%d)\n", m.Name, m.Desc, m.MaxLocals)
+		for i, in := range m.Code {
+			s += fmt.Sprintf("    %4d: %s", i, in.Op)
+			switch in.Op {
+			case ICONST, ILOAD, LLOAD, DLOAD, ALOAD, ISTORE, LSTORE, DSTORE, ASTORE, NEWARRAY:
+				s += fmt.Sprintf(" %d", in.A)
+			case IINC:
+				s += fmt.Sprintf(" %d %d", in.A, in.B)
+			default:
+				if in.Op.IsBranch() {
+					s += fmt.Sprintf(" -> %d", in.A)
+				} else if in.A != 0 {
+					s += fmt.Sprintf(" #%d", in.A)
+				}
+			}
+			s += "\n"
+		}
+		for _, e := range m.ExcTable {
+			s += fmt.Sprintf("    handler [%d,%d) -> %d (type #%d)\n",
+				e.Start, e.End, e.Handler, e.CatchType)
+		}
+	}
+	return s
+}

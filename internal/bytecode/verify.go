@@ -1,0 +1,500 @@
+package bytecode
+
+import (
+	"fmt"
+)
+
+// Verify performs the classic bytecode verification dataflow the paper
+// contrasts SafeTSA against (section 9): abstract interpretation of every
+// method over (operand stack, locals) type states, merged at branch
+// targets until a fixpoint. SafeTSA's counter-based verification replaces
+// all of this.
+func (p *Program) Verify() error {
+	for _, cf := range p.Classes {
+		for _, m := range cf.Methods {
+			if err := verifyMethod(cf, m); err != nil {
+				return fmt.Errorf("%s.%s%s: %w", cf.Name, m.Name, m.Desc, err)
+			}
+		}
+	}
+	return nil
+}
+
+// vtype is an abstract verification type (one stack/local word).
+type vtype uint8
+
+const (
+	vUnset vtype = iota // uninitialized local
+	vInt
+	vLong  // low word
+	vLong2 // high word
+	vDouble
+	vDouble2
+	vRef
+	vTop // merge conflict; unusable
+)
+
+func (v vtype) String() string {
+	return [...]string{"unset", "int", "long", "long2", "double", "double2", "ref", "top"}[v]
+}
+
+type vstate struct {
+	stack  []vtype
+	locals []vtype
+}
+
+func (s *vstate) clone() *vstate {
+	return &vstate{
+		stack:  append([]vtype(nil), s.stack...),
+		locals: append([]vtype(nil), s.locals...),
+	}
+}
+
+// merge joins another state into s, reporting whether s changed;
+// incompatible words become vTop (usable only by being overwritten).
+func (s *vstate) merge(o *vstate) (bool, error) {
+	if len(s.stack) != len(o.stack) {
+		return false, fmt.Errorf("stack depth mismatch at join: %d vs %d", len(s.stack), len(o.stack))
+	}
+	changed := false
+	for i := range s.stack {
+		if s.stack[i] != o.stack[i] {
+			return false, fmt.Errorf("stack type mismatch at join: %v vs %v", s.stack[i], o.stack[i])
+		}
+	}
+	for i := range s.locals {
+		if s.locals[i] != o.locals[i] && s.locals[i] != vTop {
+			s.locals[i] = vTop
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+func descWord(c byte) vtype {
+	switch c {
+	case 'J':
+		return vLong
+	case 'D':
+		return vDouble
+	case 'L', '[':
+		return vRef
+	case 'V':
+		return vUnset
+	default:
+		return vInt
+	}
+}
+
+// verifyMethod runs the dataflow for one method.
+func verifyMethod(cf *ClassFile, m *Method) error {
+	// Static checks (performed on all code, reachable or not): branch
+	// targets, constant-pool indices, and exception-table ranges.
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() && (in.A < 0 || int(in.A) >= len(m.Code)) {
+			return fmt.Errorf("at pc %d: branch target %d out of code", pc, in.A)
+		}
+		switch in.Op {
+		case GETSTATIC, PUTSTATIC, GETFIELD, PUTFIELD,
+			INVOKEVIRTUAL, INVOKESTATIC, INVOKESPECIAL,
+			NEW, ANEWARRAY, CHECKCAST, INSTANCEOF, MULTIANEWARRAY,
+			LCONST, DCONST, SCONST:
+			if in.A <= 0 || int(in.A) >= len(cf.CP.Entries) {
+				return fmt.Errorf("at pc %d: constant-pool index %d out of range", pc, in.A)
+			}
+		}
+	}
+	for _, e := range m.ExcTable {
+		if e.Start < 0 || e.End > int32(len(m.Code)) || e.Start > e.End ||
+			e.Handler < 0 || int(e.Handler) >= len(m.Code) {
+			return fmt.Errorf("bad exception-table entry")
+		}
+	}
+	if len(m.Code) == 0 {
+		return fmt.Errorf("empty code")
+	}
+
+	states := make([]*vstate, len(m.Code))
+	entry := &vstate{locals: make([]vtype, m.MaxLocals+2)}
+	slot := 0
+	if !m.Static {
+		entry.locals[0] = vRef
+		slot = 1
+	}
+	params, result := paramDescs(m.Desc)
+	for _, p := range params {
+		w := descWord(p[0])
+		entry.locals[slot] = w
+		slot++
+		if w == vLong || w == vDouble {
+			entry.locals[slot] = w + 1
+			slot++
+		}
+	}
+	_ = result
+
+	work := []int32{0}
+	states[0] = entry
+	flow := func(from int32, to int32, st *vstate) error {
+		if to < 0 || int(to) >= len(m.Code) {
+			return fmt.Errorf("branch target %d out of code (from %d)", to, from)
+		}
+		if states[to] == nil {
+			states[to] = st.clone()
+			work = append(work, to)
+			return nil
+		}
+		changed, err := states[to].merge(st)
+		if err != nil {
+			return fmt.Errorf("at %d->%d: %w", from, to, err)
+		}
+		if changed {
+			work = append(work, to)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		pre := states[pc]
+		// An exception may occur at this point: every covering handler
+		// is reachable with the current locals and a one-reference
+		// stack (this is what makes bytecode verification a full
+		// dataflow analysis).
+		for _, e := range m.ExcTable {
+			if pc < e.Start || pc >= e.End {
+				continue
+			}
+			h := &vstate{stack: []vtype{vRef}, locals: append([]vtype(nil), pre.locals...)}
+			if err := flow(pc, e.Handler, h); err != nil {
+				return err
+			}
+		}
+		st := pre.clone()
+		next, err := simulate(cf, m, pc, st)
+		if err != nil {
+			return fmt.Errorf("at pc %d (%s): %w", pc, m.Code[pc].Op, err)
+		}
+		for _, t := range next {
+			if err := flow(pc, t, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stack helpers reporting verification errors.
+type vstack struct {
+	st  *vstate
+	err error
+}
+
+func (v *vstack) push(t vtype) {
+	v.st.stack = append(v.st.stack, t)
+	if t == vLong || t == vDouble {
+		v.st.stack = append(v.st.stack, t+1)
+	}
+}
+
+func (v *vstack) pushWord(t vtype) { v.st.stack = append(v.st.stack, t) }
+
+func (v *vstack) popWord() vtype {
+	if v.err != nil {
+		return vTop
+	}
+	if len(v.st.stack) == 0 {
+		v.err = fmt.Errorf("stack underflow")
+		return vTop
+	}
+	t := v.st.stack[len(v.st.stack)-1]
+	v.st.stack = v.st.stack[:len(v.st.stack)-1]
+	return t
+}
+
+func (v *vstack) pop(want vtype) {
+	switch want {
+	case vLong, vDouble:
+		hi := v.popWord()
+		lo := v.popWord()
+		if v.err == nil && (hi != want+1 || lo != want) {
+			v.err = fmt.Errorf("want %v, have %v/%v", want, lo, hi)
+		}
+	default:
+		t := v.popWord()
+		if v.err == nil && t != want {
+			v.err = fmt.Errorf("want %v, have %v", want, t)
+		}
+	}
+}
+
+// simulate transfers one instruction, returning successor pcs.
+func simulate(cf *ClassFile, m *Method, pc int32, st *vstate) ([]int32, error) {
+	in := m.Code[pc]
+	v := &vstack{st: st}
+	seq := []int32{pc + 1}
+	br := func() []int32 { return []int32{pc + 1, in.A} }
+
+	loadLocal := func(want vtype) {
+		if int(in.A) >= len(st.locals) {
+			v.err = fmt.Errorf("local %d out of range", in.A)
+			return
+		}
+		got := st.locals[in.A]
+		if got != want {
+			v.err = fmt.Errorf("local %d holds %v, want %v", in.A, got, want)
+			return
+		}
+		v.push(want)
+	}
+	storeLocal := func(want vtype) {
+		v.pop(want)
+		if int(in.A) >= len(st.locals) {
+			v.err = fmt.Errorf("local %d out of range", in.A)
+			return
+		}
+		st.locals[in.A] = want
+		if want == vLong || want == vDouble {
+			st.locals[in.A+1] = want + 1
+		}
+	}
+
+	switch in.Op {
+	case NOP:
+	case ICONST:
+		v.push(vInt)
+	case LCONST:
+		v.push(vLong)
+	case DCONST:
+		v.push(vDouble)
+	case SCONST, ACONSTNULL:
+		v.push(vRef)
+	case ILOAD:
+		loadLocal(vInt)
+	case LLOAD:
+		loadLocal(vLong)
+	case DLOAD:
+		loadLocal(vDouble)
+	case ALOAD:
+		loadLocal(vRef)
+	case ISTORE:
+		storeLocal(vInt)
+	case LSTORE:
+		storeLocal(vLong)
+	case DSTORE:
+		storeLocal(vDouble)
+	case ASTORE:
+		storeLocal(vRef)
+	case POP:
+		v.popWord()
+	case POP2:
+		v.popWord()
+		v.popWord()
+	case DUP:
+		t := v.popWord()
+		v.pushWord(t)
+		v.pushWord(t)
+	case DUPX1:
+		t1 := v.popWord()
+		t2 := v.popWord()
+		v.pushWord(t1)
+		v.pushWord(t2)
+		v.pushWord(t1)
+	case DUP2:
+		t1 := v.popWord()
+		t2 := v.popWord()
+		v.pushWord(t2)
+		v.pushWord(t1)
+		v.pushWord(t2)
+		v.pushWord(t1)
+	case SWAP:
+		t1 := v.popWord()
+		t2 := v.popWord()
+		v.pushWord(t1)
+		v.pushWord(t2)
+	case IADD, ISUB, IMUL, IDIV, IREM, ISHL, ISHR, IAND, IOR, IXOR:
+		v.pop(vInt)
+		v.pop(vInt)
+		v.push(vInt)
+	case INEG:
+		v.pop(vInt)
+		v.push(vInt)
+	case IINC:
+		if int(in.A) >= len(st.locals) || st.locals[in.A] != vInt {
+			return nil, fmt.Errorf("iinc of a non-int local %d", in.A)
+		}
+	case LADD, LSUB, LMUL, LDIV, LREM, LAND, LOR, LXOR:
+		v.pop(vLong)
+		v.pop(vLong)
+		v.push(vLong)
+	case LNEG:
+		v.pop(vLong)
+		v.push(vLong)
+	case LSHL, LSHR:
+		v.pop(vInt)
+		v.pop(vLong)
+		v.push(vLong)
+	case LCMP:
+		v.pop(vLong)
+		v.pop(vLong)
+		v.push(vInt)
+	case DADD, DSUB, DMUL, DDIV, DREM:
+		v.pop(vDouble)
+		v.pop(vDouble)
+		v.push(vDouble)
+	case DNEG:
+		v.pop(vDouble)
+		v.push(vDouble)
+	case DCMPL, DCMPG:
+		v.pop(vDouble)
+		v.pop(vDouble)
+		v.push(vInt)
+	case I2L:
+		v.pop(vInt)
+		v.push(vLong)
+	case I2D:
+		v.pop(vInt)
+		v.push(vDouble)
+	case I2C:
+		v.pop(vInt)
+		v.push(vInt)
+	case L2I:
+		v.pop(vLong)
+		v.push(vInt)
+	case L2D:
+		v.pop(vLong)
+		v.push(vDouble)
+	case D2I:
+		v.pop(vDouble)
+		v.push(vInt)
+	case D2L:
+		v.pop(vDouble)
+		v.push(vLong)
+	case GOTO:
+		seq = []int32{in.A}
+	case IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE:
+		v.pop(vInt)
+		seq = br()
+	case IFICMPEQ, IFICMPNE, IFICMPLT, IFICMPGE, IFICMPGT, IFICMPLE:
+		v.pop(vInt)
+		v.pop(vInt)
+		seq = br()
+	case IFACMPEQ, IFACMPNE:
+		v.pop(vRef)
+		v.pop(vRef)
+		seq = br()
+	case IFNULL, IFNONNULL:
+		v.pop(vRef)
+		seq = br()
+	case GETSTATIC, GETFIELD, PUTSTATIC, PUTFIELD:
+		desc := memberDesc(cf, in.A)
+		w := descWord(desc[0])
+		switch in.Op {
+		case GETSTATIC:
+			v.push(w)
+		case GETFIELD:
+			v.pop(vRef)
+			v.push(w)
+		case PUTSTATIC:
+			v.pop(w)
+		case PUTFIELD:
+			v.pop(w)
+			v.pop(vRef)
+		}
+	case INVOKEVIRTUAL, INVOKESTATIC, INVOKESPECIAL:
+		desc := memberDesc(cf, in.A)
+		params, result := paramDescs(desc)
+		for i := len(params) - 1; i >= 0; i-- {
+			v.pop(descWord(params[i][0]))
+		}
+		if in.Op != INVOKESTATIC {
+			v.pop(vRef)
+		}
+		if result != "V" {
+			v.push(descWord(result[0]))
+		}
+	case NEW:
+		v.push(vRef)
+	case NEWARRAY, ANEWARRAY:
+		v.pop(vInt)
+		v.push(vRef)
+	case MULTIANEWARRAY:
+		for i := int32(0); i < in.B; i++ {
+			v.pop(vInt)
+		}
+		v.push(vRef)
+	case ARRAYLENGTH:
+		v.pop(vRef)
+		v.push(vInt)
+	case IALOAD, CALOAD:
+		v.pop(vInt)
+		v.pop(vRef)
+		v.push(vInt)
+	case LALOAD:
+		v.pop(vInt)
+		v.pop(vRef)
+		v.push(vLong)
+	case DALOAD:
+		v.pop(vInt)
+		v.pop(vRef)
+		v.push(vDouble)
+	case AALOAD:
+		v.pop(vInt)
+		v.pop(vRef)
+		v.push(vRef)
+	case IASTORE, CASTORE:
+		v.pop(vInt)
+		v.pop(vInt)
+		v.pop(vRef)
+	case LASTORE:
+		v.pop(vLong)
+		v.pop(vInt)
+		v.pop(vRef)
+	case DASTORE:
+		v.pop(vDouble)
+		v.pop(vInt)
+		v.pop(vRef)
+	case AASTORE:
+		v.pop(vRef)
+		v.pop(vInt)
+		v.pop(vRef)
+	case CHECKCAST:
+		v.pop(vRef)
+		v.push(vRef)
+	case INSTANCEOF:
+		v.pop(vRef)
+		v.push(vInt)
+	case ATHROW:
+		v.pop(vRef)
+		seq = nil
+	case IRETURN:
+		v.pop(vInt)
+		seq = nil
+	case LRETURN:
+		v.pop(vLong)
+		seq = nil
+	case DRETURN:
+		v.pop(vDouble)
+		seq = nil
+	case ARETURN:
+		v.pop(vRef)
+		seq = nil
+	case RETURN:
+		seq = nil
+	default:
+		return nil, fmt.Errorf("unknown opcode")
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	if len(seq) > 0 && seq[len(seq)-1] == int32(len(m.Code)) && in.Op != GOTO {
+		return nil, fmt.Errorf("control falls off the code end")
+	}
+	return seq, nil
+}
+
+// memberDesc extracts the descriptor of a field/method reference.
+func memberDesc(cf *ClassFile, cpIdx int32) string {
+	e := cf.CP.Entries[cpIdx]
+	return cf.CP.Entries[e.C].S
+}

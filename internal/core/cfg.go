@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"safetsa/internal/dom"
+)
+
+// CheckStructuralDominators validates that the structural dominator tree
+// built from the CST is sound with respect to the actual flow graph: the
+// structural immediate dominator of every block must be a true dominator
+// (computed independently with the iterative algorithm over the recorded
+// predecessor edges, exception edges included). Since dominance is
+// transitive, this implies every structural ancestor truly dominates, and
+// therefore every (l, r) wire reference is referentially secure.
+func CheckStructuralDominators(f *Func) error {
+	n := len(f.Blocks)
+	idx := make(map[*Block]int, n)
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	preds := func(v int) []int {
+		b := f.Blocks[v]
+		out := make([]int, 0, len(b.Preds))
+		for _, p := range b.Preds {
+			out = append(out, idx[p.From])
+		}
+		return out
+	}
+	entry := idx[f.Entry]
+	idom := dom.Compute(n, entry, preds)
+	// in/out numbering of the true dominator tree.
+	children := make([][]int, n)
+	for i := range f.Blocks {
+		if i == entry {
+			continue
+		}
+		if idom[i] < 0 {
+			return fmt.Errorf("%s: block %d unreachable", f.Name, i)
+		}
+		children[idom[i]] = append(children[idom[i]], i)
+	}
+	in := make([]int, n)
+	out := make([]int, n)
+	c := 0
+	var walk func(v int)
+	walk = func(v int) {
+		in[v] = c
+		c++
+		for _, k := range children[v] {
+			walk(k)
+		}
+		out[v] = c
+		c++
+	}
+	walk(entry)
+	trueDom := func(a, b int) bool { return in[a] <= in[b] && out[b] <= out[a] }
+	for i, b := range f.Blocks {
+		if b == f.Entry {
+			continue
+		}
+		d := idx[b.IDom]
+		if !trueDom(d, i) {
+			return fmt.Errorf("%s: structural idom %d of block %d is not a true dominator",
+				f.Name, d, i)
+		}
+	}
+	return nil
+}
+
+// DefBlock returns the block defining value id.
+func (f *Func) DefBlock(id ValueID) *Block {
+	in := f.Value(id)
+	if in == nil {
+		return nil
+	}
+	return in.Blk
+}
+
+// PlaneKey identifies a register plane: a type, plus — for safe-index
+// planes — the array value the plane is bound to.
+type PlaneKey struct {
+	Type TypeID
+	Bind ValueID
+}
+
+// Plane returns the plane key of an instruction's result.
+func (in *Instr) Plane() PlaneKey { return PlaneKey{Type: in.Type, Bind: in.Bind} }
+
+// PlaneIndex computes, for every value-producing instruction, its
+// register number on its plane within its defining block (registers are
+// filled in ascending order, per section 3). The result maps value IDs
+// to their per-block per-plane index.
+func (f *Func) PlaneIndex() map[ValueID]int {
+	out := make(map[ValueID]int, f.NumValues())
+	for _, b := range f.Blocks {
+		counts := make(map[PlaneKey]int)
+		b.Instrs(func(in *Instr) {
+			if !in.HasResult() {
+				return
+			}
+			k := in.Plane()
+			out[in.ID] = counts[k]
+			counts[k]++
+		})
+	}
+	return out
+}
+
+// LRRef is the paper's (l, r) value reference: l dominator-tree levels up
+// from the referencing block, register r on the implied plane of that
+// block.
+type LRRef struct {
+	L int
+	R int
+}
+
+// EncodeRef computes the (l, r) pair for using value id from block from;
+// planeIdx must come from PlaneIndex. It panics if the definition does
+// not dominate the use block — i.e. on referentially insecure IR — so
+// the encoder can never externalize an unsafe program.
+func (f *Func) EncodeRef(from *Block, id ValueID, planeIdx map[ValueID]int) LRRef {
+	def := f.DefBlock(id)
+	if def == nil {
+		panic(fmt.Sprintf("core: reference to undefined value v%d in %s", id, f.Name))
+	}
+	l := 0
+	for b := from; b != def; b = b.IDom {
+		if b == nil {
+			panic(fmt.Sprintf("core: value v%d (block %d) does not dominate block %d in %s",
+				id, def.Index, from.Index, f.Name))
+		}
+		l++
+	}
+	return LRRef{L: l, R: planeIdx[id]}
+}

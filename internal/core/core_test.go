@@ -1,0 +1,336 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeTableImplicitPrefix(t *testing.T) {
+	a := NewTypeTable()
+	b := NewTypeTable()
+	if len(a.ByID) != len(b.ByID) || a.ImplicitLen != b.ImplicitLen {
+		t.Fatal("implicit prefix is not deterministic")
+	}
+	for i := 1; i < a.ImplicitLen; i++ {
+		if a.ByID[i].Kind != b.ByID[i].Kind || a.ByID[i].Name != b.ByID[i].Name {
+			t.Fatalf("entry %d differs", i)
+		}
+		if !a.ByID[i].Imported {
+			t.Fatalf("implicit entry %d not marked imported", i)
+		}
+	}
+	// Every imported reference type already has its safe-ref shadow.
+	for _, id := range []TypeID{a.Object, a.String, a.Throwable, a.NPE} {
+		s := a.SafeRefOf(id)
+		if a.MustGet(s).Kind != TSafeRef || a.MustGet(s).Base != id {
+			t.Errorf("bad safe-ref shadow for %s", a.Describe(id))
+		}
+	}
+}
+
+func TestTypeTableUserTypes(t *testing.T) {
+	tt := NewTypeTable()
+	c := tt.AddClass("Point", tt.Object)
+	if tt.Class("Point") != c || tt.AddClass("Point", tt.Object) != c {
+		t.Error("class interning broken")
+	}
+	arr := tt.ArrayOf(tt.Int)
+	if tt.ArrayOf(tt.Int) != arr {
+		t.Error("array interning broken")
+	}
+	if tt.MustGet(tt.SafeIndexOf(arr)).Base != arr {
+		t.Error("safe-index shadow wrong")
+	}
+	aa := tt.ArrayOf(arr)
+	if tt.MustGet(aa).Elem != arr {
+		t.Error("nested array elem wrong")
+	}
+	if tt.Describe(tt.SafeRefOf(arr)) != "safe-int[]" {
+		t.Errorf("describe: %q", tt.Describe(tt.SafeRefOf(arr)))
+	}
+	if tt.Describe(tt.SafeIndexOf(arr)) != "safe-index-int[]" {
+		t.Errorf("describe: %q", tt.Describe(tt.SafeIndexOf(arr)))
+	}
+	if !tt.IsSubclass(c, tt.Object) || tt.IsSubclass(tt.Object, c) {
+		t.Error("subclass relation wrong")
+	}
+	if !tt.IsSubclass(arr, tt.Object) {
+		t.Error("arrays must be subtypes of Object")
+	}
+	if tt.IsSubclass(arr, aa) {
+		t.Error("unrelated arrays conflated")
+	}
+	if tt.BaseRef(tt.SafeRefOf(c)) != c || tt.BaseRef(c) != c {
+		t.Error("BaseRef wrong")
+	}
+	if tt.Get(0) != nil || tt.Get(TypeID(len(tt.ByID))) != nil {
+		t.Error("out-of-range Get must return nil")
+	}
+}
+
+func TestPrimSignaturesComplete(t *testing.T) {
+	count := 0
+	for p := PrimOp(1); int(p) < NumPrimOps; p++ {
+		if !p.Valid() {
+			t.Errorf("primitive %d has no signature", p)
+			continue
+		}
+		count++
+		sig := p.Sig()
+		if sig.Name == "" || len(sig.Params) == 0 || sig.Result == PlNone {
+			t.Errorf("%s: incomplete signature", sig.Name)
+		}
+		if !strings.Contains(sig.Name, ".") {
+			t.Errorf("%s: primitives are subordinate to types and must be type-qualified", sig.Name)
+		}
+	}
+	if count != NumPrimOps-1 {
+		t.Errorf("%d signatures for %d ops", count, NumPrimOps-1)
+	}
+	// Only integer division and remainder may throw.
+	throwing := map[PrimOp]bool{PIDiv: true, PIRem: true, PLDiv: true, PLRem: true}
+	for p := PrimOp(1); int(p) < NumPrimOps; p++ {
+		if p.Sig().Throws != throwing[p] {
+			t.Errorf("%s: wrong Throws classification", p)
+		}
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	for _, op := range []Op{OpXPrim, OpNullCheck, OpIndexCheck, OpUpcast, OpNewArray, OpXCall, OpXDispatch} {
+		if !op.CanThrow() {
+			t.Errorf("%s must be a potential exception point", op)
+		}
+	}
+	for _, op := range []Op{OpPrim, OpPhi, OpConst, OpParam, OpDowncast, OpGetField, OpGetElt, OpArrayLen} {
+		if op.CanThrow() {
+			t.Errorf("%s must not throw", op)
+		}
+	}
+	for _, op := range []Op{OpSetField, OpSetElt, OpXCall, OpXDispatch, OpXPrim} {
+		if !op.HasSideEffect() {
+			t.Errorf("%s must be a DCE root", op)
+		}
+	}
+	for _, op := range []Op{OpPrim, OpGetField, OpGetElt, OpArrayLen, OpDowncast, OpInstanceOf} {
+		if op.HasSideEffect() {
+			t.Errorf("%s must be removable when unused", op)
+		}
+	}
+}
+
+func TestConstValEq(t *testing.T) {
+	prop := func(a, b int64) bool {
+		x := ConstVal{Kind: KInt, I: a}
+		y := ConstVal{Kind: KInt, I: b}
+		return x.Eq(y) == (a == b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if (ConstVal{Kind: KInt, I: 1}).Eq(ConstVal{Kind: KLong, I: 1}) {
+		t.Error("kinds must separate")
+	}
+	if !(ConstVal{Kind: KString, S: "x"}).Eq(ConstVal{Kind: KString, S: "x"}) {
+		t.Error("string equality")
+	}
+	if (ConstVal{Kind: KDouble, D: 1}).Eq(ConstVal{Kind: KDouble, D: 2}) {
+		t.Error("double inequality")
+	}
+	if (ConstVal{Kind: KNull}).String() != "null" {
+		t.Error("null renders wrong")
+	}
+}
+
+// buildTinyFunc assembles a two-block function by hand:
+//
+//	entry: c0 = const 1; c1 = const 2; s = add c0 c1; cond = lt ...
+//	if cond { b1: add s s } ; b2(join)
+func buildTinyFunc(tt *TypeTable) *Func {
+	f := NewFunc("tiny")
+	f.Result = tt.Void
+	entry := f.NewBlock()
+	f.Entry = entry
+
+	mk := func(b *Block, op Op, typ TypeID, prim PrimOp, args ...ValueID) *Instr {
+		in := &Instr{Op: op, Type: typ, Prim: prim, Args: args, Blk: b}
+		f.Define(in)
+		b.Code = append(b.Code, in)
+		return in
+	}
+	c0 := mk(entry, OpConst, tt.Int, PInvalid)
+	c0.Const = ConstVal{Kind: KInt, I: 1}
+	c1 := mk(entry, OpConst, tt.Int, PInvalid)
+	c1.Const = ConstVal{Kind: KInt, I: 2}
+	sum := mk(entry, OpPrim, tt.Int, PIAdd, c0.ID, c1.ID)
+	cond := mk(entry, OpPrim, tt.Boolean, PILt, c0.ID, sum.ID)
+
+	b1 := f.NewBlock()
+	b1.IDom = entry
+	b1.Preds = []Pred{{From: entry}}
+	mk(b1, OpPrim, tt.Int, PIAdd, sum.ID, sum.ID)
+
+	b2 := f.NewBlock()
+	b2.IDom = entry
+	b2.Preds = []Pred{{From: b1}, {From: entry}}
+
+	f.Body = &CSTNode{Kind: CSeq, Kids: []*CSTNode{
+		{Kind: CBlock, Block: entry},
+		{Kind: CIf, At: entry, Cond: cond.ID, Kids: []*CSTNode{
+			{Kind: CSeq, Kids: []*CSTNode{{Kind: CBlock, Block: b1}}},
+		}},
+		{Kind: CBlock, Block: b2},
+		{Kind: CReturn, At: b2},
+	}}
+	f.Finish()
+	return f
+}
+
+func TestVerifyAcceptsHandBuilt(t *testing.T) {
+	m := &Module{Types: NewTypeTable(), Entry: -1}
+	m.Funcs = append(m.Funcs, buildTinyFunc(m.Types))
+	if err := m.Verify(VerifyOptions{}); err != nil {
+		t.Fatalf("hand-built module rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTypeConfusion(t *testing.T) {
+	corruptions := []struct {
+		name string
+		hack func(m *Module, f *Func)
+	}{
+		{"operand from the wrong plane", func(m *Module, f *Func) {
+			// int.add over a boolean value.
+			f.Entry.Code[2].Args[1] = f.Entry.Code[3].ID // cond is boolean
+		}},
+		{"use before definition", func(m *Module, f *Func) {
+			f.Entry.Code[2].Args[0] = f.Entry.Code[3].ID
+			f.Entry.Code[3].Args[0] = f.Entry.Code[2].ID
+		}},
+		{"reference across a non-dominating block", func(m *Module, f *Func) {
+			// The join block uses the value defined in the then-arm.
+			b1 := f.Blocks[1]
+			b2 := f.Blocks[2]
+			in := &Instr{Op: OpPrim, Type: m.Types.Int, Prim: PINeg,
+				Args: []ValueID{b1.Code[0].ID}, Blk: b2}
+			f.Define(in)
+			b2.Code = append(b2.Code, in)
+		}},
+		{"phi arity mismatch", func(m *Module, f *Func) {
+			b2 := f.Blocks[2]
+			phi := &Instr{Op: OpPhi, Type: m.Types.Int,
+				Args: []ValueID{f.Entry.Code[0].ID}, Blk: b2}
+			f.Define(phi)
+			b2.Phis = append(b2.Phis, phi)
+		}},
+		{"xprimitive misuse", func(m *Module, f *Func) {
+			f.Entry.Code[2].Prim = PIDiv // div must use OpXPrim
+		}},
+		{"downcast adds safety", func(m *Module, f *Func) {
+			nc := &Instr{Op: OpConst, Type: m.Types.Object,
+				Const: ConstVal{Kind: KNull}, Blk: f.Entry}
+			f.Define(nc)
+			bad := &Instr{Op: OpDowncast, Type: m.Types.SafeRefOf(m.Types.Object),
+				ArgType: m.Types.Object, TypeArg: m.Types.SafeRefOf(m.Types.Object),
+				Args: []ValueID{nc.ID}, Blk: f.Entry}
+			f.Define(bad)
+			f.Entry.Code = append(f.Entry.Code, nc, bad)
+		}},
+		{"null constant on a safe plane", func(m *Module, f *Func) {
+			bad := &Instr{Op: OpConst, Type: m.Types.SafeRefOf(m.Types.Object),
+				Const: ConstVal{Kind: KNull}, Blk: f.Entry}
+			f.Define(bad)
+			f.Entry.Code = append(f.Entry.Code, bad)
+		}},
+		{"return value from the wrong plane", func(m *Module, f *Func) {
+			f.Body.Kids[3].Val = f.Entry.Code[0].ID // int where void expected
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			m := &Module{Types: NewTypeTable(), Entry: -1}
+			f := buildTinyFunc(m.Types)
+			m.Funcs = append(m.Funcs, f)
+			c.hack(m, f)
+			if err := m.Verify(VerifyOptions{}); err == nil {
+				t.Fatal("corrupted module passed verification")
+			}
+		})
+	}
+}
+
+func TestEncodeRefPanicsOnInsecureReference(t *testing.T) {
+	tt := NewTypeTable()
+	f := buildTinyFunc(tt)
+	planeIdx := f.PlaneIndex()
+	b1 := f.Blocks[1]
+	b2 := f.Blocks[2]
+	// b1's value does not dominate b2 — encoding must refuse.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeRef produced an (l,r) pair for a non-dominating definition")
+		}
+	}()
+	f.EncodeRef(b2, b1.Code[0].ID, planeIdx)
+}
+
+func TestDominatesAndPlaneIndex(t *testing.T) {
+	tt := NewTypeTable()
+	f := buildTinyFunc(tt)
+	entry, b1, b2 := f.Blocks[0], f.Blocks[1], f.Blocks[2]
+	if !entry.Dominates(b1) || !entry.Dominates(b2) || b1.Dominates(b2) || !b1.Dominates(b1) {
+		t.Error("dominance relation wrong")
+	}
+	idx := f.PlaneIndex()
+	// Entry's int plane: c0, c1, sum -> registers 0, 1, 2.
+	if idx[f.Entry.Code[0].ID] != 0 || idx[f.Entry.Code[1].ID] != 1 || idx[f.Entry.Code[2].ID] != 2 {
+		t.Error("int plane numbering wrong")
+	}
+	// The boolean lives on its own plane, register 0.
+	if idx[f.Entry.Code[3].ID] != 0 {
+		t.Error("type separation: boolean must start its own plane")
+	}
+	r := f.EncodeRef(b1, f.Entry.Code[2].ID, idx)
+	if r.L != 1 || r.R != 2 {
+		t.Errorf("ref from b1 to entry sum = (%d-%d), want (1-2)", r.L, r.R)
+	}
+}
+
+func TestRemoveExcSite(t *testing.T) {
+	tt := NewTypeTable()
+	f := NewFunc("exc")
+	entry := f.NewBlock()
+	f.Entry = entry
+	handler := f.NewBlock()
+	handler.IDom = entry
+
+	div := func() *Instr {
+		c := &Instr{Op: OpConst, Type: tt.Int, Const: ConstVal{Kind: KInt, I: 1}, Blk: entry}
+		f.Define(c)
+		in := &Instr{Op: OpXPrim, Type: tt.Int, Prim: PIDiv, Args: []ValueID{c.ID, c.ID}, Blk: entry}
+		f.Define(in)
+		entry.Code = append(entry.Code, c, in)
+		return in
+	}
+	d1, d2, d3 := div(), div(), div()
+	for i, in := range []*Instr{d1, d2, d3} {
+		handler.Preds = append(handler.Preds, Pred{From: entry, Site: in})
+		f.ExcEdge[in] = i
+		f.HandlerOf[in] = handler
+	}
+	phi := &Instr{Op: OpPhi, Type: tt.Int, Args: []ValueID{d1.Args[0], d2.Args[0], d3.Args[0]}, Blk: handler}
+	f.Define(phi)
+	handler.Phis = append(handler.Phis, phi)
+
+	f.RemoveExcSite(d2)
+	if len(handler.Preds) != 2 || len(phi.Args) != 2 {
+		t.Fatalf("edge not removed: %d preds, %d phi args", len(handler.Preds), len(phi.Args))
+	}
+	if f.ExcEdge[d1] != 0 || f.ExcEdge[d3] != 1 {
+		t.Errorf("edge indices not renumbered: %d %d", f.ExcEdge[d1], f.ExcEdge[d3])
+	}
+	if _, ok := f.ExcEdge[d2]; ok {
+		t.Error("removed site still registered")
+	}
+}

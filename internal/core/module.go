@@ -1,0 +1,434 @@
+package core
+
+import "fmt"
+
+// BuiltinID mirrors the host environment's natively implemented methods;
+// the numbering matches sema.BuiltinID so both ends of the wire resolve
+// imported methods identically.
+type BuiltinID int32
+
+// FieldRef is one entry of the module field table ("symbolic reference to
+// a data member" in the paper's getfield/setfield description).
+type FieldRef struct {
+	Owner  TypeID // class that declares the field
+	Name   string
+	Type   TypeID
+	Static bool
+	// Slot is the instance slot (including inherited) or the index in
+	// the owner's static storage.
+	Slot int32
+}
+
+// MethodRef is one entry of the module method table.
+type MethodRef struct {
+	Owner  TypeID
+	Name   string
+	Params []TypeID // not including the receiver
+	Result TypeID   // Void for void methods and constructors
+	Static bool
+	IsCtor bool
+	// VSlot is the dispatch-table slot for virtual methods, -1
+	// otherwise.
+	VSlot int32
+	// Builtin is non-zero for imported, natively implemented methods.
+	Builtin BuiltinID
+	// FuncIdx indexes Module.Funcs for user methods; -1 for imported
+	// methods and for the bodies of other classes in partial units.
+	FuncIdx int32
+}
+
+// Sig renders the method signature for diagnostics.
+func (m *MethodRef) Sig(tt *TypeTable) string {
+	s := tt.Describe(m.Owner) + "." + m.Name + "("
+	for i, p := range m.Params {
+		if i > 0 {
+			s += ","
+		}
+		s += tt.Describe(p)
+	}
+	return s + ")"
+}
+
+// ClassDef describes one user class of the distribution unit.
+type ClassDef struct {
+	Type  TypeID
+	Super TypeID
+	// Fields lists the field-table indices of the fields this class
+	// declares (instance and static).
+	Fields []int32
+	// Methods lists the method-table indices of declared methods,
+	// constructors included.
+	Methods []int32
+	// NumSlots is the instance slot count including inherited slots;
+	// NumStatics the number of static slots declared here.
+	NumSlots   int32
+	NumStatics int32
+	// VTable is the full dispatch table (method-table indices).
+	VTable []int32
+}
+
+// Module is a SafeTSA distribution unit: the type table, symbol tables,
+// and function bodies.
+type Module struct {
+	Types   *TypeTable
+	Classes []*ClassDef
+	Fields  []FieldRef
+	Methods []MethodRef
+	Funcs   []*Func
+	// Entry is the method-table index of static main, or -1.
+	Entry int32
+	// StaticInit lists, per class in Classes order, the function index
+	// of the synthetic static initializer (-1 if none).
+	StaticInit []int32
+}
+
+// ClassByType finds the ClassDef for a class type.
+func (m *Module) ClassByType(t TypeID) *ClassDef {
+	for _, c := range m.Classes {
+		if c.Type == t {
+			return c
+		}
+	}
+	return nil
+}
+
+// FuncOf returns the function body for a method-table index, or nil.
+func (m *Module) FuncOf(method int32) *Func {
+	if method < 0 || int(method) >= len(m.Methods) {
+		return nil
+	}
+	fi := m.Methods[method].FuncIdx
+	if fi < 0 || int(fi) >= len(m.Funcs) {
+		return nil
+	}
+	return m.Funcs[fi]
+}
+
+// NumInstrs counts the instructions of every function in the module
+// (phi instructions included) — the "Number of Instructions" column of
+// Figure 5.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Functions, blocks, and the Control Structure Tree.
+
+// Pred is one incoming edge of a block. Normal edges come from the end
+// of From; exception edges come from the potentially-throwing
+// instruction Site inside From (the paper's implicit edges from each
+// potential point of exception to the exception-handling phi node).
+type Pred struct {
+	From *Block
+	Site *Instr // nil for normal control-flow edges
+}
+
+// Block is a basic block of SafeTSA instructions: phis first, then code.
+type Block struct {
+	// Index is the dominator-tree pre-order number assigned by
+	// Func.Finish; blocks are created in that order by construction.
+	Index int
+	Phis  []*Instr
+	Code  []*Instr
+	Preds []Pred
+
+	// Dominator-tree links, computed by Func.Finish.
+	IDom     *Block
+	Children []*Block
+	Depth    int
+	preIn    int
+	preOut   int
+}
+
+// Instrs iterates phis then code.
+func (b *Block) Instrs(f func(*Instr)) {
+	for _, in := range b.Phis {
+		f(in)
+	}
+	for _, in := range b.Code {
+		f(in)
+	}
+}
+
+// Dominates reports whether b dominates c (reflexively), using the
+// pre/post numbering assigned by Func.Finish.
+func (b *Block) Dominates(c *Block) bool {
+	return b.preIn <= c.preIn && c.preOut <= b.preOut
+}
+
+// CSTKind identifies Control Structure Tree productions.
+type CSTKind uint8
+
+// The CST productions. The CST carries all control flow; basic blocks
+// contain no terminators.
+const (
+	CSeq      CSTKind = iota // sequence of children
+	CBlock                   // leaf: one basic block
+	CIf                      // kids: [then, else]; Cond computed beforehand
+	CWhile                   // Header block (phis+cond code), kids: [body]
+	CDoWhile                 // kids: [body]; Latch block computes Cond
+	CReturn                  // leaf; Val optional
+	CBreak                   // leaf
+	CContinue                // leaf
+	CThrow                   // leaf; Val is the thrown reference
+	CTry                     // kids: [body, handler]; Handler dispatches
+)
+
+// NumCSTKinds is the size of the CST production alphabet.
+const NumCSTKinds = int(CTry) + 1
+
+var cstNames = [...]string{"seq", "block", "if", "while", "dowhile",
+	"return", "break", "continue", "throw", "try"}
+
+func (k CSTKind) String() string {
+	if int(k) < len(cstNames) {
+		return cstNames[k]
+	}
+	return fmt.Sprintf("cst(%d)", uint8(k))
+}
+
+// CSTNode is one node of the Control Structure Tree.
+type CSTNode struct {
+	Kind CSTKind
+	Kids []*CSTNode
+
+	// Block is the basic block of CBlock leaves, the header of CWhile,
+	// and the latch of CDoWhile.
+	Block *Block
+	// Cond is the controlling boolean value of CIf/CWhile/CDoWhile.
+	Cond ValueID
+	// Val is the returned/thrown value of CReturn/CThrow (NoValue for
+	// void returns).
+	Val ValueID
+	// Handler is the exception-handler entry block of CTry (the block
+	// holding the exception phis and the OpCatch); kids[1] is the
+	// handler body including the catch-type dispatch.
+	Handler *Block
+	// At is the block a node's Cond/Val is referenced from: the current
+	// block at the node's decision point. It is determined structurally
+	// and recomputed identically by the wire decoder.
+	At *Block
+}
+
+// Func is one SafeTSA function body.
+type Func struct {
+	Name   string
+	Method int32 // method-table index, -1 for synthetic initializers
+	// Params lists the parameter types in order; for instance methods
+	// parameter 0 is the receiver on the safe-ref plane of the owner.
+	Params []TypeID
+	Result TypeID
+
+	Body  *CSTNode
+	Entry *Block
+	// Blocks in creation order (which Finish re-orders to dominator
+	// pre-order).
+	Blocks []*Block
+
+	// values[id] is the defining instruction of each SSA value;
+	// index 0 unused.
+	values []*Instr
+
+	// ExcEdge maps a potentially-throwing instruction inside a try
+	// region to the index of its exception edge into the innermost
+	// handler block (parallel to Handler.Preds).
+	ExcEdge map[*Instr]int
+	// HandlerOf maps the same instructions to their innermost handler
+	// block.
+	HandlerOf map[*Instr]*Block
+	// ThrowEdge/ThrowHandler play the same role for explicit CThrow
+	// nodes that occur inside a try region.
+	ThrowEdge    map[*CSTNode]int
+	ThrowHandler map[*CSTNode]*Block
+}
+
+// NewFunc creates an empty function.
+func NewFunc(name string) *Func {
+	return &Func{
+		Name:         name,
+		Method:       -1,
+		values:       make([]*Instr, 1),
+		ExcEdge:      make(map[*Instr]int),
+		HandlerOf:    make(map[*Instr]*Block),
+		ThrowEdge:    make(map[*CSTNode]int),
+		ThrowHandler: make(map[*CSTNode]*Block),
+	}
+}
+
+// NewBlock appends a fresh block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Value returns the defining instruction of an SSA value (nil for
+// NoValue or out-of-range IDs).
+func (f *Func) Value(id ValueID) *Instr {
+	if id <= 0 || int(id) >= len(f.values) {
+		return nil
+	}
+	return f.values[id]
+}
+
+// NumValues returns the number of SSA values defined.
+func (f *Func) NumValues() int { return len(f.values) - 1 }
+
+// Define assigns the next SSA id to in and records it.
+func (f *Func) Define(in *Instr) ValueID {
+	in.ID = ValueID(len(f.values))
+	f.values = append(f.values, in)
+	return in.ID
+}
+
+// NumInstrs counts the transmitted instructions: phis and code, but not
+// the parameter pre-loads, which are implied by the signature and never
+// externalized.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Phis)
+		for _, in := range b.Code {
+			if in.Op != OpParam {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CountOps tallies instructions by opcode.
+func (f *Func) CountOps(counts map[Op]int) {
+	for _, b := range f.Blocks {
+		b.Instrs(func(in *Instr) { counts[in.Op]++ })
+	}
+}
+
+// CSTBlocks returns the blocks of the function in Control Structure Tree
+// walk order — the canonical transmission order of section 7 ("a fixed
+// order, derived from the CST, corresponding to a pre-order traversal of
+// the dominator tree"). Every block appears exactly once: as a CBlock
+// leaf or as a CTry handler entry.
+func (f *Func) CSTBlocks() []*Block {
+	var out []*Block
+	var walk func(n *CSTNode)
+	walk = func(n *CSTNode) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case CBlock:
+			out = append(out, n.Block)
+		case CTry:
+			walk(n.Kids[0])
+			// The handler entry block is the first leaf of kids[1];
+			// it is emitted by that walk.
+			walk(n.Kids[1])
+		default:
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(f.Body)
+	return out
+}
+
+// Finish installs the dominator tree from the structural IDom links set
+// during construction (the dominator relation is integrated in the CST,
+// as in the paper's UAST), orders blocks canonically, and assigns the
+// pre/post numbering used by Dominates. It must be called after
+// construction and after any pass that changes block structure.
+func (f *Func) Finish() {
+	order := f.CSTBlocks()
+	if len(order) != len(f.Blocks) {
+		panic(fmt.Sprintf("core: %s: CST covers %d blocks, function has %d",
+			f.Name, len(order), len(f.Blocks)))
+	}
+	pos := make(map[*Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+		b.Children = nil
+	}
+	for _, b := range order {
+		if b == f.Entry {
+			continue
+		}
+		if b.IDom == nil {
+			panic(fmt.Sprintf("core: %s: block without immediate dominator", f.Name))
+		}
+		b.IDom.Children = append(b.IDom.Children, b)
+	}
+	// Children in CST order keeps the dominator pre-order equal to the
+	// CST walk order on both ends of the wire.
+	for _, b := range order {
+		kids := b.Children
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && pos[kids[j-1]] > pos[kids[j]]; j-- {
+				kids[j-1], kids[j] = kids[j], kids[j-1]
+			}
+		}
+	}
+	counter := 0
+	var walk func(b *Block, depth int)
+	walk = func(b *Block, depth int) {
+		b.Depth = depth
+		b.preIn = counter
+		counter++
+		for _, c := range b.Children {
+			walk(c, depth+1)
+		}
+		b.preOut = counter
+		counter++
+	}
+	walk(f.Entry, 0)
+	for i, b := range order {
+		b.Index = i
+	}
+	f.Blocks = order
+}
+
+// RemoveExcSite detaches a potentially-throwing instruction from its
+// exception handler: the handler loses the corresponding predecessor
+// edge, every handler phi drops the matching operand, and later sites'
+// edge indices shift down. Used when the optimizer deletes a redundant
+// check (the dominating check subsumes its exception behaviour).
+func (f *Func) RemoveExcSite(in *Instr) {
+	h := f.HandlerOf[in]
+	if h == nil {
+		return
+	}
+	k := f.ExcEdge[in]
+	h.Preds = append(h.Preds[:k], h.Preds[k+1:]...)
+	for _, phi := range h.Phis {
+		phi.Args = append(phi.Args[:k], phi.Args[k+1:]...)
+	}
+	delete(f.ExcEdge, in)
+	delete(f.HandlerOf, in)
+	for site, e := range f.ExcEdge {
+		if f.HandlerOf[site] == h && e > k {
+			f.ExcEdge[site] = e - 1
+		}
+	}
+	for node, e := range f.ThrowEdge {
+		if f.ThrowHandler[node] == h && e > k {
+			f.ThrowEdge[node] = e - 1
+		}
+	}
+}
+
+// Succs derives the successor edges of every block from the predecessor
+// lists (normal edges only).
+func (f *Func) Succs() map[*Block][]*Block {
+	out := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			out[p.From] = append(out[p.From], b)
+		}
+	}
+	return out
+}

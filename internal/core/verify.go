@@ -1,0 +1,683 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyOptions tunes verification.
+type VerifyOptions struct {
+	// AllowMem permits the optimizer-internal memory-state values
+	// (OpMem0 and mem-typed phis); the wire format never carries them.
+	AllowMem bool
+}
+
+// Verify checks the module's structural invariants: well-formed symbol
+// tables and, for every function, type separation (each operand lives on
+// exactly the plane its opcode implies), referential integrity (every
+// operand's definition structurally dominates its use), phi/edge
+// consistency, and safe-index binding. This is the consumer-side
+// verification of the paper reduced to its essence — everything else is
+// inexpressible in the encoding.
+func (m *Module) Verify(opts VerifyOptions) error {
+	var errs []error
+	errs = append(errs, m.verifyTables()...)
+	for _, f := range m.Funcs {
+		if err := m.verifyFunc(f, opts); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", f.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// verifyTables checks the linking consistency of the symbol tables: field
+// slots within their class's storage, dispatch tables that agree with the
+// superclass layout, and method/function cross references. These are the
+// "safe linking" conditions of section 4 — the parts of the type table
+// that come from the mobile program must be internally consistent before
+// any instruction is trusted.
+func (m *Module) verifyTables() []error {
+	var errs []error
+	bad := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	defByType := make(map[TypeID]*ClassDef)
+	for i, cd := range m.Classes {
+		t := m.Types.Get(cd.Type)
+		if t == nil || t.Kind != TClass {
+			bad("class def %d: not a class type", i)
+			continue
+		}
+		if t.Imported {
+			bad("class def %d redefines imported class %s", i, t.Name)
+			continue
+		}
+		if defByType[cd.Type] != nil {
+			bad("class %s defined twice", t.Name)
+			continue
+		}
+		defByType[cd.Type] = cd
+		if cd.Super != t.Super {
+			bad("class %s: definition and type table disagree on the superclass", t.Name)
+		}
+	}
+
+	// NumSlots of an arbitrary (possibly imported) class type.
+	slotsOf := func(t TypeID) (int32, bool) {
+		if cd := defByType[t]; cd != nil {
+			return cd.NumSlots, true
+		}
+		tt := m.Types.Get(t)
+		if tt == nil || !tt.Imported || tt.Kind != TClass {
+			return 0, false
+		}
+		if m.Types.IsSubclass(t, m.Types.Throwable) {
+			return 1, true
+		}
+		return 0, true
+	}
+	vtableOf := func(t TypeID) []int32 {
+		if cd := defByType[t]; cd != nil {
+			return cd.VTable
+		}
+		return nil
+	}
+
+	for _, cd := range m.Classes {
+		t := m.Types.Get(cd.Type)
+		if t == nil || defByType[cd.Type] != cd {
+			continue
+		}
+		superSlots, ok := slotsOf(cd.Super)
+		if !ok {
+			bad("class %s: invalid superclass", t.Name)
+			continue
+		}
+		if cd.NumSlots < superSlots {
+			bad("class %s: fewer instance slots than its superclass", t.Name)
+		}
+		superVT := vtableOf(cd.Super)
+		if len(cd.VTable) < len(superVT) {
+			bad("class %s: dispatch table shorter than its superclass's", t.Name)
+			continue
+		}
+		for j, mi := range cd.VTable {
+			if int(mi) < 0 || int(mi) >= len(m.Methods) {
+				bad("class %s: dispatch slot %d out of method table", t.Name, j)
+				continue
+			}
+			tm := &m.Methods[mi]
+			if tm.Static || tm.IsCtor || tm.VSlot != int32(j) {
+				bad("class %s: dispatch slot %d holds an incompatible method", t.Name, j)
+				continue
+			}
+			if !m.Types.IsSubclass(cd.Type, tm.Owner) {
+				bad("class %s: dispatch slot %d owned by a non-superclass", t.Name, j)
+			}
+			if j < len(superVT) {
+				sm := &m.Methods[superVT[j]]
+				if !sameMethodShape(sm, tm) {
+					bad("class %s: dispatch slot %d changes the inherited signature", t.Name, j)
+				}
+			}
+		}
+	}
+
+	for i, fr := range m.Fields {
+		if m.Types.Get(fr.Type) == nil {
+			bad("field %d (%s): bad type reference", i, fr.Name)
+			continue
+		}
+		cd := defByType[fr.Owner]
+		if cd == nil {
+			bad("field %d (%s): owner is not a class of this unit", i, fr.Name)
+			continue
+		}
+		if fr.Slot < 0 {
+			bad("field %d (%s): negative slot", i, fr.Name)
+			continue
+		}
+		if fr.Static && fr.Slot >= cd.NumStatics {
+			bad("field %d (%s): static slot outside the owner's storage", i, fr.Name)
+		}
+		if !fr.Static && fr.Slot >= cd.NumSlots {
+			bad("field %d (%s): instance slot outside the owner's storage", i, fr.Name)
+		}
+	}
+
+	for i, mr := range m.Methods {
+		if m.Types.Get(mr.Owner) == nil {
+			bad("method %d (%s): bad owner", i, mr.Name)
+			continue
+		}
+		if mr.Result != NoType && m.Types.Get(mr.Result) == nil {
+			bad("method %d (%s): bad result type", i, mr.Name)
+		}
+		for _, p := range mr.Params {
+			if m.Types.Get(p) == nil {
+				bad("method %d (%s): bad parameter type", i, mr.Name)
+			}
+		}
+		switch {
+		case mr.FuncIdx >= 0:
+			if int(mr.FuncIdx) >= len(m.Funcs) {
+				bad("method %d (%s): body index out of range", i, mr.Name)
+			} else if m.Funcs[mr.FuncIdx].Method != int32(i) {
+				bad("method %d (%s): body belongs to another method", i, mr.Name)
+			}
+		case mr.IsCtor:
+			// Imported constructors: the no-arg Object/Throwable forms
+			// and the Throwable(String) form.
+			ot := m.Types.Get(mr.Owner)
+			if ot == nil || !ot.Imported {
+				bad("method %d (%s): constructor of a unit class without a body", i, mr.Name)
+			} else if len(mr.Params) > 1 ||
+				(len(mr.Params) == 1 &&
+					(mr.Params[0] != m.Types.String || !m.Types.IsSubclass(mr.Owner, m.Types.Throwable))) {
+				bad("method %d (%s): no such imported constructor", i, mr.Name)
+			}
+		case mr.Builtin == 0:
+			bad("method %d (%s): no body and no host implementation", i, mr.Name)
+		}
+	}
+
+	if m.Entry >= 0 {
+		if int(m.Entry) >= len(m.Methods) {
+			bad("entry method out of range")
+		} else if !m.Methods[m.Entry].Static {
+			bad("entry method is not static")
+		}
+	}
+	for i, si := range m.StaticInit {
+		if si < 0 {
+			continue
+		}
+		if int(si) >= len(m.Funcs) {
+			bad("static initializer %d out of range", i)
+		} else if f := m.Funcs[si]; f.Method >= 0 || len(f.Params) != 0 {
+			bad("static initializer %d has a signature", i)
+		}
+	}
+	return errs
+}
+
+func sameMethodShape(a, b *MethodRef) bool {
+	if a.Result != b.Result || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pos orders instructions within a block: phis all share position 0 (they
+// execute in parallel on block entry), code starts at 1.
+func blockPositions(f *Func) map[*Instr]int {
+	pos := make(map[*Instr]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis {
+			pos[in] = 0
+		}
+		for i, in := range b.Code {
+			pos[in] = i + 1
+		}
+	}
+	return pos
+}
+
+func (m *Module) verifyFunc(f *Func, opts VerifyOptions) error {
+	tt := m.Types
+	pos := blockPositions(f)
+
+	// available reports whether value v may be used by instruction user
+	// (at position userPos in block userBlk).
+	available := func(v ValueID, userBlk *Block, userPos int) error {
+		def := f.Value(v)
+		if def == nil {
+			return fmt.Errorf("use of undefined value v%d", v)
+		}
+		if def.Blk == userBlk {
+			if pos[def] >= userPos {
+				return fmt.Errorf("v%d used before its definition in block %d", v, userBlk.Index)
+			}
+			return nil
+		}
+		if !def.Blk.Dominates(userBlk) {
+			return fmt.Errorf("v%d (block %d) does not dominate use in block %d",
+				v, def.Blk.Index, userBlk.Index)
+		}
+		return nil
+	}
+
+	// availableOnEdge checks a phi operand: it must be defined at the
+	// edge's source point (end of block for normal edges, before the
+	// throwing site for exception edges).
+	availableOnEdge := func(v ValueID, e Pred) error {
+		def := f.Value(v)
+		if def == nil {
+			return fmt.Errorf("phi uses undefined value v%d", v)
+		}
+		if def.Blk == e.From {
+			if e.Site != nil && pos[def] >= pos[e.Site] {
+				return fmt.Errorf("phi operand v%d defined after exception site in block %d",
+					v, e.From.Index)
+			}
+			return nil
+		}
+		if !def.Blk.Dominates(e.From) {
+			return fmt.Errorf("phi operand v%d (block %d) does not dominate edge source %d",
+				v, def.Blk.Index, e.From.Index)
+		}
+		return nil
+	}
+
+	planeOf := func(v ValueID) (PlaneKey, error) {
+		def := f.Value(v)
+		if def == nil {
+			return PlaneKey{}, fmt.Errorf("undefined value v%d", v)
+		}
+		return def.Plane(), nil
+	}
+
+	wantPlane := func(v ValueID, want PlaneKey, what string) error {
+		got, err := planeOf(v)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("%s: operand v%d on plane %s, want %s",
+				what, v, describePlane(tt, got), describePlane(tt, want))
+		}
+		return nil
+	}
+
+	var errs []error
+	report := func(b *Block, in *Instr, err error) {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("block %d %s: %w", b.Index, in.Op, err))
+		}
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Phis) > 0 && len(b.Preds) < 1 {
+			errs = append(errs, fmt.Errorf("block %d has phis but no predecessors", b.Index))
+		}
+		for _, in := range b.Phis {
+			if in.Op != OpPhi {
+				errs = append(errs, fmt.Errorf("block %d: non-phi in phi section", b.Index))
+				continue
+			}
+			if len(in.Args) != len(b.Preds) {
+				report(b, in, fmt.Errorf("arity %d != %d predecessors", len(in.Args), len(b.Preds)))
+				continue
+			}
+			if in.Type == tt.Mem {
+				if !opts.AllowMem {
+					report(b, in, fmt.Errorf("memory-state phi outside optimization"))
+				}
+				continue
+			}
+			want := in.Plane()
+			for k, a := range in.Args {
+				if err := availableOnEdge(a, b.Preds[k]); err != nil {
+					report(b, in, err)
+					continue
+				}
+				if err := wantPlane(a, want, fmt.Sprintf("operand %d", k)); err != nil {
+					report(b, in, err)
+				}
+			}
+			// Safe-index phis stay on one plane only if the binding
+			// array value dominates the block (Appendix A).
+			if in.Bind != NoValue {
+				if err := available(in.Bind, b, 0); err != nil {
+					report(b, in, fmt.Errorf("safe-index binding: %w", err))
+				}
+			}
+		}
+		for i, in := range b.Code {
+			userPos := i + 1
+			for _, a := range in.Args {
+				if a == NoValue {
+					report(b, in, fmt.Errorf("missing operand"))
+					continue
+				}
+				if err := available(a, b, userPos); err != nil {
+					report(b, in, err)
+				}
+			}
+			if err := m.verifyInstrTyping(f, in, wantPlane, opts); err != nil {
+				report(b, in, err)
+			}
+		}
+	}
+
+	// CST-referenced values must be available at their reference block.
+	var walkCST func(n *CSTNode)
+	walkCST = func(n *CSTNode) {
+		if n == nil {
+			return
+		}
+		check := func(v ValueID, want TypeID, what string) {
+			if v == NoValue {
+				return
+			}
+			if n.At == nil {
+				errs = append(errs, fmt.Errorf("%s node without reference block", n.Kind))
+				return
+			}
+			if err := available(v, n.At, len(n.At.Code)+1); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", what, err))
+				return
+			}
+			if want != NoType {
+				if err := wantPlane(v, PlaneKey{Type: want}, what); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
+		switch n.Kind {
+		case CIf, CWhile, CDoWhile:
+			check(n.Cond, tt.Boolean, "condition")
+		case CReturn:
+			if n.Val != NoValue && (f.Result == NoType || f.Result == tt.Void) {
+				errs = append(errs, fmt.Errorf("value returned from a void function"))
+				break
+			}
+			check(n.Val, f.Result, "return value")
+		case CThrow:
+			// The builder normalizes thrown values onto the Throwable
+			// ref plane.
+			check(n.Val, tt.Throwable, "thrown value")
+		}
+		for _, k := range n.Kids {
+			walkCST(k)
+		}
+	}
+	walkCST(f.Body)
+
+	return errors.Join(errs...)
+}
+
+func describePlane(tt *TypeTable, k PlaneKey) string {
+	s := tt.Describe(k.Type)
+	if k.Bind != NoValue {
+		s += fmt.Sprintf("@v%d", k.Bind)
+	}
+	return s
+}
+
+// verifyInstrTyping checks type separation for one non-phi instruction.
+func (m *Module) verifyInstrTyping(f *Func, in *Instr,
+	wantPlane func(ValueID, PlaneKey, string) error, opts VerifyOptions) error {
+	tt := m.Types
+	plain := func(t TypeID) PlaneKey { return PlaneKey{Type: t} }
+	nargs := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("want %d operands, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+	result := func(want TypeID) error {
+		if in.Type != want {
+			return fmt.Errorf("result plane %s, want %s", tt.Describe(in.Type), tt.Describe(want))
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpParam:
+		if int(in.Aux) < 0 || int(in.Aux) >= len(f.Params) {
+			return fmt.Errorf("parameter index %d out of range", in.Aux)
+		}
+		return result(f.Params[in.Aux])
+	case OpConst:
+		switch in.Const.Kind {
+		case KInt:
+			return result(tt.Int)
+		case KLong:
+			return result(tt.Long)
+		case KDouble:
+			return result(tt.Double)
+		case KBool:
+			return result(tt.Boolean)
+		case KChar:
+			return result(tt.Char)
+		case KString:
+			return result(tt.String)
+		case KNull:
+			if !tt.IsRefType(in.Type) {
+				return fmt.Errorf("null constant on non-reference plane %s", tt.Describe(in.Type))
+			}
+			return nil
+		}
+		return fmt.Errorf("constant without kind")
+	case OpPrim, OpXPrim:
+		if !in.Prim.Valid() {
+			return fmt.Errorf("unknown primitive")
+		}
+		sig := in.Prim.Sig()
+		if sig.Throws != (in.Op == OpXPrim) {
+			return fmt.Errorf("%s must use %s", sig.Name, map[bool]Op{true: OpXPrim, false: OpPrim}[sig.Throws])
+		}
+		if err := nargs(len(sig.Params)); err != nil {
+			return err
+		}
+		for i, pc := range sig.Params {
+			if err := wantPlane(in.Args[i], plain(PlaneType(tt, pc)), fmt.Sprintf("operand %d", i)); err != nil {
+				return err
+			}
+		}
+		return result(PlaneType(tt, sig.Result))
+	case OpNullCheck:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if !tt.IsRefType(in.ArgType) {
+			return fmt.Errorf("nullcheck of non-reference type %s", tt.Describe(in.ArgType))
+		}
+		if err := wantPlane(in.Args[0], plain(in.ArgType), "operand"); err != nil {
+			return err
+		}
+		return result(tt.SafeRefOf(in.ArgType))
+	case OpIndexCheck:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		at := tt.Get(in.TypeArg)
+		if at == nil || at.Kind != TArray {
+			return fmt.Errorf("indexcheck of non-array type")
+		}
+		if err := wantPlane(in.Args[0], plain(tt.SafeRefOf(in.TypeArg)), "array"); err != nil {
+			return err
+		}
+		if err := wantPlane(in.Args[1], plain(tt.Int), "index"); err != nil {
+			return err
+		}
+		if in.Bind != in.Args[0] {
+			return fmt.Errorf("safe-index result must bind to the checked array value")
+		}
+		return result(tt.SafeIndexOf(in.TypeArg))
+	case OpUpcast:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if !tt.IsRefType(in.ArgType) || !tt.IsRefType(in.TypeArg) {
+			return fmt.Errorf("upcast between non-reference types")
+		}
+		if err := wantPlane(in.Args[0], plain(in.ArgType), "operand"); err != nil {
+			return err
+		}
+		return result(in.TypeArg)
+	case OpDowncast:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		src, dst := in.ArgType, in.TypeArg
+		if err := wantPlane(in.Args[0], plain(src), "operand"); err != nil {
+			return err
+		}
+		srcT, dstT := tt.Get(src), tt.Get(dst)
+		if srcT == nil || dstT == nil {
+			return fmt.Errorf("downcast with invalid types")
+		}
+		if dstT.Kind == TSafeRef && srcT.Kind != TSafeRef {
+			return fmt.Errorf("downcast cannot add safety (%s to %s)",
+				tt.Describe(src), tt.Describe(dst))
+		}
+		if !tt.IsSubclass(tt.BaseRef(src), tt.BaseRef(dst)) {
+			return fmt.Errorf("downcast %s to %s is not statically safe",
+				tt.Describe(src), tt.Describe(dst))
+		}
+		return result(dst)
+	case OpGetField, OpSetField:
+		if int(in.Field) < 0 || int(in.Field) >= len(m.Fields) {
+			return fmt.Errorf("field index %d out of range", in.Field)
+		}
+		fr := m.Fields[in.Field]
+		want := 1
+		if fr.Static {
+			want = 0
+		}
+		if in.Op == OpSetField {
+			want++
+		}
+		if err := nargs(want); err != nil {
+			return err
+		}
+		argi := 0
+		if !fr.Static {
+			if err := wantPlane(in.Args[0], plain(tt.SafeRefOf(fr.Owner)), "object"); err != nil {
+				return err
+			}
+			argi = 1
+		}
+		if in.Op == OpSetField {
+			if err := wantPlane(in.Args[argi], plain(fr.Type), "value"); err != nil {
+				return err
+			}
+			return result(tt.Void)
+		}
+		return result(fr.Type)
+	case OpGetElt, OpSetElt:
+		at := tt.Get(in.TypeArg)
+		if at == nil || at.Kind != TArray {
+			return fmt.Errorf("element access on non-array type")
+		}
+		want := 2
+		if in.Op == OpSetElt {
+			want = 3
+		}
+		if err := nargs(want); err != nil {
+			return err
+		}
+		if err := wantPlane(in.Args[0], plain(tt.SafeRefOf(in.TypeArg)), "array"); err != nil {
+			return err
+		}
+		// The index must come from the safe-index plane bound to this
+		// very array value — Appendix A's per-value binding.
+		idxPlane := PlaneKey{Type: tt.SafeIndexOf(in.TypeArg), Bind: in.Args[0]}
+		if err := wantPlane(in.Args[1], idxPlane, "index"); err != nil {
+			return err
+		}
+		if in.Op == OpSetElt {
+			if err := wantPlane(in.Args[2], plain(at.Elem), "value"); err != nil {
+				return err
+			}
+			return result(tt.Void)
+		}
+		return result(at.Elem)
+	case OpArrayLen:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		at := tt.Get(in.TypeArg)
+		if at == nil || at.Kind != TArray {
+			return fmt.Errorf("arraylen of non-array type")
+		}
+		if err := wantPlane(in.Args[0], plain(tt.SafeRefOf(in.TypeArg)), "array"); err != nil {
+			return err
+		}
+		return result(tt.Int)
+	case OpXCall, OpXDispatch:
+		if int(in.Method) < 0 || int(in.Method) >= len(m.Methods) {
+			return fmt.Errorf("method index %d out of range", in.Method)
+		}
+		mr := m.Methods[in.Method]
+		if in.Op == OpXDispatch && mr.VSlot < 0 {
+			return fmt.Errorf("xdispatch of non-virtual method %s", mr.Sig(tt))
+		}
+		want := len(mr.Params)
+		argi := 0
+		if !mr.Static {
+			want++
+			argi = 1
+		}
+		if err := nargs(want); err != nil {
+			return err
+		}
+		if !mr.Static {
+			if err := wantPlane(in.Args[0], plain(tt.SafeRefOf(mr.Owner)), "receiver"); err != nil {
+				return err
+			}
+		}
+		for i, pt := range mr.Params {
+			if err := wantPlane(in.Args[argi+i], plain(pt), fmt.Sprintf("argument %d", i)); err != nil {
+				return err
+			}
+		}
+		if mr.Result == NoType || mr.Result == tt.Void {
+			return result(tt.Void)
+		}
+		return result(mr.Result)
+	case OpNew:
+		if err := nargs(0); err != nil {
+			return err
+		}
+		ct := tt.Get(in.TypeArg)
+		if ct == nil || ct.Kind != TClass {
+			return fmt.Errorf("new of non-class type")
+		}
+		return result(tt.SafeRefOf(in.TypeArg))
+	case OpNewArray:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		at := tt.Get(in.TypeArg)
+		if at == nil || at.Kind != TArray {
+			return fmt.Errorf("newarray of non-array type")
+		}
+		if err := wantPlane(in.Args[0], plain(tt.Int), "length"); err != nil {
+			return err
+		}
+		return result(tt.SafeRefOf(in.TypeArg))
+	case OpInstanceOf:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if !tt.IsRefType(in.ArgType) || !tt.IsRefType(in.TypeArg) {
+			return fmt.Errorf("instanceof between non-reference types")
+		}
+		if err := wantPlane(in.Args[0], plain(in.ArgType), "operand"); err != nil {
+			return err
+		}
+		return result(tt.Boolean)
+	case OpCatch:
+		if err := nargs(0); err != nil {
+			return err
+		}
+		return result(tt.Throwable)
+	case OpMem0:
+		if !opts.AllowMem {
+			return fmt.Errorf("memory-state value outside optimization")
+		}
+		return result(tt.Mem)
+	case OpPhi:
+		return fmt.Errorf("phi outside the phi section")
+	}
+	return fmt.Errorf("unknown opcode %d", in.Op)
+}

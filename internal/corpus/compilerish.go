@@ -1,0 +1,254 @@
+package corpus
+
+// scannerSrc is a hand-written tokenizer in TJ, standing in for
+// sun.tools.java.Scanner: character classification loops, string
+// traffic, and a switch-heavy (if-chain) hot path.
+const scannerSrc = scannerNoMain + `
+class ScanMain {
+    static void main() {
+        Scanner s = new Scanner("let x = 10 + 2 * (30 - 4); if x while else foo123");
+        Token t = s.next();
+        int sum = 0;
+        int kinds = 0;
+        while (t.kind != 0) {
+            sum += t.intValue;
+            kinds = kinds * 31 + t.kind;
+            t = s.next();
+        }
+        System.out.println(sum);
+        System.out.println(kinds);
+        System.out.println(s.tokenCount);
+        System.out.println(s.line);
+    }
+}
+`
+
+// parserSrc is a recursive-descent expression parser/evaluator over the
+// scanner, standing in for sun.tools.java.Parser: a small class
+// hierarchy of tree nodes with virtual evaluation, heavy in dispatch and
+// null checks.
+const parserSrc = `
+class Node {
+    int eval() { return 0; }
+    int count() { return 1; }
+}
+
+class NumNode extends Node {
+    int value;
+    NumNode(int v) { value = v; }
+    int eval() { return value; }
+}
+
+class BinNode extends Node {
+    int op;
+    Node left;
+    Node right;
+    BinNode(int o, Node l, Node r) {
+        op = o;
+        left = l;
+        right = r;
+    }
+    int eval() {
+        int a = left.eval();
+        int b = right.eval();
+        if (op == 10) { return a + b; }
+        if (op == 11) { return a - b; }
+        if (op == 12) { return a * b; }
+        if (op == 13) {
+            if (b == 0) { return 0; }
+            return a / b;
+        }
+        return 0;
+    }
+    int count() { return 1 + left.count() + right.count(); }
+}
+
+class NegNode extends Node {
+    Node operand;
+    NegNode(Node x) { operand = x; }
+    int eval() { return -operand.eval(); }
+    int count() { return 1 + operand.count(); }
+}
+
+class Parser {
+    Scanner scanner;
+    Token cur;
+    int errors;
+
+    Parser(String src) {
+        scanner = new Scanner(src);
+        cur = scanner.next();
+        errors = 0;
+    }
+
+    void advance() {
+        cur = scanner.next();
+    }
+
+    boolean accept(int kind) {
+        if (cur.kind == kind) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Node parseExpr() {
+        Node left = parseTerm();
+        while (cur.kind == 10 || cur.kind == 11) {
+            int op = cur.kind;
+            advance();
+            left = new BinNode(op, left, parseTerm());
+        }
+        return left;
+    }
+
+    Node parseTerm() {
+        Node left = parseFactor();
+        while (cur.kind == 12 || cur.kind == 13) {
+            int op = cur.kind;
+            advance();
+            left = new BinNode(op, left, parseFactor());
+        }
+        return left;
+    }
+
+    Node parseFactor() {
+        if (cur.kind == 1) {
+            Node n = new NumNode(cur.intValue);
+            advance();
+            return n;
+        }
+        if (cur.kind == 11) {
+            advance();
+            return new NegNode(parseFactor());
+        }
+        if (accept(14)) {
+            Node inner = parseExpr();
+            if (!accept(15)) {
+                errors++;
+            }
+            return inner;
+        }
+        errors++;
+        advance();
+        return new NumNode(0);
+    }
+
+    static void main() {
+        Parser p = new Parser("1 + 2 * 3 - (4 - 5) * -6");
+        Node tree = p.parseExpr();
+        System.out.println(tree.eval());
+        System.out.println(tree.count());
+        System.out.println(p.errors);
+        Parser q = new Parser("10 / (3 - 3) + 7 * )");
+        Node bad = q.parseExpr();
+        System.out.println(bad.eval());
+        System.out.println(q.errors);
+        System.out.println(tree instanceof BinNode);
+    }
+}
+` + scannerNoMain
+
+// scannerNoMain reuses the scanner classes without their driver.
+const scannerNoMain = `
+class Token {
+    int kind;
+    String text;
+    int intValue;
+    Token(int k, String t, int v) {
+        kind = k;
+        text = t;
+        intValue = v;
+    }
+}
+
+class Scanner {
+    String src;
+    int pos;
+    int line;
+    int tokenCount;
+
+    Scanner(String source) {
+        src = source;
+        pos = 0;
+        line = 1;
+        tokenCount = 0;
+    }
+
+    boolean isDigit(char c) {
+        return c >= '0' && c <= '9';
+    }
+
+    boolean isLetter(char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    }
+
+    boolean isSpace(char c) {
+        return c == ' ' || c == '\t' || c == '\n';
+    }
+
+    char peek() {
+        if (pos >= src.length()) {
+            return '$';
+        }
+        return src.charAt(pos);
+    }
+
+    void skipSpace() {
+        while (pos < src.length() && isSpace(src.charAt(pos))) {
+            if (src.charAt(pos) == '\n') {
+                line++;
+            }
+            pos++;
+        }
+    }
+
+    Token next() {
+        skipSpace();
+        tokenCount++;
+        if (pos >= src.length()) {
+            return new Token(0, "<eof>", 0);
+        }
+        char c = src.charAt(pos);
+        if (isDigit(c)) {
+            int start = pos;
+            int value = 0;
+            while (pos < src.length() && isDigit(src.charAt(pos))) {
+                value = value * 10 + (src.charAt(pos) - '0');
+                pos++;
+            }
+            return new Token(1, src.substring(start, pos), value);
+        }
+        if (isLetter(c)) {
+            int start = pos;
+            while (pos < src.length()
+                   && (isLetter(src.charAt(pos)) || isDigit(src.charAt(pos)))) {
+                pos++;
+            }
+            String word = src.substring(start, pos);
+            int kind = 2;
+            if (word.equals("let")) {
+                kind = 3;
+            } else if (word.equals("if")) {
+                kind = 4;
+            } else if (word.equals("else")) {
+                kind = 5;
+            } else if (word.equals("while")) {
+                kind = 6;
+            }
+            return new Token(kind, word, 0);
+        }
+        pos++;
+        if (c == '+') { return new Token(10, "+", 0); }
+        if (c == '-') { return new Token(11, "-", 0); }
+        if (c == '*') { return new Token(12, "*", 0); }
+        if (c == '/') { return new Token(13, "/", 0); }
+        if (c == '(') { return new Token(14, "(", 0); }
+        if (c == ')') { return new Token(15, ")", 0); }
+        if (c == '=') { return new Token(16, "=", 0); }
+        if (c == ';') { return new Token(17, ";", 0); }
+        return new Token(99, "?", 0);
+    }
+}
+`

@@ -1,0 +1,124 @@
+// Package corpus provides the benchmark programs standing in for the
+// paper's Figure 5/6 rows (classes from sun.tools.javac, sun.tools.java,
+// sun.math, and Linpack). Rows with a natural open reimplementation are
+// hand-written TJ programs (Linpack, the sun.math arithmetic classes, a
+// scanner and a recursive-descent parser); the javac front-end classes,
+// whose sources cannot be shipped, are produced by a deterministic
+// profile-driven generator with a matching workload mix (see DESIGN.md's
+// substitution table). Every unit compiles, runs, and prints a checksum,
+// so the whole corpus doubles as differential-test input.
+package corpus
+
+// PaperRow records the numbers the paper reports for a row; -1 marks
+// cells the paper leaves out (N/A) or rows absent from a figure.
+type PaperRow struct {
+	// Figure 5: file sizes in bytes and instruction counts for Java
+	// bytecode, SafeTSA, and optimized SafeTSA.
+	BytecodeSize, TSASize, TSAOptSize       int
+	BytecodeInstrs, TSAInstrs, TSAOptInstrs int
+	// Figure 6: phi / null-check / array-check counts before and after
+	// producer-side optimization.
+	PhiBefore, PhiAfter     int
+	NullBefore, NullAfter   int
+	ArrayBefore, ArrayAfter int
+}
+
+// Unit is one benchmark row: a self-contained TJ compilation unit.
+type Unit struct {
+	Name      string
+	Group     string
+	Generated bool
+	Files     map[string]string
+	Paper     PaperRow
+}
+
+func unit(name, group, src string, generated bool, p PaperRow) Unit {
+	return Unit{
+		Name:      name,
+		Group:     group,
+		Generated: generated,
+		Files:     map[string]string{name + ".tj": src},
+		Paper:     p,
+	}
+}
+
+// Units returns the corpus in the paper's row order.
+func Units() []Unit {
+	gen := func(name string, p profile) string { return generate(name, p) }
+	objHeavy := func(methods, stmts int) profile {
+		return profile{
+			methods: methods, stmts: stmts, fields: 6, statics: 2,
+			wAssign: 30, wIf: 18, wLoop: 10, wArray: 3, wField: 18,
+			wCall: 12, wTry: 3, wString: 6, wList: 8,
+		}
+	}
+	plain := func(methods, stmts int) profile {
+		return profile{
+			methods: methods, stmts: stmts, fields: 3, statics: 1,
+			wAssign: 40, wIf: 20, wLoop: 10, wArray: 2, wField: 15,
+			wCall: 10, wTry: 1, wString: 2, wList: 0,
+		}
+	}
+
+	return []Unit{
+		// sun.tools.javac — object/field-heavy front-end classes.
+		unit("BatchEnvironment", "sun.tools.javac", gen("BatchEnvironment", objHeavy(26, 8)), true, PaperRow{
+			18399, 14605, 13931, 2516, 1640, 1462, 131, 75, 425, 206, 11, 9}),
+		unit("BatchParser", "sun.tools.javac", gen("BatchParser", objHeavy(8, 5)), true, PaperRow{
+			4939, 3832, 3796, 394, 286, 276, 19, 16, 53, 46, -1, -1}),
+		unit("CompilerMember", "sun.tools.javac", gen("CompilerMember", plain(3, 2)), true, PaperRow{
+			1192, 401, 397, 50, 29, 28, -1, -1, -1, -1, -1, -1}),
+		unit("ErrorMessage", "sun.tools.javac", gen("ErrorMessage", plain(2, 1)), true, PaperRow{
+			305, 90, 90, 14, 3, 3, -1, -1, -1, -1, -1, -1}),
+		unit("Main", "sun.tools.javac", gen("Main", objHeavy(20, 7)), true, PaperRow{
+			11363, 11265, 10813, 1734, 1410, 1281, 330, 301, 246, 155, 53, 49}),
+		unit("SourceClass", "sun.tools.javac", gen("SourceClass", objHeavy(22, 8)), true, PaperRow{
+			-1, -1, -1, -1, -1, -1, 356, 200, 926, 605, -1, -1}),
+		unit("SourceMember", "sun.tools.javac", gen("SourceMember", objHeavy(18, 8)), true, PaperRow{
+			13809, 11888, 11246, 1735, 1333, 1169, 221, 123, 327, 261, 12, 12}),
+
+		// sun.tools.java.
+		unit("AmbiguousClass", "sun.tools.java", gen("AmbiguousClass", plain(2, 1)), true, PaperRow{
+			422, 147, 147, 18, 5, 5, -1, -1, -1, -1, -1, -1}),
+		unit("AmbiguousMember", "sun.tools.java", gen("AmbiguousMember", plain(3, 2)), true, PaperRow{
+			751, 217, 214, 46, 13, 12, -1, -1, -1, -1, -1, -1}),
+		unit("ArrayType", "sun.tools.java", gen("ArrayType", plain(3, 2)), true, PaperRow{
+			837, 260, 260, 35, 15, 15, -1, -1, -1, -1, -1, -1}),
+		unit("BinaryAttribute", "sun.tools.java", gen("BinaryAttribute", objHeavy(4, 4)), true, PaperRow{
+			1716, 944, 854, 121, 77, 64, 12, 7, 19, 12, -1, -1}),
+		unit("BinaryClass", "sun.tools.java", gen("BinaryClass", objHeavy(12, 7)), true, PaperRow{
+			8156, 6008, 5727, 873, 617, 527, 56, 35, 131, 62, 2, 2}),
+		unit("BinaryCode", "sun.tools.java", gen("BinaryCode", objHeavy(4, 5)), true, PaperRow{
+			2292, 1536, 1479, 133, 77, 62, 6, 3, 15, 4, 1, 1}),
+		unit("Parser", "sun.tools.java", parserSrc, false, PaperRow{
+			23945, 23678, 22901, 2578, 1732, 1614, 351, 263, 196, 151, 11, 11}),
+		unit("Scanner", "sun.tools.java", scannerSrc, false, PaperRow{
+			10540, 11695, 11222, 4240, 2912, 2779, 58, 47, 101, 58, 8, 8}),
+
+		// sun.math — hand-written arithmetic classes.
+		unit("BigDecimal", "sun.math", bigDecimalSrc, false, PaperRow{
+			6140, 5309, 4926, 935, 702, 612, 54, 35, 119, 73, 26, 16}),
+		unit("BigInteger", "sun.math", bigIntegerSrc, false, PaperRow{
+			19309, 20009, 18393, 5638, 3463, 3080, 382, 296, 451, 257, 188, 169}),
+		unit("BitSieve", "sun.math", bitSieveSrc, false, PaperRow{
+			1557, 1155, 1080, 277, 153, 140, 18, 15, 15, 11, 3, 3}),
+		unit("MutableBigInteger", "sun.math", mutableBigIntegerSrc, false, PaperRow{
+			9667, 10757, 9823, 3415, 2223, 1925, 205, 169, 400, 172, 136, 132}),
+		unit("SignedMutableBigInteger", "sun.math", signedMutableSrc, false, PaperRow{
+			896, 427, 424, 116, 53, 52, -1, -1, -1, -1, -1, -1}),
+
+		// Linpack.
+		unit("Linpack", "Linpack", linpackSrc, false, PaperRow{
+			3336, 3512, 3042, 1097, 638, 524, 138, 88, 70, 43, 67, 54}),
+	}
+}
+
+// ByName finds a unit.
+func ByName(name string) (Unit, bool) {
+	for _, u := range Units() {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return Unit{}, false
+}

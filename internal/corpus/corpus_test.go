@@ -1,0 +1,97 @@
+package corpus_test
+
+import (
+	"strings"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/wire"
+)
+
+// TestCorpusAllPipelines is the workhorse integration test: every corpus
+// unit must compile through the front end, the SafeTSA pipeline (plain
+// and optimized), the wire round trip, and the bytecode baseline — and
+// all four executions must print identical output.
+func TestCorpusAllPipelines(t *testing.T) {
+	for _, u := range corpus.Units() {
+		u := u
+		t.Run(u.Name, func(t *testing.T) {
+			prog, err := driver.Frontend(u.Files)
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+
+			bc, err := driver.CompileBytecode(prog)
+			if err != nil {
+				t.Fatalf("bytecode: %v", err)
+			}
+			if err := bc.Verify(); err != nil {
+				t.Fatalf("bytecode verify: %v", err)
+			}
+			want, err := driver.RunBytecode(bc, 200_000_000)
+			if err != nil {
+				t.Fatalf("bytecode run: %v (out %q)", err, want)
+			}
+			if strings.TrimSpace(want) == "" {
+				t.Fatalf("unit printed nothing — checksum missing")
+			}
+
+			tsa, err := driver.CompileTSA(prog)
+			if err != nil {
+				t.Fatalf("safetsa: %v", err)
+			}
+			got, err := driver.RunModule(tsa, 200_000_000)
+			if err != nil {
+				t.Fatalf("safetsa run: %v", err)
+			}
+			if got != want {
+				t.Fatalf("SafeTSA diverges:\nbytecode %q\nsafetsa  %q", want, got)
+			}
+
+			if _, err := driver.OptimizeModule(tsa); err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			gotOpt, err := driver.RunModule(tsa, 200_000_000)
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if gotOpt != want {
+				t.Fatalf("optimized SafeTSA diverges:\nbytecode  %q\noptimized %q", want, gotOpt)
+			}
+
+			data := wire.EncodeModule(tsa)
+			dec, err := wire.DecodeModule(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if err := dec.Verify(core.VerifyOptions{}); err != nil {
+				t.Fatalf("decoded verify: %v", err)
+			}
+			gotWire, err := driver.RunModule(dec, 200_000_000)
+			if err != nil {
+				t.Fatalf("decoded run: %v", err)
+			}
+			if gotWire != want {
+				t.Fatalf("decoded module diverges:\nbytecode %q\ndecoded  %q", want, gotWire)
+			}
+		})
+	}
+}
+
+func TestUnitNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, u := range corpus.Units() {
+		if seen[u.Name] {
+			t.Errorf("duplicate unit %s", u.Name)
+		}
+		seen[u.Name] = true
+	}
+	if _, ok := corpus.ByName("Linpack"); !ok {
+		t.Error("Linpack missing")
+	}
+	if _, ok := corpus.ByName("NoSuchRow"); ok {
+		t.Error("phantom unit found")
+	}
+}

@@ -1,0 +1,353 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// profile shapes one generated class to approximate the workload mix of
+// a Figure 5 row: object/field-heavy for the javac classes, with tunable
+// amounts of loops, arrays, calls, conditionals, exceptions, and string
+// traffic. Generation is fully deterministic (seeded by the class name),
+// bounded (every loop has a constant trip count), and closed (calls only
+// reach earlier methods), so each generated unit compiles, verifies,
+// terminates, and prints a checksum for the differential tests.
+type profile struct {
+	methods int // number of generated methods
+	stmts   int // statements per method
+	fields  int // instance int fields
+	statics int // static int fields
+
+	// Per-template weights (need not sum to anything particular).
+	wAssign, wIf, wLoop, wArray, wField, wCall, wTry, wString, wList int
+}
+
+// rng is a splitmix64 generator; no package state, fully reproducible.
+type rng struct{ s uint64 }
+
+func newRng(seed string) *rng {
+	var h uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < len(seed); i++ {
+		h = (h ^ uint64(seed[i])) * 0xBF58476D1CE4E5B9
+	}
+	return &rng{s: h}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pick selects a template index by weight.
+func (r *rng) pick(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	v := r.intn(total)
+	for i, w := range weights {
+		if v < w {
+			return i
+		}
+		v -= w
+	}
+	return len(weights) - 1
+}
+
+// genState tracks the scope of one generated method body.
+type genState struct {
+	r      *rng
+	sb     *strings.Builder
+	indent string
+	cls    string
+	ints   []string // int variables in scope (readable)
+	// writable excludes loop variables: reassigning an induction
+	// variable from a template could make a loop diverge.
+	writable []string
+	methods  int // index of the method being generated (calls reach < this)
+	fields   int
+	statics  int
+	static   bool
+	// isStatic records the staticness of every already-generated method.
+	isStatic []bool
+	tmp      int
+	// loopDepth and callBudget keep the call graph linear: calls are
+	// never generated inside loops and at most one per method, so the
+	// dynamic call tree cannot blow up exponentially.
+	loopDepth  int
+	callBudget int
+}
+
+func (g *genState) linef(format string, args ...interface{}) {
+	g.sb.WriteString(g.indent)
+	fmt.Fprintf(g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// expr yields a small int expression over the in-scope values.
+func (g *genState) expr(depth int) string {
+	r := g.r
+	atom := func() string {
+		switch r.intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.intn(97)+1)
+		case 1:
+			return g.ints[r.intn(len(g.ints))]
+		case 2:
+			if g.fields > 0 && !g.static {
+				return fmt.Sprintf("f%d", r.intn(g.fields))
+			}
+			return g.ints[r.intn(len(g.ints))]
+		default:
+			if g.statics > 0 {
+				return fmt.Sprintf("s%d", r.intn(g.statics))
+			}
+			return fmt.Sprintf("%d", r.intn(13)+2)
+		}
+	}
+	if depth <= 0 || r.intn(3) == 0 {
+		return atom()
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[r.intn(len(ops))], g.expr(depth-1))
+}
+
+func (g *genState) cond() string {
+	cmp := []string{"<", ">", "<=", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), cmp[g.r.intn(len(cmp))], g.expr(1))
+}
+
+func (g *genState) newVar() string {
+	v := fmt.Sprintf("t%d", g.tmp)
+	g.tmp++
+	return v
+}
+
+// target picks an assignable variable.
+func (g *genState) target() string {
+	return g.writable[g.r.intn(len(g.writable))]
+}
+
+// stmt emits one statement from the weighted templates.
+func (g *genState) stmt(p profile, depth int) {
+	r := g.r
+	weights := []int{p.wAssign, p.wIf, p.wLoop, p.wArray, p.wField, p.wCall,
+		p.wTry, p.wString, p.wList}
+	if depth > 2 {
+		weights = []int{p.wAssign, 0, 0, 0, p.wField, p.wCall, 0, 0, 0}
+	}
+	switch g.r.pick(weights) {
+	case 0: // assignment to an existing or fresh int
+		if r.intn(3) == 0 {
+			v := g.newVar()
+			g.linef("int %s = %s;", v, g.expr(2))
+			g.ints = append(g.ints, v)
+			g.writable = append(g.writable, v)
+		} else {
+			g.linef("%s = %s;", g.target(), g.expr(2))
+		}
+	case 1: // if/else
+		g.linef("if (%s) {", g.cond())
+		g.nested(func() {
+			g.stmt(p, depth+1)
+			g.stmt(p, depth+1)
+		})
+		if r.intn(2) == 0 {
+			g.linef("} else {")
+			g.nested(func() { g.stmt(p, depth+1) })
+		}
+		g.linef("}")
+	case 2: // bounded counting loop
+		i := g.newVar()
+		acc := g.target()
+		g.linef("for (int %s = 0; %s < %d; %s++) {", i, i, r.intn(12)+3, i)
+		g.loopDepth++
+		g.nested(func() {
+			g.ints = append(g.ints, i)
+			g.linef("%s += %s * %d;", acc, i, r.intn(9)+1)
+			g.stmt(p, depth+1)
+		})
+		g.loopDepth--
+		g.linef("}")
+	case 3: // array fill and reduce
+		a := g.newVar()
+		i := g.newVar()
+		j := g.newVar()
+		acc := g.target()
+		n := r.intn(12) + 4
+		g.linef("int[] %s = new int[%d];", a, n)
+		g.linef("for (int %s = 0; %s < %s.length; %s++) {", i, i, a, i)
+		g.nested(func() {
+			g.linef("%s[%s] = %s * %d + %s;", a, i, i, r.intn(7)+1, g.ints[r.intn(len(g.ints))])
+		})
+		g.linef("}")
+		g.linef("for (int %s = 0; %s < %s.length; %s++) {", j, j, a, j)
+		g.nested(func() {
+			g.linef("%s += %s[%s] * %s[%s];", acc, a, j, a, j)
+		})
+		g.linef("}")
+	case 4: // field traffic
+		if g.statics > 0 && (g.static || r.intn(2) == 0) {
+			g.linef("s%d = s%d + %s;", r.intn(g.statics), r.intn(g.statics), g.expr(1))
+		} else if g.fields > 0 && !g.static {
+			g.linef("f%d = f%d + %s;", r.intn(g.fields), r.intn(g.fields), g.expr(1))
+		} else {
+			g.linef("%s = %s;", g.target(), g.expr(2))
+		}
+	case 5: // call an earlier method (static callers may only reach statics)
+		if g.loopDepth > 0 || g.callBudget <= 0 {
+			g.linef("%s = %s ^ %s;", g.target(),
+				g.ints[r.intn(len(g.ints))], g.expr(1))
+			return
+		}
+		g.callBudget--
+		var targets []int
+		for t := 0; t < g.methods; t++ {
+			if !g.static || g.isStatic[t] {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			g.linef("%s = %s + 1;", g.target(), g.ints[r.intn(len(g.ints))])
+			return
+		}
+		target := targets[r.intn(len(targets))]
+		recv := "this."
+		if g.isStatic[target] {
+			recv = g.cls + "."
+		}
+		g.linef("%s = %sm%d(%s, %s);", g.target(), recv, target,
+			g.expr(1), g.expr(1))
+	case 6: // guarded division in a try
+		acc := g.target()
+		g.linef("try {")
+		g.nested(func() {
+			g.linef("%s = %s / (%s %% %d);", acc, g.expr(1), g.expr(1), r.intn(5)+2)
+		})
+		g.linef("} catch (ArithmeticException e) {")
+		g.nested(func() { g.linef("%s = %d;", acc, r.intn(50)) })
+		g.linef("}")
+	case 7: // string traffic
+		s := g.newVar()
+		g.linef("String %s = \"%c\" + %s;", s, 'a'+rune(r.intn(26)), g.ints[r.intn(len(g.ints))])
+		g.linef("%s += %s.length();", g.target(), s)
+	case 8: // linked-list build and walk (javac-style object traffic)
+		node := g.cls + "Data"
+		head := g.newVar()
+		i := g.newVar()
+		cur := g.newVar()
+		acc := g.target()
+		g.linef("%s %s = null;", node, head)
+		g.linef("for (int %s = 0; %s < %d; %s++) {", i, i, r.intn(6)+3, i)
+		g.nested(func() {
+			g.linef("%s nn = new %s();", node, node)
+			g.linef("nn.a = %s * %d;", i, r.intn(9)+1)
+			g.linef("nn.next = %s;", head)
+			g.linef("%s = nn;", head)
+		})
+		g.linef("}")
+		g.linef("%s %s = %s;", node, cur, head)
+		g.linef("while (%s != null) {", cur)
+		g.nested(func() {
+			g.linef("%s += %s.a;", acc, cur)
+			g.linef("%s = %s.next;", cur, cur)
+		})
+		g.linef("}")
+	}
+}
+
+// nested runs f one indent level deeper; locals declared inside the block
+// go out of scope when it closes.
+func (g *genState) nested(f func()) {
+	saved := g.indent
+	savedInts := len(g.ints)
+	savedW := len(g.writable)
+	g.indent += "    "
+	f()
+	g.indent = saved
+	g.ints = g.ints[:savedInts]
+	g.writable = g.writable[:savedW]
+}
+
+// GenerateFuzz renders a random-but-deterministic TJ program for
+// differential fuzzing: any seed yields a compiling, terminating unit
+// whose class is named Fz<n> and whose main prints a checksum.
+func GenerateFuzz(seed string, methods, stmts int) map[string]string {
+	name := "Fz" + seed
+	p := profile{
+		methods: methods, stmts: stmts, fields: 4, statics: 2,
+		wAssign: 28, wIf: 18, wLoop: 12, wArray: 8, wField: 12,
+		wCall: 8, wTry: 5, wString: 4, wList: 5,
+	}
+	return map[string]string{name + ".tj": generate(name, p)}
+}
+
+// generate renders one class (plus its data helper when linked lists are
+// in the mix) for a Figure 5 row.
+func generate(name string, p profile) string {
+	r := newRng(name)
+	var sb strings.Builder
+
+	if p.wList > 0 {
+		fmt.Fprintf(&sb, "class %sData {\n    int a;\n    double w;\n    %sData next;\n}\n\n",
+			name, name)
+	}
+	fmt.Fprintf(&sb, "class %s {\n", name)
+	for i := 0; i < p.fields; i++ {
+		fmt.Fprintf(&sb, "    int f%d;\n", i)
+	}
+	for i := 0; i < p.statics; i++ {
+		fmt.Fprintf(&sb, "    static int s%d = %d;\n", i, r.intn(100))
+	}
+	sb.WriteByte('\n')
+
+	var isStatic []bool
+	for mi := 0; mi < p.methods; mi++ {
+		static := r.intn(3) == 0
+		mod := ""
+		if static {
+			mod = "static "
+		}
+		fmt.Fprintf(&sb, "    %sint m%d(int a0, int a1) {\n", mod, mi)
+		g := &genState{
+			r: r, sb: &sb, indent: "        ", cls: name,
+			ints:     []string{"a0", "a1", "acc"},
+			writable: []string{"a0", "a1", "acc"},
+			methods:  mi, fields: p.fields, statics: p.statics, static: static,
+			isStatic: isStatic, callBudget: 1,
+		}
+		g.linef("int acc = a0 - a1;")
+		for si := 0; si < p.stmts; si++ {
+			g.stmt(p, 0)
+		}
+		g.linef("return acc;")
+		sb.WriteString("    }\n\n")
+		isStatic = append(isStatic, static)
+	}
+
+	// Deterministic driver printing a checksum.
+	sb.WriteString("    static void main() {\n")
+	fmt.Fprintf(&sb, "        %s o = new %s();\n", name, name)
+	sb.WriteString("        int acc = 0;\n")
+	calls := p.methods
+	if calls > 6 {
+		calls = 6
+	}
+	for i := 0; i < calls; i++ {
+		target := r.intn(p.methods)
+		recv := "o"
+		if isStatic[target] {
+			recv = name
+		}
+		fmt.Fprintf(&sb, "        acc = acc * 31 + %s.m%d(%d, %d);\n",
+			recv, target, r.intn(20), r.intn(20))
+	}
+	sb.WriteString("        System.out.println(acc);\n")
+	sb.WriteString("    }\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeneratorDeterminism: the same seed must always yield the same
+// source — the generated corpus rows are fixtures, not randomness.
+func TestGeneratorDeterminism(t *testing.T) {
+	a := GenerateFuzz("42", 5, 4)
+	b := GenerateFuzz("42", 5, 4)
+	for name, src := range a {
+		if b[name] != src {
+			t.Fatalf("seed 42 produced different sources")
+		}
+	}
+	c := GenerateFuzz("43", 5, 4)
+	same := true
+	for name, src := range a {
+		if c["Fz43.tj"] == src {
+			_ = name
+		} else {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sources")
+	}
+}
+
+func TestGeneratedUnitsAreStable(t *testing.T) {
+	// Units() must be a pure function: two calls agree byte for byte.
+	u1 := Units()
+	u2 := Units()
+	if len(u1) != len(u2) {
+		t.Fatal("unit count unstable")
+	}
+	for i := range u1 {
+		for name, src := range u1[i].Files {
+			if u2[i].Files[name] != src {
+				t.Fatalf("unit %s file %s unstable", u1[i].Name, name)
+			}
+		}
+	}
+}
+
+func TestPaperRowsPlausible(t *testing.T) {
+	for _, u := range Units() {
+		p := u.Paper
+		if p.BytecodeInstrs > 0 {
+			if p.TSAInstrs >= p.BytecodeInstrs {
+				t.Errorf("%s: transcribed paper row has TSA >= bytecode", u.Name)
+			}
+			if p.TSAOptInstrs > p.TSAInstrs {
+				t.Errorf("%s: transcribed paper row grows under optimization", u.Name)
+			}
+		}
+		if p.PhiBefore > 0 && p.PhiAfter > p.PhiBefore {
+			t.Errorf("%s: paper phi counts inverted", u.Name)
+		}
+	}
+}
+
+func TestGeneratedSourcesLookLikeTJ(t *testing.T) {
+	for _, u := range Units() {
+		if !u.Generated {
+			continue
+		}
+		for _, src := range u.Files {
+			if !strings.Contains(src, "class "+u.Name) {
+				t.Errorf("%s: generated unit lacks its class", u.Name)
+			}
+			if !strings.Contains(src, "static void main()") {
+				t.Errorf("%s: generated unit lacks a driver", u.Name)
+			}
+			if strings.Count(src, "\n") < 10 {
+				t.Errorf("%s: generated unit suspiciously small", u.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package corpus
+
+// linpackSrc is a faithful TJ port of the classic Linpack benchmark
+// (matgen/dgefa/dgesl/daxpy/ddot/dscal/idamax/epslon), the paper's
+// array-check workload: Figure 6 reports a 19% array-check reduction and
+// 39% null-check reduction on it.
+const linpackSrc = `
+class Linpack {
+    static int n = 60;
+
+    static double abs(double d) {
+        return d >= 0.0 ? d : -d;
+    }
+
+    static double matgen(double[][] a, int lda, int n, double[] b) {
+        double norma = 0.0;
+        int init = 1325;
+        for (int j = 0; j < n; j++) {
+            for (int i = 0; i < n; i++) {
+                init = 3125 * init % 65536;
+                a[j][i] = (init - 32768.0) / 16384.0;
+                norma = a[j][i] > norma ? a[j][i] : norma;
+            }
+        }
+        for (int i = 0; i < n; i++) {
+            b[i] = 0.0;
+        }
+        for (int j = 0; j < n; j++) {
+            for (int i = 0; i < n; i++) {
+                b[i] += a[j][i];
+            }
+        }
+        return norma;
+    }
+
+    static int idamax(int n, double[] dx, int dxOff, int incx) {
+        int itemp = 0;
+        if (n < 1) {
+            return -1;
+        }
+        if (n == 1) {
+            return 0;
+        }
+        if (incx != 1) {
+            double dmax = abs(dx[0 + dxOff]);
+            int ix = 1 + incx;
+            for (int i = 1; i < n; i++) {
+                if (abs(dx[ix + dxOff]) > dmax) {
+                    itemp = i;
+                    dmax = abs(dx[ix + dxOff]);
+                }
+                ix += incx;
+            }
+            return itemp;
+        }
+        double dmax = abs(dx[dxOff]);
+        for (int i = 1; i < n; i++) {
+            if (abs(dx[i + dxOff]) > dmax) {
+                itemp = i;
+                dmax = abs(dx[i + dxOff]);
+            }
+        }
+        return itemp;
+    }
+
+    static void dscal(int n, double da, double[] dx, int dxOff, int incx) {
+        if (n <= 0) {
+            return;
+        }
+        if (incx != 1) {
+            int nincx = n * incx;
+            for (int i = 0; i < nincx; i += incx) {
+                dx[i + dxOff] *= da;
+            }
+            return;
+        }
+        for (int i = 0; i < n; i++) {
+            dx[i + dxOff] *= da;
+        }
+    }
+
+    static void daxpy(int n, double da, double[] dx, int dxOff, int incx,
+                      double[] dy, int dyOff, int incy) {
+        if (n <= 0) {
+            return;
+        }
+        if (da == 0.0) {
+            return;
+        }
+        if (incx != 1 || incy != 1) {
+            int ix = 0;
+            int iy = 0;
+            if (incx < 0) { ix = (-n + 1) * incx; }
+            if (incy < 0) { iy = (-n + 1) * incy; }
+            for (int i = 0; i < n; i++) {
+                dy[iy + dyOff] += da * dx[ix + dxOff];
+                ix += incx;
+                iy += incy;
+            }
+            return;
+        }
+        for (int i = 0; i < n; i++) {
+            dy[i + dyOff] += da * dx[i + dxOff];
+        }
+    }
+
+    static double ddot(int n, double[] dx, int dxOff, int incx,
+                       double[] dy, int dyOff, int incy) {
+        double dtemp = 0.0;
+        if (n <= 0) {
+            return 0.0;
+        }
+        if (incx != 1 || incy != 1) {
+            int ix = 0;
+            int iy = 0;
+            if (incx < 0) { ix = (-n + 1) * incx; }
+            if (incy < 0) { iy = (-n + 1) * incy; }
+            for (int i = 0; i < n; i++) {
+                dtemp += dx[ix + dxOff] * dy[iy + dyOff];
+                ix += incx;
+                iy += incy;
+            }
+            return dtemp;
+        }
+        for (int i = 0; i < n; i++) {
+            dtemp += dx[i + dxOff] * dy[i + dyOff];
+        }
+        return dtemp;
+    }
+
+    static int dgefa(double[][] a, int lda, int n, int[] ipvt) {
+        int info = 0;
+        int nm1 = n - 1;
+        if (nm1 >= 0) {
+            for (int k = 0; k < nm1; k++) {
+                double[] colK = a[k];
+                int kp1 = k + 1;
+                int l = idamax(n - k, colK, k, 1) + k;
+                ipvt[k] = l;
+                if (colK[l] != 0.0) {
+                    if (l != k) {
+                        double t = colK[l];
+                        colK[l] = colK[k];
+                        colK[k] = t;
+                    }
+                    double t = -1.0 / colK[k];
+                    dscal(n - kp1, t, colK, kp1, 1);
+                    for (int j = kp1; j < n; j++) {
+                        double[] colJ = a[j];
+                        double u = colJ[l];
+                        if (l != k) {
+                            colJ[l] = colJ[k];
+                            colJ[k] = u;
+                        }
+                        daxpy(n - kp1, u, colK, kp1, 1, colJ, kp1, 1);
+                    }
+                } else {
+                    info = k;
+                }
+            }
+        }
+        ipvt[n - 1] = n - 1;
+        if (a[n - 1][n - 1] == 0.0) {
+            info = n - 1;
+        }
+        return info;
+    }
+
+    static void dgesl(double[][] a, int lda, int n, int[] ipvt, double[] b, int job) {
+        int nm1 = n - 1;
+        if (job == 0) {
+            if (nm1 >= 1) {
+                for (int k = 0; k < nm1; k++) {
+                    int l = ipvt[k];
+                    double t = b[l];
+                    if (l != k) {
+                        b[l] = b[k];
+                        b[k] = t;
+                    }
+                    int kp1 = k + 1;
+                    daxpy(n - kp1, t, a[k], kp1, 1, b, kp1, 1);
+                }
+            }
+            for (int kb = 0; kb < n; kb++) {
+                int k = n - (kb + 1);
+                b[k] /= a[k][k];
+                double t = -b[k];
+                daxpy(k, t, a[k], 0, 1, b, 0, 1);
+            }
+            return;
+        }
+        for (int k = 0; k < n; k++) {
+            double t = ddot(k, a[k], 0, 1, b, 0, 1);
+            b[k] = (b[k] - t) / a[k][k];
+        }
+        if (nm1 >= 1) {
+            for (int kb = 1; kb < nm1; kb++) {
+                int k = n - (kb + 1);
+                int kp1 = k + 1;
+                b[k] += ddot(n - kp1, a[k], kp1, 1, b, kp1, 1);
+                int l = ipvt[k];
+                if (l != k) {
+                    double t = b[l];
+                    b[l] = b[k];
+                    b[k] = t;
+                }
+            }
+        }
+    }
+
+    static double epslon(double x) {
+        double a = 4.0 / 3.0;
+        double eps = 0.0;
+        while (eps == 0.0) {
+            double bb = a - 1.0;
+            double c = bb + bb + bb;
+            eps = abs(c - 1.0);
+        }
+        return eps * abs(x);
+    }
+
+    static void dmxpy(int n1, double[] y, int n2, int ldm, double[] x, double[][] m) {
+        for (int j = 0; j < n2; j++) {
+            for (int i = 0; i < n1; i++) {
+                y[i] += x[j] * m[j][i];
+            }
+        }
+    }
+
+    static void main() {
+        int lda = n + 1;
+        double[][] a = new double[n][lda];
+        double[] b = new double[n];
+        double[] x = new double[n];
+        int[] ipvt = new int[n];
+
+        double norma = matgen(a, lda, n, b);
+        dgefa(a, lda, n, ipvt);
+        dgesl(a, lda, n, ipvt, b, 0);
+
+        for (int i = 0; i < n; i++) {
+            x[i] = b[i];
+        }
+        norma = matgen(a, lda, n, b);
+        for (int i = 0; i < n; i++) {
+            b[i] = -b[i];
+        }
+        dmxpy(n, b, n, lda, x, a);
+        double resid = 0.0;
+        double normx = 0.0;
+        for (int i = 0; i < n; i++) {
+            resid = resid > abs(b[i]) ? resid : abs(b[i]);
+            normx = normx > abs(x[i]) ? normx : abs(x[i]);
+        }
+        double eps = epslon(1.0);
+        double residn = resid / (n * norma * normx * eps);
+        System.out.println("residn ok: " + (residn < 100.0));
+        System.out.println("normx: " + (abs(normx - 1.0) < 0.1));
+    }
+}
+`

@@ -1,0 +1,800 @@
+package corpus
+
+// bitSieveSrc mirrors sun.math.BitSieve: a bit-packed prime sieve over a
+// long array, exercising long arithmetic, shifts, and array checks.
+const bitSieveSrc = `
+class BitSieve {
+    long[] bits;
+    int length;
+
+    BitSieve(int searchLen) {
+        length = searchLen;
+        bits = new long[unitIndex(searchLen - 1) + 1];
+        set(0);
+        int nextIndex = 1;
+        int nextPrime = 3;
+        do {
+            sieveSingle(searchLen, nextIndex + nextPrime, nextPrime);
+            nextIndex = sieveSearch(searchLen, nextIndex + 1);
+            nextPrime = 2 * nextIndex + 1;
+        } while (nextIndex > 0 && nextPrime < searchLen);
+    }
+
+    static int unitIndex(int bitIndex) {
+        return bitIndex >> 6;
+    }
+
+    static long bit(int bitIndex) {
+        return 1L << (bitIndex & 63);
+    }
+
+    boolean get(int bitIndex) {
+        int ui = unitIndex(bitIndex);
+        return (bits[ui] & bit(bitIndex)) != 0L;
+    }
+
+    void set(int bitIndex) {
+        int ui = unitIndex(bitIndex);
+        bits[ui] |= bit(bitIndex);
+    }
+
+    int sieveSearch(int limit, int start) {
+        if (start >= limit) {
+            return -1;
+        }
+        int index = start;
+        do {
+            if (!get(index)) {
+                return index;
+            }
+            index++;
+        } while (index < limit - 1);
+        return -1;
+    }
+
+    void sieveSingle(int limit, int start, int step) {
+        while (start < limit) {
+            set(start);
+            start += step;
+        }
+    }
+
+    int countPrimes() {
+        int count = 1; // the prime 2
+        for (int i = 1; 2 * i + 1 < length; i++) {
+            if (!get(i)) {
+                count++;
+            }
+        }
+        return count;
+    }
+
+    static void main() {
+        BitSieve s = new BitSieve(10000);
+        System.out.println(s.countPrimes());
+        System.out.println(s.get(7));
+        System.out.println(s.sieveSearch(10000, 3));
+    }
+}
+`
+
+// mutableBigIntegerBody mirrors sun.math.MutableBigInteger: magnitude
+// arithmetic on int arrays with explicit carries — dense in array and
+// null checks, the heart of Figure 6's sun.math rows. The main method is
+// appended separately so SignedMutableBigInteger can reuse the class.
+const mutableBigIntegerBody = `
+class MutableBigInteger {
+    int[] value;
+    int intLen;
+    int offset;
+
+    MutableBigInteger() {
+        value = new int[1];
+        intLen = 0;
+        offset = 0;
+    }
+
+    MutableBigInteger(int val) {
+        value = new int[1];
+        intLen = 1;
+        value[0] = val;
+        offset = 0;
+    }
+
+    MutableBigInteger(int[] val, int len) {
+        value = val;
+        intLen = len;
+        offset = 0;
+    }
+
+    void clear() {
+        offset = 0;
+        intLen = 0;
+        for (int index = 0; index < value.length; index++) {
+            value[index] = 0;
+        }
+    }
+
+    boolean isZero() {
+        return intLen == 0;
+    }
+
+    void normalize() {
+        if (intLen == 0) {
+            offset = 0;
+            return;
+        }
+        int index = offset;
+        if (value[index] != 0) {
+            return;
+        }
+        int indexBound = index + intLen;
+        do {
+            index++;
+        } while (index < indexBound && value[index] == 0);
+        int numZeros = index - offset;
+        intLen -= numZeros;
+        offset = intLen == 0 ? 0 : offset + numZeros;
+    }
+
+    int compare(MutableBigInteger b) {
+        if (intLen < b.intLen) {
+            return -1;
+        }
+        if (intLen > b.intLen) {
+            return 1;
+        }
+        for (int i = 0; i < intLen; i++) {
+            long b1 = (value[offset + i] & 0xFFFFFFFFL);
+            long b2 = (b.value[b.offset + i] & 0xFFFFFFFFL);
+            if (b1 < b2) {
+                return -1;
+            }
+            if (b1 > b2) {
+                return 1;
+            }
+        }
+        return 0;
+    }
+
+    int getLowestSetBit() {
+        if (intLen == 0) {
+            return -1;
+        }
+        int j = intLen - 1;
+        while (j > 0 && value[j + offset] == 0) {
+            j--;
+        }
+        int b = value[j + offset];
+        if (b == 0) {
+            return -1;
+        }
+        int bit = 0;
+        while ((b & 1) == 0) {
+            b >>= 1;
+            bit++;
+        }
+        return ((intLen - 1 - j) << 5) + bit;
+    }
+
+    void add(MutableBigInteger addend) {
+        int x = intLen;
+        int y = addend.intLen;
+        int resultLen = intLen > addend.intLen ? intLen : addend.intLen;
+        int[] result = value.length < resultLen ? new int[resultLen] : value;
+
+        int rstart = result.length - 1;
+        long sum = 0L;
+        long carry = 0L;
+        while (x > 0 && y > 0) {
+            x--;
+            y--;
+            sum = (value[x + offset] & 0xFFFFFFFFL)
+                + (addend.value[y + addend.offset] & 0xFFFFFFFFL) + carry;
+            result[rstart] = (int) sum;
+            rstart--;
+            carry = sum >> 32;
+        }
+        while (x > 0) {
+            x--;
+            if (carry == 0L && result == value && rstart == (x + offset)) {
+                return;
+            }
+            sum = (value[x + offset] & 0xFFFFFFFFL) + carry;
+            result[rstart] = (int) sum;
+            rstart--;
+            carry = sum >> 32;
+        }
+        while (y > 0) {
+            y--;
+            sum = (addend.value[y + addend.offset] & 0xFFFFFFFFL) + carry;
+            result[rstart] = (int) sum;
+            rstart--;
+            carry = sum >> 32;
+        }
+        if (carry > 0L) {
+            resultLen++;
+            if (result.length < resultLen) {
+                int[] temp = new int[resultLen];
+                for (int i = 0; i < result.length; i++) {
+                    temp[temp.length - result.length + i] = result[i];
+                }
+                temp[0] = 1;
+                result = temp;
+            } else {
+                result[result.length - resultLen] = 1;
+            }
+        }
+        value = result;
+        intLen = resultLen;
+        offset = result.length - resultLen;
+    }
+
+    int subtract(MutableBigInteger b) {
+        MutableBigInteger a = this;
+        int[] result = value;
+        int sign = a.compare(b);
+        if (sign == 0) {
+            reset();
+            return 0;
+        }
+        if (sign < 0) {
+            MutableBigInteger tmp = a;
+            a = b;
+            b = tmp;
+        }
+        int resultLen = a.intLen;
+        if (result.length < resultLen) {
+            result = new int[resultLen];
+        }
+        long diff = 0L;
+        int x = a.intLen;
+        int y = b.intLen;
+        int rstart = result.length - 1;
+        while (y > 0) {
+            x--;
+            y--;
+            diff = (a.value[x + a.offset] & 0xFFFFFFFFL)
+                 - (b.value[y + b.offset] & 0xFFFFFFFFL) - ((int) -(diff >> 32));
+            result[rstart] = (int) diff;
+            rstart--;
+        }
+        while (x > 0) {
+            x--;
+            diff = (a.value[x + a.offset] & 0xFFFFFFFFL) - ((int) -(diff >> 32));
+            result[rstart] = (int) diff;
+            rstart--;
+        }
+        value = result;
+        intLen = resultLen;
+        offset = value.length - resultLen;
+        normalize();
+        return sign;
+    }
+
+    void reset() {
+        offset = 0;
+        intLen = 0;
+    }
+
+    void mul(int y, MutableBigInteger z) {
+        if (y == 1) {
+            z.copyValue(this);
+            return;
+        }
+        if (y == 0) {
+            z.clear();
+            return;
+        }
+        long ylong = y & 0xFFFFFFFFL;
+        int[] zval = z.value.length < intLen + 1 ? new int[intLen + 1] : z.value;
+        long carry = 0L;
+        for (int i = intLen - 1; i >= 0; i--) {
+            long product = ylong * (value[i + offset] & 0xFFFFFFFFL) + carry;
+            zval[i + 1] = (int) product;
+            carry = product >> 32;
+        }
+        zval[0] = (int) carry;
+        z.intLen = carry == 0L ? intLen : intLen + 1;
+        z.value = zval;
+        z.offset = 0;
+        z.normalize();
+    }
+
+    void copyValue(MutableBigInteger src) {
+        int len = src.intLen;
+        if (value.length < len) {
+            value = new int[len];
+        }
+        for (int i = 0; i < len; i++) {
+            value[value.length - len + i] = src.value[src.offset + i];
+        }
+        intLen = len;
+        offset = value.length - len;
+    }
+
+    long toLong() {
+        if (intLen == 0) {
+            return 0L;
+        }
+        long d = value[offset] & 0xFFFFFFFFL;
+        if (intLen == 1) {
+            return d;
+        }
+        return (d << 32) | (value[offset + 1] & 0xFFFFFFFFL);
+    }
+
+}
+`
+
+// mutableBigIntegerSrc is the standalone unit: the class plus a driver.
+const mutableBigIntegerSrc = mutableBigIntegerBody + `
+class MutableMain {
+    static void main() {
+        MutableBigInteger a = new MutableBigInteger(1000000);
+        MutableBigInteger b = new MutableBigInteger(999999);
+        a.add(b);
+        System.out.println(a.toLong());
+        MutableBigInteger c = new MutableBigInteger();
+        a.mul(1000, c);
+        System.out.println(c.toLong());
+        c.subtract(a);
+        System.out.println(c.toLong());
+        System.out.println(c.compare(a));
+        System.out.println(c.getLowestSetBit());
+        MutableBigInteger big = new MutableBigInteger(7);
+        MutableBigInteger acc = new MutableBigInteger(1);
+        for (int i = 0; i < 12; i++) {
+            MutableBigInteger t = new MutableBigInteger();
+            acc.mul(7, t);
+            acc = t;
+        }
+        System.out.println(acc.toLong());
+        System.out.println(big.isZero());
+    }
+}
+`
+
+// signedMutableSrc mirrors SignedMutableBigInteger: a thin signed wrapper
+// (one of the small rows of Figure 5).
+const signedMutableSrc = `
+class SignedMutableBigInteger {
+    int sign;
+    MutableBigInteger mag;
+
+    SignedMutableBigInteger() {
+        sign = 1;
+        mag = new MutableBigInteger();
+    }
+
+    SignedMutableBigInteger(int val) {
+        sign = val < 0 ? -1 : 1;
+        mag = new MutableBigInteger(val < 0 ? -val : val);
+    }
+
+    void signedAdd(SignedMutableBigInteger addend) {
+        if (sign == addend.sign) {
+            mag.add(addend.mag);
+        } else {
+            sign = sign * mag.subtract(addend.mag);
+        }
+    }
+
+    void signedSubtract(SignedMutableBigInteger addend) {
+        if (sign != addend.sign) {
+            mag.add(addend.mag);
+        } else {
+            sign = sign * mag.subtract(addend.mag);
+        }
+        if (mag.isZero()) {
+            sign = 1;
+        }
+    }
+
+    long signedValue() {
+        return sign * mag.toLong();
+    }
+
+    static void main() {
+        SignedMutableBigInteger a = new SignedMutableBigInteger(500);
+        SignedMutableBigInteger b = new SignedMutableBigInteger(-300);
+        a.signedAdd(b);
+        System.out.println(a.signedValue());
+        a.signedSubtract(new SignedMutableBigInteger(900));
+        System.out.println(a.signedValue());
+        a.signedAdd(new SignedMutableBigInteger(700));
+        System.out.println(a.signedValue());
+    }
+}
+` + mutableBigIntegerBody
+
+// bigIntegerSrc is a magnitude-array big-integer in the style of
+// java.math.BigInteger (the biggest sun.math row): immutable values,
+// add/subtract/multiply/shift/compare/parse/toString(decimal).
+const bigIntegerSrc = `
+class BigInteger {
+    int signum;
+    int[] mag;
+
+    BigInteger(int signum, int[] mag) {
+        this.signum = mag.length == 0 ? 0 : signum;
+        this.mag = mag;
+    }
+
+    static BigInteger valueOf(long val) {
+        int sig = 1;
+        if (val == 0L) {
+            return new BigInteger(0, new int[0]);
+        }
+        if (val < 0L) {
+            sig = -1;
+            val = -val;
+        }
+        int hi = (int) (val >> 32);
+        if (hi == 0) {
+            int[] m = new int[1];
+            m[0] = (int) val;
+            return new BigInteger(sig, m);
+        }
+        int[] m = new int[2];
+        m[0] = hi;
+        m[1] = (int) val;
+        return new BigInteger(sig, m);
+    }
+
+    static int[] trusted(int[] val) {
+        int keep = 0;
+        while (keep < val.length && val[keep] == 0) {
+            keep++;
+        }
+        if (keep == 0) {
+            return val;
+        }
+        int[] r = new int[val.length - keep];
+        for (int i = 0; i < r.length; i++) {
+            r[i] = val[keep + i];
+        }
+        return r;
+    }
+
+    static int compareMag(int[] a, int[] b) {
+        if (a.length < b.length) {
+            return -1;
+        }
+        if (a.length > b.length) {
+            return 1;
+        }
+        for (int i = 0; i < a.length; i++) {
+            long x = a[i] & 0xFFFFFFFFL;
+            long y = b[i] & 0xFFFFFFFFL;
+            if (x < y) {
+                return -1;
+            }
+            if (x > y) {
+                return 1;
+            }
+        }
+        return 0;
+    }
+
+    static int[] addMag(int[] x, int[] y) {
+        if (x.length < y.length) {
+            int[] tmp = x;
+            x = y;
+            y = tmp;
+        }
+        int xIndex = x.length;
+        int yIndex = y.length;
+        int[] result = new int[xIndex];
+        long sum = 0L;
+        while (yIndex > 0) {
+            xIndex--;
+            yIndex--;
+            sum = (x[xIndex] & 0xFFFFFFFFL) + (y[yIndex] & 0xFFFFFFFFL) + (sum >> 32);
+            result[xIndex] = (int) sum;
+        }
+        boolean carry = (sum >> 32) != 0L;
+        while (xIndex > 0 && carry) {
+            xIndex--;
+            result[xIndex] = x[xIndex] + 1;
+            carry = result[xIndex] == 0;
+        }
+        while (xIndex > 0) {
+            xIndex--;
+            result[xIndex] = x[xIndex];
+        }
+        if (carry) {
+            int[] bigger = new int[result.length + 1];
+            for (int i = 0; i < result.length; i++) {
+                bigger[i + 1] = result[i];
+            }
+            bigger[0] = 1;
+            return bigger;
+        }
+        return result;
+    }
+
+    static int[] subMag(int[] big, int[] little) {
+        int bigIndex = big.length;
+        int[] result = new int[bigIndex];
+        int littleIndex = little.length;
+        long difference = 0L;
+        while (littleIndex > 0) {
+            bigIndex--;
+            littleIndex--;
+            difference = (big[bigIndex] & 0xFFFFFFFFL)
+                       - (little[littleIndex] & 0xFFFFFFFFL) + (difference >> 32);
+            result[bigIndex] = (int) difference;
+        }
+        boolean borrow = (difference >> 32) != 0L;
+        while (bigIndex > 0 && borrow) {
+            bigIndex--;
+            result[bigIndex] = big[bigIndex] - 1;
+            borrow = big[bigIndex] == 0;
+        }
+        while (bigIndex > 0) {
+            bigIndex--;
+            result[bigIndex] = big[bigIndex];
+        }
+        return trusted(result);
+    }
+
+    BigInteger add(BigInteger val) {
+        if (val.signum == 0) {
+            return this;
+        }
+        if (signum == 0) {
+            return val;
+        }
+        if (val.signum == signum) {
+            return new BigInteger(signum, addMag(mag, val.mag));
+        }
+        int cmp = compareMag(mag, val.mag);
+        if (cmp == 0) {
+            return valueOf(0L);
+        }
+        int[] resultMag = cmp > 0 ? subMag(mag, val.mag) : subMag(val.mag, mag);
+        return new BigInteger(cmp == (signum < 0 ? -1 : 1) ? 1 : -1, resultMag);
+    }
+
+    BigInteger subtract(BigInteger val) {
+        return add(new BigInteger(-val.signum, val.mag));
+    }
+
+    BigInteger multiply(BigInteger val) {
+        if (signum == 0 || val.signum == 0) {
+            return valueOf(0L);
+        }
+        int[] x = mag;
+        int[] y = val.mag;
+        int[] z = new int[x.length + y.length];
+        int xstart = x.length - 1;
+        int ystart = y.length - 1;
+        long carry = 0L;
+        int k = ystart + 1 + xstart;
+        for (int j = ystart; j >= 0; j--) {
+            long product = (y[j] & 0xFFFFFFFFL) * (x[xstart] & 0xFFFFFFFFL) + carry;
+            z[k] = (int) product;
+            carry = product >> 32;
+            k--;
+        }
+        z[xstart] = (int) carry;
+        for (int i = xstart - 1; i >= 0; i--) {
+            carry = 0L;
+            k = ystart + 1 + i;
+            for (int j = ystart; j >= 0; j--) {
+                long product = (y[j] & 0xFFFFFFFFL) * (x[i] & 0xFFFFFFFFL)
+                             + (z[k] & 0xFFFFFFFFL) + carry;
+                z[k] = (int) product;
+                carry = product >> 32;
+                k--;
+            }
+            z[i] = (int) carry;
+        }
+        return new BigInteger(signum * val.signum, trusted(z));
+    }
+
+    BigInteger shiftLeft(int n) {
+        if (signum == 0 || n == 0) {
+            return this;
+        }
+        int nInts = n >> 5;
+        int nBits = n & 31;
+        int magLen = mag.length;
+        int[] newMag;
+        if (nBits == 0) {
+            newMag = new int[magLen + nInts];
+            for (int i = 0; i < magLen; i++) {
+                newMag[i] = mag[i];
+            }
+        } else {
+            int i = 0;
+            int nBits2 = 32 - nBits;
+            int highBits = mag[0] >> nBits2 & ((1 << nBits) - 1);
+            if (highBits != 0) {
+                newMag = new int[magLen + nInts + 1];
+                newMag[i] = highBits;
+                i++;
+            } else {
+                newMag = new int[magLen + nInts];
+            }
+            int j = 0;
+            while (j < magLen - 1) {
+                newMag[i] = mag[j] << nBits | (mag[j + 1] >> nBits2 & ((1 << nBits) - 1));
+                i++;
+                j++;
+            }
+            newMag[i] = mag[j] << nBits;
+        }
+        return new BigInteger(signum, newMag);
+    }
+
+    int compareTo(BigInteger val) {
+        if (signum == val.signum) {
+            return signum >= 0 ? compareMag(mag, val.mag) : compareMag(val.mag, mag);
+        }
+        return signum > val.signum ? 1 : -1;
+    }
+
+    long longValue() {
+        long result = 0L;
+        for (int i = 0; i < mag.length; i++) {
+            result = (result << 32) + (mag[i] & 0xFFFFFFFFL);
+        }
+        return signum * result;
+    }
+
+    String toDecimal() {
+        if (signum == 0) {
+            return "0";
+        }
+        int[] work = new int[mag.length];
+        for (int i = 0; i < mag.length; i++) {
+            work[i] = mag[i];
+        }
+        String digits = "";
+        boolean nonzero = true;
+        while (nonzero) {
+            long rem = 0L;
+            nonzero = false;
+            for (int i = 0; i < work.length; i++) {
+                long cur = (rem << 32) + (work[i] & 0xFFFFFFFFL);
+                work[i] = (int) (cur / 10L);
+                rem = cur % 10L;
+                if (work[i] != 0) {
+                    nonzero = true;
+                }
+            }
+            digits = "" + rem + digits;
+        }
+        return (signum < 0 ? "-" : "") + digits;
+    }
+
+    static void main() {
+        BigInteger a = valueOf(123456789L);
+        BigInteger b = valueOf(987654321L);
+        BigInteger c = a.multiply(b);
+        System.out.println(c.toDecimal());
+        System.out.println(c.add(a).subtract(a).compareTo(c));
+        BigInteger big = valueOf(1L);
+        for (int i = 0; i < 5; i++) {
+            big = big.multiply(valueOf(1000000007L));
+        }
+        System.out.println(big.toDecimal());
+        System.out.println(big.shiftLeft(7).toDecimal());
+        System.out.println(a.subtract(b).toDecimal());
+        System.out.println(valueOf(-42L).longValue());
+    }
+}
+`
+
+// bigDecimalSrc mirrors a scaled-decimal type over the big integer.
+const bigDecimalSrc = `
+class BigDecimal {
+    long intVal;
+    int scale;
+
+    BigDecimal(long val, int scale) {
+        intVal = val;
+        this.scale = scale;
+    }
+
+    static long pow10(int n) {
+        long r = 1L;
+        for (int i = 0; i < n; i++) {
+            r *= 10L;
+        }
+        return r;
+    }
+
+    static BigDecimal valueOf(long unscaled, int scale) {
+        return new BigDecimal(unscaled, scale);
+    }
+
+    BigDecimal setScale(int newScale) {
+        if (newScale == scale) {
+            return this;
+        }
+        if (newScale > scale) {
+            return new BigDecimal(intVal * pow10(newScale - scale), newScale);
+        }
+        long factor = pow10(scale - newScale);
+        long half = factor / 2L;
+        long q = intVal / factor;
+        long r = intVal - q * factor;
+        if (r >= half) {
+            q += 1L;
+        }
+        if (-r >= half) {
+            q -= 1L;
+        }
+        return new BigDecimal(q, newScale);
+    }
+
+    BigDecimal add(BigDecimal other) {
+        int s = scale > other.scale ? scale : other.scale;
+        BigDecimal a = setScale(s);
+        BigDecimal b = other.setScale(s);
+        return new BigDecimal(a.intVal + b.intVal, s);
+    }
+
+    BigDecimal subtract(BigDecimal other) {
+        int s = scale > other.scale ? scale : other.scale;
+        BigDecimal a = setScale(s);
+        BigDecimal b = other.setScale(s);
+        return new BigDecimal(a.intVal - b.intVal, s);
+    }
+
+    BigDecimal multiply(BigDecimal other) {
+        return new BigDecimal(intVal * other.intVal, scale + other.scale);
+    }
+
+    int compareTo(BigDecimal other) {
+        BigDecimal d = subtract(other);
+        if (d.intVal == 0L) {
+            return 0;
+        }
+        return d.intVal > 0L ? 1 : -1;
+    }
+
+    int signum() {
+        if (intVal == 0L) {
+            return 0;
+        }
+        return intVal > 0L ? 1 : -1;
+    }
+
+    String show() {
+        if (scale == 0) {
+            return "" + intVal;
+        }
+        long f = pow10(scale);
+        long whole = intVal / f;
+        long frac = intVal % f;
+        if (frac < 0L) {
+            frac = -frac;
+        }
+        String fs = "" + frac;
+        while (fs.length() < scale) {
+            fs = "0" + fs;
+        }
+        return whole + "." + fs;
+    }
+
+    static void main() {
+        BigDecimal price = valueOf(19995, 2);
+        BigDecimal tax = price.multiply(valueOf(825, 4)).setScale(2);
+        BigDecimal total = price.add(tax);
+        System.out.println(price.show());
+        System.out.println(tax.show());
+        System.out.println(total.show());
+        System.out.println(total.compareTo(price));
+        System.out.println(total.subtract(total).signum());
+        BigDecimal acc = valueOf(0, 2);
+        for (int i = 1; i <= 10; i++) {
+            acc = acc.add(valueOf(i * 111, 2));
+        }
+        System.out.println(acc.show());
+    }
+}
+`

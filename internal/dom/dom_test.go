@@ -1,0 +1,133 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a connected-ish digraph over n nodes with node 0 as
+// entry; every node except the entry gets at least one predecessor from a
+// lower-numbered node, so all nodes are reachable, plus random extra
+// edges (including back edges).
+func randomGraph(r *rand.Rand, n int) [][]int {
+	preds := make([][]int, n)
+	for v := 1; v < n; v++ {
+		preds[v] = append(preds[v], r.Intn(v))
+	}
+	extra := r.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		from := r.Intn(n)
+		to := r.Intn(n)
+		if to == 0 {
+			continue
+		}
+		preds[to] = append(preds[to], from)
+	}
+	return preds
+}
+
+// TestIterativeMatchesLengauerTarjan is the cross-check property: the two
+// independent dominator algorithms must agree on every random flow graph.
+func TestIterativeMatchesLengauerTarjan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%40) + 2
+		preds := randomGraph(r, n)
+		pf := func(v int) []int { return preds[v] }
+		a := Compute(n, 0, pf)
+		b := ComputeLT(n, 0, pf)
+		for v := 0; v < n; v++ {
+			if a[v] != b[v] {
+				t.Logf("seed %d n %d: node %d: iterative %d, LT %d", seed, n, v, a[v], b[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+	preds := [][]int{nil, {0}, {0}, {1, 2}}
+	idom := Compute(4, 0, func(v int) []int { return preds[v] })
+	want := []int{0, 0, 0, 0}
+	for v, w := range want {
+		if idom[v] != w {
+			t.Errorf("idom[%d] = %d, want %d", v, idom[v], w)
+		}
+	}
+}
+
+func TestDominatorsChainAndLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, back edge 3 -> 1, exit 2 -> 4
+	preds := [][]int{nil, {0, 3}, {1}, {2}, {2}}
+	idom := Compute(5, 0, func(v int) []int { return preds[v] })
+	want := []int{0, 0, 1, 2, 2}
+	for v, w := range want {
+		if idom[v] != w {
+			t.Errorf("idom[%d] = %d, want %d", v, idom[v], w)
+		}
+	}
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	// Node 2 unreachable from entry.
+	preds := [][]int{nil, {0}, {2}}
+	idom := Compute(3, 0, func(v int) []int { return preds[v] })
+	if idom[2] != -1 {
+		t.Errorf("unreachable node got idom %d", idom[2])
+	}
+	lt := ComputeLT(3, 0, func(v int) []int { return preds[v] })
+	if lt[2] != -1 {
+		t.Errorf("LT: unreachable node got idom %d", lt[2])
+	}
+}
+
+// TestDominanceProperty checks the defining property on random graphs:
+// removing idom(v) from the graph disconnects v from the entry.
+func TestDominanceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(30) + 3
+		preds := randomGraph(r, n)
+		idom := Compute(n, 0, func(v int) []int { return preds[v] })
+		succs := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for _, p := range preds[v] {
+				succs[p] = append(succs[p], v)
+			}
+		}
+		reachableWithout := func(blocked int) []bool {
+			seen := make([]bool, n)
+			if blocked == 0 {
+				return seen
+			}
+			stack := []int{0}
+			seen[0] = true
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, s := range succs[v] {
+					if s != blocked && !seen[s] {
+						seen[s] = true
+						stack = append(stack, s)
+					}
+				}
+			}
+			return seen
+		}
+		for v := 1; v < n; v++ {
+			if idom[v] < 0 || idom[v] == v {
+				continue
+			}
+			if reachableWithout(idom[v])[v] {
+				t.Fatalf("trial %d: node %d reachable without its idom %d", trial, v, idom[v])
+			}
+		}
+	}
+}

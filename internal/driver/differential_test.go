@@ -1,0 +1,272 @@
+package driver
+
+import (
+	"testing"
+)
+
+// diffPrograms are executed through all three pipelines — plain SafeTSA,
+// optimized SafeTSA, and the bytecode baseline — and must print identical
+// output. They deliberately stress the semantics corners where the
+// pipelines could diverge: evaluation order, exceptions during partial
+// evaluation, inheritance, numeric edge cases, and string conversion.
+var diffPrograms = map[string]string{
+	"eval-order": `
+class Main {
+    static int trace(String tag, int v) { System.out.print(tag); return v; }
+    static void main() {
+        int[] a = new int[4];
+        a[trace("i", 1)] = trace("v", 9);
+        System.out.println(a[1]);
+        int x = trace("a", 2) + trace("b", 3) * trace("c", 4);
+        System.out.println(x);
+    }
+}`,
+	"exception-partial": `
+class Main {
+    static int side;
+    static int bump() { side++; return side; }
+    static void main() {
+        int[] a = new int[2];
+        try {
+            a[5] = bump();
+        } catch (IndexOutOfBoundsException e) {
+            System.out.println("oob after " + side);
+        }
+        int[] b = null;
+        try {
+            b[0] = bump();
+        } catch (NullPointerException e) {
+            System.out.println("npe after " + side);
+        }
+    }
+}`,
+	"numeric-edges": `
+class Main {
+    static void main() {
+        int min = -2147483647 - 1;
+        System.out.println(min / -1);
+        System.out.println(min % -1);
+        System.out.println(7 / -2);
+        System.out.println(7 % -2);
+        System.out.println(-7 % 2);
+        long lmin = -9223372036854775807L - 1L;
+        System.out.println(lmin / -1L);
+        System.out.println(1 << 33);
+        System.out.println(1L << 33);
+        System.out.println((int) 3.99);
+        System.out.println((int) -3.99);
+        System.out.println((char) 66);
+        System.out.println((int) 'B');
+        System.out.println(0.1 + 0.2);
+        System.out.println(1.0 / 0.0);
+        System.out.println(-1.0 / 0.0);
+        System.out.println(0.0 / 0.0);
+    }
+}`,
+	"inheritance": `
+class Animal {
+    String name;
+    Animal(String n) { name = n; }
+    String speak() { return "..."; }
+    String describe() { return name + " says " + speak(); }
+}
+class Dog extends Animal {
+    Dog(String n) { super(n); }
+    String speak() { return "woof"; }
+}
+class Puppy extends Dog {
+    Puppy() { super("puppy"); }
+    String speak() { return "yip " + super.speak(); }
+}
+class Main {
+    static void main() {
+        Animal[] zoo = new Animal[3];
+        zoo[0] = new Animal("thing");
+        zoo[1] = new Dog("rex");
+        zoo[2] = new Puppy();
+        for (int i = 0; i < zoo.length; i++) {
+            System.out.println(zoo[i].describe());
+        }
+        Animal a = zoo[2];
+        System.out.println(a instanceof Dog);
+        System.out.println(a instanceof Puppy);
+        Dog d = (Dog) a;
+        System.out.println(d.name);
+    }
+}`,
+	"strings": `
+class Main {
+    static void main() {
+        String s = "";
+        for (int i = 0; i < 5; i++) {
+            s += i + ",";
+        }
+        System.out.println(s);
+        System.out.println(s.length());
+        System.out.println("abc".compareTo("abd"));
+        System.out.println("hello world".indexOf("world"));
+        System.out.println("" + 'x' + 'y');
+        System.out.println(1 + 2 + "three" + 4 + 5);
+        System.out.println("val=" + 1.5 + " " + true + " " + 'c' + " " + 10L);
+    }
+}`,
+	"compound": `
+class Box { int v; double d; }
+class Main {
+    static void main() {
+        Box b = new Box();
+        b.v = 10;
+        b.v += 5;
+        b.v *= 2;
+        b.v -= 3;
+        b.v /= 2;
+        System.out.println(b.v);
+        int[] a = new int[3];
+        a[1] = 4;
+        a[1] <<= 2;
+        a[1] |= 1;
+        a[1] ^= 6;
+        System.out.println(a[1]);
+        int i = 0;
+        int j = i++ + ++i;
+        System.out.println(i + " " + j);
+        b.d = 1.5;
+        b.d *= 4.0;
+        System.out.println(b.d);
+        char c = 'a';
+        c++;
+        System.out.println(c);
+    }
+}`,
+	"casts-and-checks": `
+class A {}
+class B extends A {}
+class Main {
+    static void main() {
+        A a = new A();
+        try {
+            B b = (B) a;
+            System.out.println(b == null);
+        } catch (ClassCastException e) {
+            System.out.println("cce");
+        }
+        A nb = new B();
+        B ok = (B) nb;
+        System.out.println(ok != null);
+        Object o = "text";
+        System.out.println(o instanceof String);
+        String t = (String) o;
+        System.out.println(t.length());
+    }
+}`,
+	"recursion": `
+class Main {
+    static long fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    static int ack(int m, int n) {
+        if (m == 0) return n + 1;
+        if (n == 0) return ack(m - 1, 1);
+        return ack(m - 1, ack(m, n - 1));
+    }
+    static void main() {
+        System.out.println(fib(20));
+        System.out.println(ack(2, 3));
+    }
+}`,
+	"nested-try": `
+class Main {
+    static void main() {
+        try {
+            try {
+                int[] a = new int[1];
+                a[3] = 1;
+            } finally {
+                System.out.println("inner finally");
+            }
+        } catch (Exception e) {
+            System.out.println("outer: " + e.getMessage());
+        }
+        try {
+            try {
+                throw new Exception("deep");
+            } catch (ArithmeticException e) {
+                System.out.println("wrong handler");
+            }
+        } catch (Exception e) {
+            System.out.println("right handler: " + e.getMessage());
+        }
+    }
+}`,
+	"loops-hard": `
+class Main {
+    static void main() {
+        int total = 0;
+        for (int i = 0; i < 5; i++) {
+            for (int j = 0; j < 5; j++) {
+                if (j > i) break;
+                if ((i + j) % 2 == 0) continue;
+                total += i * 10 + j;
+            }
+        }
+        System.out.println(total);
+        int n = 0;
+        while (true) {
+            n++;
+            if (n >= 7) break;
+        }
+        System.out.println(n);
+        int m = 10;
+        do {
+            m -= 3;
+            if (m == 4) continue;
+        } while (m > 0);
+        System.out.println(m);
+    }
+}`,
+}
+
+func TestDifferentialPipelines(t *testing.T) {
+	for name, src := range diffPrograms {
+		t.Run(name, func(t *testing.T) {
+			files := map[string]string{"Main.tj": src}
+			prog, err := Frontend(files)
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+
+			bc, err := CompileBytecode(prog)
+			if err != nil {
+				t.Fatalf("bytecode compile: %v", err)
+			}
+			want, err := RunBytecode(bc, 50_000_000)
+			if err != nil {
+				t.Fatalf("bytecode run: %v (output %q)", err, want)
+			}
+
+			tsa, err := CompileTSA(prog)
+			if err != nil {
+				t.Fatalf("safetsa compile: %v", err)
+			}
+			got, err := RunModule(tsa, 50_000_000)
+			if err != nil {
+				t.Fatalf("safetsa run: %v (output %q)", err, got)
+			}
+			if got != want {
+				t.Fatalf("SafeTSA diverges from bytecode:\nbytecode: %q\nsafetsa:  %q", want, got)
+			}
+
+			if _, err := OptimizeModule(tsa); err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			gotOpt, err := RunModule(tsa, 50_000_000)
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if gotOpt != want {
+				t.Fatalf("optimized SafeTSA diverges:\nbytecode:  %q\noptimized: %q", want, gotOpt)
+			}
+		})
+	}
+}

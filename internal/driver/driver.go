@@ -1,0 +1,118 @@
+// Package driver wires the compilation pipeline together: TJ source →
+// parse → sema → SafeTSA build (→ optimize) → wire encode, plus the
+// consumer side (decode → verify → execute). The cmd tools, the bench
+// harness, and the tests all go through these helpers.
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"safetsa/internal/bytecode"
+	"safetsa/internal/core"
+	"safetsa/internal/interp"
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/parser"
+	"safetsa/internal/lang/sema"
+	"safetsa/internal/opt"
+	"safetsa/internal/rt"
+	"safetsa/internal/ssabuild"
+)
+
+// Frontend parses and checks a set of named TJ sources.
+func Frontend(files map[string]string) (*sema.Program, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var asts []*ast.File
+	var errs []error
+	for _, n := range names {
+		f, ferrs := parser.ParseFile(n, files[n])
+		errs = append(errs, ferrs...)
+		asts = append(asts, f)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("parse: %w", errors.Join(errs...))
+	}
+	prog, serrs := sema.Check(asts...)
+	if len(serrs) > 0 {
+		return nil, fmt.Errorf("sema: %w", errors.Join(serrs...))
+	}
+	return prog, nil
+}
+
+// CompileTSA builds the (unoptimized) SafeTSA module for a program.
+func CompileTSA(prog *sema.Program) (*core.Module, error) {
+	mod, err := ssabuild.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return nil, fmt.Errorf("safetsa verifier: %w", err)
+	}
+	return mod, nil
+}
+
+// CompileTSASource is the one-call helper: source text → verified module.
+func CompileTSASource(files map[string]string) (*core.Module, error) {
+	prog, err := Frontend(files)
+	if err != nil {
+		return nil, err
+	}
+	return CompileTSA(prog)
+}
+
+// OptimizeModule runs the producer-side optimizer and re-verifies the
+// module, returning the optimization statistics.
+func OptimizeModule(mod *core.Module) (opt.Stats, error) {
+	st := opt.Optimize(mod)
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return st, fmt.Errorf("safetsa verifier after optimization: %w", err)
+	}
+	return st, nil
+}
+
+// CompileTSASourceOpt compiles and optimizes in one call.
+func CompileTSASourceOpt(files map[string]string) (*core.Module, opt.Stats, error) {
+	mod, err := CompileTSASource(files)
+	if err != nil {
+		return nil, opt.Stats{}, err
+	}
+	st, err := OptimizeModule(mod)
+	return mod, st, err
+}
+
+// CompileBytecode builds the baseline stack-bytecode program.
+func CompileBytecode(prog *sema.Program) (*bytecode.Program, error) {
+	return bytecode.Compile(prog)
+}
+
+// RunBytecode links and executes a bytecode program's main, returning its
+// printed output.
+func RunBytecode(p *bytecode.Program, maxSteps int64) (string, error) {
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps}
+	vm, err := bytecode.NewVM(p, env)
+	if err != nil {
+		return out.String(), err
+	}
+	err = vm.RunMain()
+	return out.String(), err
+}
+
+// RunModule loads and executes a module's main method, returning its
+// printed output. maxSteps bounds execution (0 = unlimited).
+func RunModule(mod *core.Module, maxSteps int64) (string, error) {
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps}
+	l, err := interp.Load(mod, env)
+	if err != nil {
+		return out.String(), err
+	}
+	err = l.RunMain()
+	return out.String(), err
+}

@@ -1,0 +1,73 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/wire"
+)
+
+// TestRandomProgramDifferential generates random (deterministic) TJ
+// programs and pushes each through all four pipelines — bytecode VM,
+// SafeTSA evaluator, optimized SafeTSA, and the wire round trip — which
+// must all print the same checksum. This is the broad-spectrum bug net
+// over the whole system.
+func TestRandomProgramDifferential(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		seed := fmt.Sprintf("%d", i)
+		t.Run("seed"+seed, func(t *testing.T) {
+			files := corpus.GenerateFuzz(seed, 4+i%5, 3+i%4)
+			prog, err := Frontend(files)
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			bc, err := CompileBytecode(prog)
+			if err != nil {
+				t.Fatalf("bytecode: %v", err)
+			}
+			if err := bc.Verify(); err != nil {
+				t.Fatalf("bytecode verify: %v", err)
+			}
+			want, err := RunBytecode(bc, 50_000_000)
+			if err != nil {
+				t.Fatalf("bytecode run: %v", err)
+			}
+
+			mod, err := CompileTSA(prog)
+			if err != nil {
+				t.Fatalf("safetsa: %v", err)
+			}
+			got, err := RunModule(mod, 50_000_000)
+			if err != nil || got != want {
+				t.Fatalf("plain SafeTSA: %q %v, want %q", got, err, want)
+			}
+
+			if _, err := OptimizeModule(mod); err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			got, err = RunModule(mod, 50_000_000)
+			if err != nil || got != want {
+				t.Fatalf("optimized SafeTSA: %q %v, want %q", got, err, want)
+			}
+
+			data := wire.EncodeModule(mod)
+			dec, err := wire.DecodeModule(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if err := dec.Verify(core.VerifyOptions{}); err != nil {
+				t.Fatalf("decoded verify: %v", err)
+			}
+			got, err = RunModule(dec, 50_000_000)
+			if err != nil || got != want {
+				t.Fatalf("wire round trip: %q %v, want %q", got, err, want)
+			}
+		})
+	}
+}

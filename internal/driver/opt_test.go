@@ -1,0 +1,145 @@
+package driver
+
+import (
+	"testing"
+)
+
+// optPrograms are differential-test inputs: each program's output must be
+// identical before and after producer-side optimization.
+var optPrograms = map[string]string{
+	"cse-fields": `
+class P { int x; int y; P(int a, int b) { x = a; y = b; } }
+class Main {
+    static void main() {
+        P p = new P(3, 4);
+        int d = p.x * p.x + p.y * p.y;   // repeated loads, repeated nullchecks
+        int e = p.x * p.x + p.y * p.y;
+        System.out.println(d + e);
+        p.x = 10;                         // store kills memory
+        System.out.println(p.x * p.x + p.y * p.y);
+    }
+}`,
+	"cse-arrays": `
+class Main {
+    static void main() {
+        int[] a = new int[5];
+        for (int i = 0; i < 5; i++) a[i] = i + 1;
+        int s = 0;
+        int dead = 0;                     // its loop phi and adds are DCE fodder
+        for (int i = 0; i < 5; i++) {
+            s += a[i] * a[i] + a[i];      // duplicate index checks + loads
+            dead += a[i];
+        }
+        System.out.println(s);
+    }
+}`,
+	"constants": `
+class Main {
+    static void main() {
+        int x = 3 * 4 + 5;
+        double y = 2.0 * 8.0;
+        boolean b = 3 < 4 && 4 < 3;
+        System.out.println(x);
+        System.out.println(y);
+        System.out.println(b);
+    }
+}`,
+	"loop-phis": `
+class Main {
+    static void main() {
+        int a = 0; int b = 1; int c = 2; int unused = 99;
+        for (int i = 0; i < 8; i++) {
+            a += i;
+            if (i % 2 == 0) { b *= 2; }
+        }
+        System.out.println(a);
+        System.out.println(b);
+        System.out.println(c);
+    }
+}`,
+	"exceptions": `
+class Main {
+    static int f(int[] a, int i) {
+        try {
+            return a[i] + a[i];           // duplicate checks inside try
+        } catch (IndexOutOfBoundsException e) {
+            return -1;
+        }
+    }
+    static void main() {
+        int[] a = new int[3];
+        a[0] = 7; a[1] = 8; a[2] = 9;
+        System.out.println(f(a, 1));
+        System.out.println(f(a, 5));
+    }
+}`,
+	"division": `
+class Main {
+    static void main() {
+        int n = 100;
+        int d = 7;
+        System.out.println(n / d + n / d);  // duplicate xprimitive
+        try {
+            System.out.println(n / (d - 7));
+        } catch (ArithmeticException e) {
+            System.out.println("div0");
+        }
+    }
+}`,
+}
+
+func TestOptimizedOutputMatches(t *testing.T) {
+	for name, src := range optPrograms {
+		t.Run(name, func(t *testing.T) {
+			files := map[string]string{"Main.tj": src}
+			plain, err := CompileTSASource(files)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, err := RunModule(plain, 10_000_000)
+			if err != nil {
+				t.Fatalf("run plain: %v", err)
+			}
+			optMod, st, err := CompileTSASourceOpt(files)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			got, err := RunModule(optMod, 10_000_000)
+			if err != nil {
+				t.Fatalf("run optimized: %v", err)
+			}
+			if got != want {
+				t.Fatalf("output diverged:\nplain:     %q\noptimized: %q", want, got)
+			}
+			if st.InstrsAfter > st.InstrsBefore {
+				t.Fatalf("optimization grew the program: %d -> %d",
+					st.InstrsBefore, st.InstrsAfter)
+			}
+		})
+	}
+}
+
+func TestOptimizationReducesChecks(t *testing.T) {
+	mod, st, err := CompileTSASourceOpt(map[string]string{"Main.tj": optPrograms["cse-fields"]})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	_ = mod
+	if st.NullChecksAfter >= st.NullChecksBefore {
+		t.Errorf("null checks not reduced: %d -> %d", st.NullChecksBefore, st.NullChecksAfter)
+	}
+	if st.CSERemoved == 0 {
+		t.Errorf("CSE removed nothing")
+	}
+	mod2, st2, err := CompileTSASourceOpt(map[string]string{"Main.tj": optPrograms["cse-arrays"]})
+	if err != nil {
+		t.Fatalf("compile arrays: %v", err)
+	}
+	_ = mod2
+	if st2.ArrayChecksAfter >= st2.ArrayChecksBefore {
+		t.Errorf("array checks not reduced: %d -> %d", st2.ArrayChecksBefore, st2.ArrayChecksAfter)
+	}
+	if st2.PhisAfter >= st2.PhisBefore {
+		t.Errorf("phis not reduced: %d -> %d", st2.PhisBefore, st2.PhisAfter)
+	}
+}

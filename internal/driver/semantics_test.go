@@ -1,0 +1,229 @@
+package driver
+
+import "testing"
+
+// semCases pin exact Java-observable behaviour on all pipelines (the run
+// helper below pushes each through bytecode, SafeTSA, and optimized
+// SafeTSA and asserts agreement before comparing to the expectation).
+var semCases = []struct {
+	name, src, want string
+}{
+	{"char-arith", `
+class Main { static void main() {
+    char c = 'A';
+    int i = c + 1;
+    char d = (char)(c + 2);
+    System.out.println(i);
+    System.out.println(d);
+    System.out.println('z' - 'a');
+    char w = (char) 70000;       // wraps modulo 2^16
+    System.out.println((int) w);
+} }`, "66\nC\n25\n4464\n"},
+
+	{"int-overflow", `
+class Main { static void main() {
+    int big = 2147483647;
+    System.out.println(big + 1);
+    System.out.println(big * 2);
+    long lbig = 9223372036854775807L;
+    System.out.println(lbig + 1L);
+} }`, "-2147483648\n-2\n-9223372036854775808\n"},
+
+	{"shift-masking", `
+class Main { static void main() {
+    System.out.println(1 << 32);     // shift count masked to 0
+    System.out.println(1 << 31);
+    System.out.println(-8 >> 1);     // arithmetic shift
+    System.out.println(1L << 62);
+    System.out.println(5L >> 65);    // 65 & 63 = 1
+} }`, "1\n-2147483648\n-4\n4611686018427387904\n2\n"},
+
+	{"field-hiding", `
+class A { int v = 1; int get() { return v; } }
+class B extends A { int v = 2; int get() { return v; } }
+class Main { static void main() {
+    B b = new B();
+    A a = b;
+    System.out.println(a.v);       // static binding: A's field
+    System.out.println(b.v);
+    System.out.println(a.get());   // dynamic dispatch: B's method
+} }`, "1\n2\n2\n"},
+
+	{"array-aliasing", `
+class Main { static void main() {
+    int[][] m = new int[2][2];
+    int[] row = m[0];
+    row[1] = 5;
+    System.out.println(m[0][1]);
+    m[1] = row;
+    m[1][0] = 9;
+    System.out.println(m[0][0]);
+} }`, "5\n9\n"},
+
+	{"string-identity-vs-equals", `
+class Main { static void main() {
+    String a = "xy";
+    String b = "x" + "y";
+    System.out.println(a.equals(b));
+    String n = null;
+    System.out.println(n == null);
+    System.out.println("abc".substring(1, 1).length());
+} }`, "true\ntrue\n0\n"},
+
+	{"ternary-chain", `
+class Main {
+    static String grade(int s) {
+        return s >= 90 ? "A" : s >= 80 ? "B" : s >= 70 ? "C" : "F";
+    }
+    static void main() {
+        System.out.println(grade(95) + grade(85) + grade(75) + grade(10));
+    }
+}`, "ABCF\n"},
+
+	{"compound-on-fields-and-statics", `
+class K { static int s = 3; int f = 4; }
+class Main { static void main() {
+    K k = new K();
+    K.s *= 5;
+    k.f <<= 2;
+    k.f ^= 1;
+    System.out.println(K.s + " " + k.f);
+} }`, "15 17\n"},
+
+	{"postinc-in-index", `
+class Main { static void main() {
+    int[] a = new int[4];
+    int i = 0;
+    a[i++] = 10;
+    a[i++] = 20;
+    a[i] = a[i - 1] + a[--i];    // index evaluated first: stores to a[2]
+    System.out.println(a[0] + " " + a[1] + " " + a[2] + " " + i);
+} }`, "10 20 40 1\n"},
+
+	{"do-while-once", `
+class Main { static void main() {
+    int n = 10;
+    do { n++; } while (n < 5);
+    System.out.println(n);
+} }`, "11\n"},
+
+	{"exception-from-ctor", `
+class Picky {
+    int v;
+    Picky(int x) {
+        if (x < 0) { throw new Exception("neg"); }
+        v = x;
+    }
+}
+class Main { static void main() {
+    try {
+        Picky p = new Picky(-1);
+        System.out.println(p.v);
+    } catch (Exception e) {
+        System.out.println("ctor: " + e.getMessage());
+    }
+} }`, "ctor: neg\n"},
+
+	{"nested-catch-rethrow", `
+class Main { static void main() {
+    try {
+        try {
+            throw new ArithmeticException("inner");
+        } catch (ArithmeticException e) {
+            throw new Exception("re:" + e.getMessage());
+        }
+    } catch (Exception e) {
+        System.out.println(e.getMessage());
+    }
+} }`, "re:inner\n"},
+
+	{"finally-with-break", `
+class Main { static void main() {
+    int log = 0;
+    for (int i = 0; i < 5; i++) {
+        try {
+            if (i == 2) { break; }
+            log = log * 10 + i;
+        } finally {
+            log = log * 10 + 9;
+        }
+    }
+    System.out.println(log);
+} }`, "9199\n"},
+
+	{"double-formatting", `
+class Main { static void main() {
+    System.out.println(1.0 / 3.0);
+    System.out.println(2.5e10);
+    System.out.println(-0.5);
+    System.out.println(100.0);
+} }`, "0.3333333333333333\n2.5e+10\n-0.5\n100.0\n"},
+
+	{"instanceof-null", `
+class A {}
+class Main { static void main() {
+    A a = null;
+    System.out.println(a instanceof A);
+    Object o = new A();
+    System.out.println(o instanceof A);
+    int[] xs = new int[1];
+    Object oo = xs;
+    System.out.println(oo instanceof int[]);
+    System.out.println(oo instanceof double[]);
+} }`, "false\ntrue\ntrue\nfalse\n"},
+
+	{"boolean-bitwise", `
+class Main {
+    static int n;
+    static boolean bump() { n++; return true; }
+    static void main() {
+        boolean b = false & bump();   // non-short-circuit: bump runs
+        System.out.println(b + " " + n);
+        boolean c = false && bump();  // short-circuit: bump skipped
+        System.out.println(c + " " + n);
+        System.out.println(true ^ true);
+    }
+}`, "false 1\nfalse 1\nfalse\n"},
+}
+
+func TestSemanticsBattery(t *testing.T) {
+	for _, c := range semCases {
+		t.Run(c.name, func(t *testing.T) {
+			files := map[string]string{"Main.tj": c.src}
+			prog, err := Frontend(files)
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			bc, err := CompileBytecode(prog)
+			if err != nil {
+				t.Fatalf("bytecode: %v", err)
+			}
+			bcOut, err := RunBytecode(bc, 5_000_000)
+			if err != nil {
+				t.Fatalf("bytecode run: %v (out %q)", err, bcOut)
+			}
+			tsa, err := CompileTSA(prog)
+			if err != nil {
+				t.Fatalf("safetsa: %v", err)
+			}
+			tsaOut, err := RunModule(tsa, 5_000_000)
+			if err != nil {
+				t.Fatalf("safetsa run: %v", err)
+			}
+			if _, err := OptimizeModule(tsa); err != nil {
+				t.Fatal(err)
+			}
+			optOut, err := RunModule(tsa, 5_000_000)
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if bcOut != tsaOut || tsaOut != optOut {
+				t.Fatalf("pipelines disagree:\nbytecode %q\nsafetsa  %q\nopt      %q",
+					bcOut, tsaOut, optOut)
+			}
+			if bcOut != c.want {
+				t.Fatalf("got %q, want %q", bcOut, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,485 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"safetsa/internal/core"
+	"safetsa/internal/lang/sema"
+	"safetsa/internal/rt"
+)
+
+func (l *Loader) execInstr(fr *frame, in *core.Instr) {
+	a := func(i int) rt.Value { return fr.val(in.Args[i]) }
+	setv := func(v rt.Value) {
+		if in.HasResult() {
+			fr.vals[in.ID] = v
+		}
+	}
+
+	switch in.Op {
+	case core.OpParam:
+		setv(fr.args[in.Aux])
+	case core.OpConst:
+		switch in.Const.Kind {
+		case core.KInt, core.KLong, core.KChar, core.KBool:
+			setv(rt.Value{I: in.Const.I})
+		case core.KDouble:
+			setv(rt.Value{D: in.Const.D})
+		case core.KString:
+			setv(rt.RefValue(&rt.Str{S: in.Const.S}))
+		case core.KNull:
+			setv(rt.Value{})
+		}
+	case core.OpPrim, core.OpXPrim:
+		setv(l.execPrim(fr, in))
+	case core.OpNullCheck:
+		v := a(0)
+		if v.R == nil {
+			l.raise(fr, in, l.newExc(l.exc.NPE, "null dereference"))
+		}
+		setv(v)
+	case core.OpIndexCheck:
+		arr := a(0).R.(*rt.Array)
+		idx := a(1).Int()
+		if idx < 0 || int(idx) >= len(arr.Elems) {
+			l.raise(fr, in, l.newExc(l.exc.Bounds,
+				fmt.Sprintf("index %d out of bounds for length %d", idx, len(arr.Elems))))
+		}
+		setv(rt.IntValue(idx))
+	case core.OpUpcast:
+		v := a(0)
+		if v.R != nil && !l.isInstance(v.R, in.TypeArg) {
+			l.raise(fr, in, l.newExc(l.exc.Cast,
+				"cannot cast to "+l.Mod.Types.Describe(in.TypeArg)))
+		}
+		setv(v)
+	case core.OpDowncast:
+		setv(a(0))
+	case core.OpInstanceOf:
+		v := a(0)
+		setv(rt.BoolValue(v.R != nil && l.isInstance(v.R, in.TypeArg)))
+	case core.OpGetField:
+		fld := l.Mod.Fields[in.Field]
+		if fld.Static {
+			setv(l.classes[fld.Owner].Statics[fld.Slot])
+			return
+		}
+		obj := a(0).R.(*rt.Object)
+		setv(obj.Fields[fld.Slot])
+	case core.OpSetField:
+		fld := l.Mod.Fields[in.Field]
+		if fld.Static {
+			l.classes[fld.Owner].Statics[fld.Slot] = a(0)
+			return
+		}
+		obj := a(0).R.(*rt.Object)
+		obj.Fields[fld.Slot] = a(1)
+	case core.OpGetElt:
+		arr := a(0).R.(*rt.Array)
+		setv(arr.Elems[a(1).Int()])
+	case core.OpSetElt:
+		arr := a(0).R.(*rt.Array)
+		arr.Elems[a(1).Int()] = a(2)
+	case core.OpArrayLen:
+		arr := a(0).R.(*rt.Array)
+		setv(rt.IntValue(int32(len(arr.Elems))))
+	case core.OpNew:
+		setv(rt.RefValue(l.Env.NewObject(l.classes[in.TypeArg])))
+	case core.OpNewArray:
+		n := a(0).Int()
+		if n < 0 {
+			l.raise(fr, in, l.newExc(l.exc.NegSize, fmt.Sprintf("%d", n)))
+		}
+		setv(rt.RefValue(l.Env.NewArray(n, int32(in.TypeArg))))
+	case core.OpXCall, core.OpXDispatch:
+		setv(l.execCall(fr, in))
+	case core.OpCatch:
+		setv(fr.caught)
+	default:
+		panic(fmt.Sprintf("interp: unhandled opcode %s", in.Op))
+	}
+}
+
+// isInstance tests runtime type membership against a module type id.
+func (l *Loader) isInstance(r rt.Ref, t core.TypeID) bool {
+	tt := l.Mod.Types
+	want := tt.MustGet(t)
+	switch r := r.(type) {
+	case *rt.Str:
+		return t == tt.String || t == tt.Object
+	case *rt.Array:
+		if t == tt.Object {
+			return true
+		}
+		return want.Kind == core.TArray && core.TypeID(r.TypeID) == t
+	case *rt.Object:
+		if want.Kind != core.TClass {
+			return false
+		}
+		target := l.classes[t]
+		return target != nil && r.Class.IsSubclassOf(target)
+	}
+	return false
+}
+
+// execCall performs xcall/xdispatch, converting an uncaught callee
+// exception into a transfer along this site's exception edge.
+func (l *Loader) execCall(fr *frame, in *core.Instr) rt.Value {
+	mr := &l.Mod.Methods[in.Method]
+	args := make([]rt.Value, len(in.Args))
+	for i, id := range in.Args {
+		args[i] = fr.val(id)
+	}
+
+	target := in.Method
+	if in.Op == core.OpXDispatch {
+		// Polymorphic association through the dispatch-table slot
+		// (section 6). Host-implemented receivers (strings, which have
+		// no dispatch table) bind statically — their classes are final.
+		if recv, ok := args[0].R.(*rt.Object); ok && int(mr.VSlot) < len(recv.Class.VTable) {
+			target = recv.Class.VTable[mr.VSlot]
+			mr = &l.Mod.Methods[target]
+		}
+	}
+
+	var out rt.Value
+	call := func() {
+		if mr.FuncIdx >= 0 {
+			out = l.callFunc(l.Mod.Funcs[mr.FuncIdx], args)
+			return
+		}
+		out = l.native(mr, args)
+	}
+	if h := fr.f.HandlerOf[in]; h != nil {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if t, ok := r.(rt.Thrown); ok {
+					panic(tsaThrow{val: t.Val, edge: fr.f.ExcEdge[in], handler: h})
+				}
+				panic(r)
+			}()
+			call()
+		}()
+		return out
+	}
+	call()
+	return out
+}
+
+// native executes an imported (host-environment) method.
+func (l *Loader) native(mr *core.MethodRef, args []rt.Value) rt.Value {
+	if mr.IsCtor {
+		// Imported throwable constructors: store the message.
+		if len(args) == 2 {
+			if obj, ok := args[0].R.(*rt.Object); ok && len(obj.Fields) > 0 {
+				obj.Fields[0] = args[1]
+			}
+		}
+		return rt.Value{}
+	}
+	env := l.Env
+	str := func(i int) string {
+		s, _ := rt.GetStr(args[i].R)
+		return s
+	}
+	switch sema.BuiltinID(mr.Builtin) {
+	case sema.BStrLength:
+		return rt.IntValue(rt.StrLen(str(0)))
+	case sema.BStrCharAt:
+		c, ok := rt.CharAt(str(0), args[1].Int())
+		if !ok {
+			env.ThrowNew(l.exc.Bounds, fmt.Sprintf("string index %d", args[1].Int()))
+		}
+		return rt.CharValue(rune(c))
+	case sema.BStrSubstring:
+		s, ok := rt.Substring(str(0), args[1].Int(), args[2].Int())
+		if !ok {
+			env.ThrowNew(l.exc.Bounds, "substring bounds")
+		}
+		return rt.RefValue(&rt.Str{S: s})
+	case sema.BStrEquals:
+		o, ok := rt.GetStr(args[1].R)
+		return rt.BoolValue(ok && o == str(0))
+	case sema.BStrCompareTo:
+		return rt.IntValue(rt.CompareStr(str(0), str(1)))
+	case sema.BStrIndexOf:
+		return rt.IntValue(rt.IndexOfStr(str(0), str(1)))
+	case sema.BStrHashCode:
+		return rt.IntValue(rt.StringHash(str(0)))
+	case sema.BObjHashCode:
+		return rt.IntValue(int32(rt.Identity(args[0].R)))
+	case sema.BObjEquals:
+		return rt.BoolValue(sameRef(args[0].R, args[1].R))
+	case sema.BObjToString:
+		return rt.RefValue(&rt.Str{S: rt.RefString(args[0].R)})
+	case sema.BExcGetMessage:
+		if obj, ok := args[0].R.(*rt.Object); ok && len(obj.Fields) > 0 {
+			return obj.Fields[0]
+		}
+		return rt.Value{}
+	case sema.BPrintlnString:
+		env.Println(rt.RefString(args[0].R))
+	case sema.BPrintlnInt:
+		env.Println(rt.StringOf(args[0], 'i'))
+	case sema.BPrintlnLong:
+		env.Println(rt.StringOf(args[0], 'l'))
+	case sema.BPrintlnDouble:
+		env.Println(rt.StringOf(args[0], 'd'))
+	case sema.BPrintlnBool:
+		env.Println(rt.StringOf(args[0], 'z'))
+	case sema.BPrintlnChar:
+		env.Println(rt.StringOf(args[0], 'c'))
+	case sema.BPrintlnEmpty:
+		env.Println("")
+	case sema.BPrintString:
+		env.Print(rt.RefString(args[0].R))
+	case sema.BPrintInt:
+		env.Print(rt.StringOf(args[0], 'i'))
+	case sema.BPrintLong:
+		env.Print(rt.StringOf(args[0], 'l'))
+	case sema.BPrintDouble:
+		env.Print(rt.StringOf(args[0], 'd'))
+	case sema.BPrintBool:
+		env.Print(rt.StringOf(args[0], 'z'))
+	case sema.BPrintChar:
+		env.Print(rt.StringOf(args[0], 'c'))
+	default:
+		panic(fmt.Sprintf("interp: unimplemented native method %s (builtin %d)",
+			mr.Name, mr.Builtin))
+	}
+	return rt.Value{}
+}
+
+func sameRef(a, b rt.Ref) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a == b
+}
+
+// execPrim evaluates one primitive operation.
+func (l *Loader) execPrim(fr *frame, in *core.Instr) rt.Value {
+	a := func(i int) rt.Value { return fr.val(in.Args[i]) }
+	i32 := func(i int) int32 { return a(i).Int() }
+	i64 := func(i int) int64 { return a(i).I }
+	f64 := func(i int) float64 { return a(i).D }
+
+	switch in.Prim {
+	case core.PIAdd:
+		return rt.IntValue(i32(0) + i32(1))
+	case core.PISub:
+		return rt.IntValue(i32(0) - i32(1))
+	case core.PIMul:
+		return rt.IntValue(i32(0) * i32(1))
+	case core.PIDiv:
+		if i32(1) == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+		return rt.IntValue(rt.IDiv(i32(0), i32(1)))
+	case core.PIRem:
+		if i32(1) == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+		return rt.IntValue(rt.IRem(i32(0), i32(1)))
+	case core.PINeg:
+		return rt.IntValue(-i32(0))
+	case core.PIShl:
+		return rt.IntValue(i32(0) << (uint32(i32(1)) & 31))
+	case core.PIShr:
+		return rt.IntValue(i32(0) >> (uint32(i32(1)) & 31))
+	case core.PIAnd:
+		return rt.IntValue(i32(0) & i32(1))
+	case core.PIOr:
+		return rt.IntValue(i32(0) | i32(1))
+	case core.PIXor:
+		return rt.IntValue(i32(0) ^ i32(1))
+	case core.PIEq:
+		return rt.BoolValue(i32(0) == i32(1))
+	case core.PINe:
+		return rt.BoolValue(i32(0) != i32(1))
+	case core.PILt:
+		return rt.BoolValue(i32(0) < i32(1))
+	case core.PILe:
+		return rt.BoolValue(i32(0) <= i32(1))
+	case core.PIGt:
+		return rt.BoolValue(i32(0) > i32(1))
+	case core.PIGe:
+		return rt.BoolValue(i32(0) >= i32(1))
+	case core.PIAbs:
+		v := i32(0)
+		if v < 0 {
+			v = -v
+		}
+		return rt.IntValue(v)
+	case core.PIMin:
+		if i32(0) < i32(1) {
+			return rt.IntValue(i32(0))
+		}
+		return rt.IntValue(i32(1))
+	case core.PIMax:
+		if i32(0) > i32(1) {
+			return rt.IntValue(i32(0))
+		}
+		return rt.IntValue(i32(1))
+	case core.PI2L:
+		return rt.LongValue(int64(i32(0)))
+	case core.PI2D:
+		return rt.DoubleValue(float64(i32(0)))
+	case core.PI2C:
+		return rt.CharValue(rune(uint16(i32(0))))
+
+	case core.PLAdd:
+		return rt.LongValue(i64(0) + i64(1))
+	case core.PLSub:
+		return rt.LongValue(i64(0) - i64(1))
+	case core.PLMul:
+		return rt.LongValue(i64(0) * i64(1))
+	case core.PLDiv:
+		if i64(1) == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+		return rt.LongValue(rt.LDiv(i64(0), i64(1)))
+	case core.PLRem:
+		if i64(1) == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+		return rt.LongValue(rt.LRem(i64(0), i64(1)))
+	case core.PLNeg:
+		return rt.LongValue(-i64(0))
+	case core.PLShl:
+		return rt.LongValue(i64(0) << (uint32(i32(1)) & 63))
+	case core.PLShr:
+		return rt.LongValue(i64(0) >> (uint32(i32(1)) & 63))
+	case core.PLAnd:
+		return rt.LongValue(i64(0) & i64(1))
+	case core.PLOr:
+		return rt.LongValue(i64(0) | i64(1))
+	case core.PLXor:
+		return rt.LongValue(i64(0) ^ i64(1))
+	case core.PLEq:
+		return rt.BoolValue(i64(0) == i64(1))
+	case core.PLNe:
+		return rt.BoolValue(i64(0) != i64(1))
+	case core.PLLt:
+		return rt.BoolValue(i64(0) < i64(1))
+	case core.PLLe:
+		return rt.BoolValue(i64(0) <= i64(1))
+	case core.PLGt:
+		return rt.BoolValue(i64(0) > i64(1))
+	case core.PLGe:
+		return rt.BoolValue(i64(0) >= i64(1))
+	case core.PLAbs:
+		v := i64(0)
+		if v < 0 {
+			v = -v
+		}
+		return rt.LongValue(v)
+	case core.PLMin:
+		if i64(0) < i64(1) {
+			return rt.LongValue(i64(0))
+		}
+		return rt.LongValue(i64(1))
+	case core.PLMax:
+		if i64(0) > i64(1) {
+			return rt.LongValue(i64(0))
+		}
+		return rt.LongValue(i64(1))
+	case core.PL2I:
+		return rt.IntValue(int32(i64(0)))
+	case core.PL2D:
+		return rt.DoubleValue(float64(i64(0)))
+
+	case core.PDAdd:
+		return rt.DoubleValue(f64(0) + f64(1))
+	case core.PDSub:
+		return rt.DoubleValue(f64(0) - f64(1))
+	case core.PDMul:
+		return rt.DoubleValue(f64(0) * f64(1))
+	case core.PDDiv:
+		return rt.DoubleValue(f64(0) / f64(1))
+	case core.PDRem:
+		return rt.DoubleValue(rt.DRem(f64(0), f64(1)))
+	case core.PDNeg:
+		return rt.DoubleValue(-f64(0))
+	case core.PDEq:
+		return rt.BoolValue(f64(0) == f64(1))
+	case core.PDNe:
+		return rt.BoolValue(f64(0) != f64(1))
+	case core.PDLt:
+		return rt.BoolValue(f64(0) < f64(1))
+	case core.PDLe:
+		return rt.BoolValue(f64(0) <= f64(1))
+	case core.PDGt:
+		return rt.BoolValue(f64(0) > f64(1))
+	case core.PDGe:
+		return rt.BoolValue(f64(0) >= f64(1))
+	case core.PDAbs:
+		return rt.DoubleValue(math.Abs(f64(0)))
+	case core.PDMin:
+		return rt.DoubleValue(math.Min(f64(0), f64(1)))
+	case core.PDMax:
+		return rt.DoubleValue(math.Max(f64(0), f64(1)))
+	case core.PDSqrt:
+		return rt.DoubleValue(math.Sqrt(f64(0)))
+	case core.PDPow:
+		return rt.DoubleValue(math.Pow(f64(0), f64(1)))
+	case core.PDFloor:
+		return rt.DoubleValue(math.Floor(f64(0)))
+	case core.PDCeil:
+		return rt.DoubleValue(math.Ceil(f64(0)))
+	case core.PDLog:
+		return rt.DoubleValue(math.Log(f64(0)))
+	case core.PDExp:
+		return rt.DoubleValue(math.Exp(f64(0)))
+	case core.PDSin:
+		return rt.DoubleValue(math.Sin(f64(0)))
+	case core.PDCos:
+		return rt.DoubleValue(math.Cos(f64(0)))
+	case core.PD2I:
+		return rt.IntValue(rt.D2I(f64(0)))
+	case core.PD2L:
+		return rt.LongValue(rt.D2L(f64(0)))
+
+	case core.PBNot:
+		return rt.BoolValue(a(0).I == 0)
+	case core.PBAnd:
+		return rt.BoolValue(a(0).I != 0 && a(1).I != 0)
+	case core.PBOr:
+		return rt.BoolValue(a(0).I != 0 || a(1).I != 0)
+	case core.PBXor:
+		return rt.BoolValue((a(0).I != 0) != (a(1).I != 0))
+	case core.PBEq:
+		return rt.BoolValue((a(0).I != 0) == (a(1).I != 0))
+	case core.PBNe:
+		return rt.BoolValue((a(0).I != 0) != (a(1).I != 0))
+
+	case core.PC2I:
+		return rt.IntValue(int32(uint16(a(0).I)))
+
+	case core.PREq:
+		return rt.BoolValue(sameRef(a(0).R, a(1).R))
+	case core.PRNe:
+		return rt.BoolValue(!sameRef(a(0).R, a(1).R))
+
+	case core.PSConcat:
+		return rt.RefValue(rt.Concat(a(0).R, a(1).R))
+	case core.PSOfInt:
+		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'i')})
+	case core.PSOfLong:
+		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'l')})
+	case core.PSOfDouble:
+		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'd')})
+	case core.PSOfBool:
+		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'z')})
+	case core.PSOfChar:
+		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'c')})
+	case core.PSOfRef:
+		return rt.RefValue(&rt.Str{S: rt.RefString(a(0).R)})
+	}
+	panic(fmt.Sprintf("interp: unhandled primitive %s", in.Prim))
+}

@@ -1,0 +1,491 @@
+// Package ast declares the abstract syntax tree of TJ. The tree produced
+// by the parser is untyped; the sema package decorates expression nodes
+// with resolved types and symbols in place, turning it into the paper's
+// "Unified Abstract Syntax Tree" (a structured tree from which control
+// flow and dominance are derived directly).
+package ast
+
+import "safetsa/internal/lang/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------
+// Types (syntactic)
+
+// TypeExpr is a syntactic type reference.
+type TypeExpr interface {
+	Node
+	typeExpr()
+}
+
+// PrimTypeExpr is a primitive type keyword (int, long, double, boolean,
+// char, void).
+type PrimTypeExpr struct {
+	Kind token.Kind // INT, LONG, DOUBLE, BOOLEAN, CHAR, VOID
+	P    token.Pos
+}
+
+// NamedTypeExpr is a class type referenced by name.
+type NamedTypeExpr struct {
+	Name string
+	P    token.Pos
+}
+
+// ArrayTypeExpr is Elem[].
+type ArrayTypeExpr struct {
+	Elem TypeExpr
+	P    token.Pos
+}
+
+func (t *PrimTypeExpr) Pos() token.Pos  { return t.P }
+func (t *NamedTypeExpr) Pos() token.Pos { return t.P }
+func (t *ArrayTypeExpr) Pos() token.Pos { return t.P }
+
+func (*PrimTypeExpr) typeExpr()  {}
+func (*NamedTypeExpr) typeExpr() {}
+func (*ArrayTypeExpr) typeExpr() {}
+
+// ---------------------------------------------------------------------
+// Declarations
+
+// File is a parsed compilation unit: one or more class declarations.
+type File struct {
+	Name    string
+	Classes []*ClassDecl
+}
+
+// Pos returns the position of the first class.
+func (f *File) Pos() token.Pos {
+	if len(f.Classes) > 0 {
+		return f.Classes[0].P
+	}
+	return token.Pos{File: f.Name}
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Name    string
+	Super   string // "" means Object
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	P       token.Pos
+}
+
+func (c *ClassDecl) Pos() token.Pos { return c.P }
+
+// FieldDecl is a (possibly static) field.
+type FieldDecl struct {
+	Name   string
+	Type   TypeExpr
+	Static bool
+	Final  bool
+	Init   Expr // may be nil
+	P      token.Pos
+}
+
+func (f *FieldDecl) Pos() token.Pos { return f.P }
+
+// Param is a formal method parameter.
+type Param struct {
+	Name string
+	Type TypeExpr
+	P    token.Pos
+}
+
+func (p *Param) Pos() token.Pos { return p.P }
+
+// MethodDecl is a method or constructor. Constructors have IsCtor set and
+// a nil Return.
+type MethodDecl struct {
+	Name   string
+	Params []*Param
+	Return TypeExpr // nil for constructors
+	Body   *BlockStmt
+	Static bool
+	IsCtor bool
+	P      token.Pos
+}
+
+func (m *MethodDecl) Pos() token.Pos { return m.P }
+
+// ---------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	Stmts []Stmt
+	P     token.Pos
+}
+
+// VarDeclStmt declares one local variable, optionally initialized.
+type VarDeclStmt struct {
+	Name string
+	Type TypeExpr
+	Init Expr // may be nil
+	P    token.Pos
+}
+
+// ExprStmt evaluates X for its side effects (assignment, call, inc/dec).
+type ExprStmt struct {
+	X Expr
+	P token.Pos
+}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	P    token.Pos
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	P    token.Pos
+}
+
+// DoWhileStmt is do Body while (Cond);.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	P    token.Pos
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Any of Init/Cond/Post may be
+// nil; Init is either a VarDeclStmt or an ExprStmt.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	P    token.Pos
+}
+
+// ReturnStmt is return [X];.
+type ReturnStmt struct {
+	X Expr // may be nil
+	P token.Pos
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ P token.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ P token.Pos }
+
+// ThrowStmt is throw X;.
+type ThrowStmt struct {
+	X Expr
+	P token.Pos
+}
+
+// CatchClause is catch (Type Name) Body.
+type CatchClause struct {
+	Type TypeExpr
+	Name string
+	Body *BlockStmt
+	P    token.Pos
+}
+
+func (c *CatchClause) Pos() token.Pos { return c.P }
+
+// TryStmt is try Body catch... [finally Finally].
+type TryStmt struct {
+	Body    *BlockStmt
+	Catches []*CatchClause
+	Finally *BlockStmt // may be nil
+	P       token.Pos
+}
+
+// EmptyStmt is a stray semicolon.
+type EmptyStmt struct{ P token.Pos }
+
+func (s *BlockStmt) Pos() token.Pos    { return s.P }
+func (s *VarDeclStmt) Pos() token.Pos  { return s.P }
+func (s *ExprStmt) Pos() token.Pos     { return s.P }
+func (s *IfStmt) Pos() token.Pos       { return s.P }
+func (s *WhileStmt) Pos() token.Pos    { return s.P }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.P }
+func (s *ForStmt) Pos() token.Pos      { return s.P }
+func (s *ReturnStmt) Pos() token.Pos   { return s.P }
+func (s *BreakStmt) Pos() token.Pos    { return s.P }
+func (s *ContinueStmt) Pos() token.Pos { return s.P }
+func (s *ThrowStmt) Pos() token.Pos    { return s.P }
+func (s *TryStmt) Pos() token.Pos      { return s.P }
+func (s *EmptyStmt) Pos() token.Pos    { return s.P }
+
+func (*BlockStmt) stmt()    {}
+func (*VarDeclStmt) stmt()  {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ThrowStmt) stmt()    {}
+func (*TryStmt) stmt()      {}
+func (*EmptyStmt) stmt()    {}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes. TypeInfo is filled in by
+// sema; it is an opaque handle (the sema package's *types.Type) so that
+// ast does not depend on the type checker.
+type Expr interface {
+	Node
+	expr()
+	// TypeInfo returns the checker-assigned type handle (nil before sema).
+	TypeInfo() interface{}
+	// SetTypeInfo records the checker-assigned type handle.
+	SetTypeInfo(interface{})
+}
+
+// exprBase provides the TypeInfo plumbing shared by all expressions.
+type exprBase struct{ ti interface{} }
+
+func (b *exprBase) expr()                     {}
+func (b *exprBase) TypeInfo() interface{}     { return b.ti }
+func (b *exprBase) SetTypeInfo(t interface{}) { b.ti = t }
+
+// IntLit is an int literal.
+type IntLit struct {
+	exprBase
+	Value int32
+	P     token.Pos
+}
+
+// LongLit is a long literal.
+type LongLit struct {
+	exprBase
+	Value int64
+	P     token.Pos
+}
+
+// DoubleLit is a double literal.
+type DoubleLit struct {
+	exprBase
+	Value float64
+	P     token.Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	Value bool
+	P     token.Pos
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	exprBase
+	Value rune
+	P     token.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	exprBase
+	Value string
+	P     token.Pos
+}
+
+// NullLit is the null literal.
+type NullLit struct {
+	exprBase
+	P token.Pos
+}
+
+// Ident is a simple name: local variable, parameter, field of this, or a
+// class name in a qualified access. Sema records the resolution.
+type Ident struct {
+	exprBase
+	Name string
+	P    token.Pos
+	// Sym is filled by sema: *sema.Local, *sema.FieldSym, or
+	// *sema.ClassRef.
+	Sym interface{}
+}
+
+// ThisExpr is the receiver reference.
+type ThisExpr struct {
+	exprBase
+	P token.Pos
+}
+
+// SuperCtorCall is the explicit constructor invocation super(args),
+// allowed only as the first statement of a constructor body.
+type SuperCtorCall struct {
+	exprBase
+	Args []Expr
+	P    token.Pos
+	// Ctor is filled by sema with the resolved superclass constructor.
+	Ctor interface{}
+}
+
+// SuperCall is the non-virtual invocation super.Name(args).
+type SuperCall struct {
+	exprBase
+	Name string
+	Args []Expr
+	P    token.Pos
+	// Sym is filled by sema with the resolved method symbol.
+	Sym interface{}
+}
+
+// FieldAccess is X.Name (including array .length, flagged by sema).
+type FieldAccess struct {
+	exprBase
+	X    Expr
+	Name string
+	P    token.Pos
+	// Sym is filled by sema: *sema.FieldSym, or nil for array length.
+	Sym      interface{}
+	IsLength bool
+	// IsStaticClass is set when X names a class and this access is a
+	// static field read.
+	IsStaticClass bool
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	exprBase
+	X     Expr
+	Index Expr
+	P     token.Pos
+}
+
+// CallExpr is a method invocation. Recv is nil for unqualified calls
+// (resolved by sema to this-calls or static calls of the current class);
+// when Recv is an Ident naming a class the call is static.
+type CallExpr struct {
+	exprBase
+	Recv Expr // may be nil
+	Name string
+	Args []Expr
+	P    token.Pos
+	// Sym is filled by sema: *sema.MethodSym (after overload
+	// resolution) or *sema.Builtin.
+	Sym interface{}
+	// Static is set by sema when the call needs no dynamic dispatch.
+	Static bool
+}
+
+// NewObject is new Type(Args).
+type NewObject struct {
+	exprBase
+	TypeName string
+	Args     []Expr
+	P        token.Pos
+	// Ctor is filled by sema with the resolved constructor symbol (may
+	// be nil for the implicit default constructor).
+	Ctor interface{}
+}
+
+// NewArray is new Base[len0][len1]...[]..., i.e. an array creation with
+// one or more sized dimensions followed by zero or more empty dimensions.
+type NewArray struct {
+	exprBase
+	Base      TypeExpr // innermost element type (no array dims)
+	Lens      []Expr   // sized dimensions, outermost first
+	ExtraDims int      // trailing empty dimensions
+	P         token.Pos
+}
+
+// Unary is op X, where Op is SUB, NOT, TILDE, or ADD.
+type Unary struct {
+	exprBase
+	Op token.Kind
+	X  Expr
+	P  token.Pos
+}
+
+// Binary is X op Y for arithmetic, comparison, bitwise and short-circuit
+// operators (short-circuit operators are lowered to control flow during
+// SSA construction, as described in the paper's footnote 3).
+type Binary struct {
+	exprBase
+	Op   token.Kind
+	X, Y Expr
+	P    token.Pos
+}
+
+// Assign is LHS op= RHS; Op is ASSIGN or a compound assignment token.
+// LHS is an Ident, FieldAccess, or IndexExpr.
+type Assign struct {
+	exprBase
+	Op  token.Kind
+	LHS Expr
+	RHS Expr
+	P   token.Pos
+}
+
+// IncDec is X++ or X-- (used as a statement-level expression).
+type IncDec struct {
+	exprBase
+	Op token.Kind // INC or DEC
+	X  Expr
+	P  token.Pos
+}
+
+// Cast is (Type) X.
+type Cast struct {
+	exprBase
+	Type TypeExpr
+	X    Expr
+	P    token.Pos
+}
+
+// InstanceOf is X instanceof Type.
+type InstanceOf struct {
+	exprBase
+	X    Expr
+	Type TypeExpr
+	P    token.Pos
+}
+
+// Cond is Cond ? Then : Else; lowered to an if-else value merge during
+// SSA construction.
+type Cond struct {
+	exprBase
+	C          Expr
+	Then, Else Expr
+	P          token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos        { return e.P }
+func (e *LongLit) Pos() token.Pos       { return e.P }
+func (e *DoubleLit) Pos() token.Pos     { return e.P }
+func (e *BoolLit) Pos() token.Pos       { return e.P }
+func (e *CharLit) Pos() token.Pos       { return e.P }
+func (e *StringLit) Pos() token.Pos     { return e.P }
+func (e *NullLit) Pos() token.Pos       { return e.P }
+func (e *Ident) Pos() token.Pos         { return e.P }
+func (e *ThisExpr) Pos() token.Pos      { return e.P }
+func (e *SuperCtorCall) Pos() token.Pos { return e.P }
+func (e *SuperCall) Pos() token.Pos     { return e.P }
+func (e *FieldAccess) Pos() token.Pos   { return e.P }
+func (e *IndexExpr) Pos() token.Pos     { return e.P }
+func (e *CallExpr) Pos() token.Pos      { return e.P }
+func (e *NewObject) Pos() token.Pos     { return e.P }
+func (e *NewArray) Pos() token.Pos      { return e.P }
+func (e *Unary) Pos() token.Pos         { return e.P }
+func (e *Binary) Pos() token.Pos        { return e.P }
+func (e *Assign) Pos() token.Pos        { return e.P }
+func (e *IncDec) Pos() token.Pos        { return e.P }
+func (e *Cast) Pos() token.Pos          { return e.P }
+func (e *InstanceOf) Pos() token.Pos    { return e.P }
+func (e *Cond) Pos() token.Pos          { return e.P }

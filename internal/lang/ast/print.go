@@ -1,0 +1,302 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"safetsa/internal/lang/token"
+)
+
+// Print renders a file back to TJ source form — useful for inspecting
+// what the parser (and the corpus generator) produced, and round-trip
+// testable: Print output reparses to an equivalent tree.
+func Print(f *File) string {
+	p := &printer{}
+	for i, c := range f.Classes {
+		if i > 0 {
+			p.nl()
+		}
+		p.class(c)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) w(format string, args ...interface{}) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.sb.WriteString(strings.Repeat("    ", p.indent))
+	p.w(format, args...)
+	p.nl()
+}
+
+func (p *printer) nl() { p.sb.WriteByte('\n') }
+
+func (p *printer) class(c *ClassDecl) {
+	ext := ""
+	if c.Super != "" {
+		ext = " extends " + c.Super
+	}
+	p.line("class %s%s {", c.Name, ext)
+	p.indent++
+	for _, f := range c.Fields {
+		mods := ""
+		if f.Static {
+			mods += "static "
+		}
+		if f.Final {
+			mods += "final "
+		}
+		init := ""
+		if f.Init != nil {
+			init = " = " + ExprString(f.Init)
+		}
+		p.line("%s%s %s%s;", mods, TypeString(f.Type), f.Name, init)
+	}
+	for _, m := range c.Methods {
+		p.method(m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) method(m *MethodDecl) {
+	var params []string
+	for _, prm := range m.Params {
+		params = append(params, TypeString(prm.Type)+" "+prm.Name)
+	}
+	head := ""
+	if m.Static {
+		head = "static "
+	}
+	if m.IsCtor {
+		head += m.Name
+	} else {
+		head += TypeString(m.Return) + " " + m.Name
+	}
+	p.line("%s(%s) {", head, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.indent++
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.block(s)
+		p.line("}")
+	case *EmptyStmt:
+		p.line(";")
+	case *VarDeclStmt:
+		init := ""
+		if s.Init != nil {
+			init = " = " + ExprString(s.Init)
+		}
+		p.line("%s %s%s;", TypeString(s.Type), s.Name, init)
+	case *ExprStmt:
+		p.line("%s;", ExprString(s.X))
+	case *IfStmt:
+		p.line("if (%s) {", ExprString(s.Cond))
+		p.block(s.Then)
+		if s.Else != nil {
+			p.line("} else {")
+			p.block(s.Else)
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", ExprString(s.Cond))
+		p.block(s.Body)
+		p.line("}")
+	case *DoWhileStmt:
+		p.line("do {")
+		p.block(s.Body)
+		p.line("} while (%s);", ExprString(s.Cond))
+	case *ForStmt:
+		init, post := "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(stmtOneLine(s.Init), ";")
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(stmtOneLine(s.Post), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.block(s.Body)
+		p.line("}")
+	case *ReturnStmt:
+		if s.X == nil {
+			p.line("return;")
+		} else {
+			p.line("return %s;", ExprString(s.X))
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ThrowStmt:
+		p.line("throw %s;", ExprString(s.X))
+	case *TryStmt:
+		p.line("try {")
+		p.block(s.Body)
+		for _, cc := range s.Catches {
+			p.line("} catch (%s %s) {", TypeString(cc.Type), cc.Name)
+			p.block(cc.Body)
+		}
+		if s.Finally != nil {
+			p.line("} finally {")
+			p.block(s.Finally)
+		}
+		p.line("}")
+	default:
+		p.line("/* ? %T */", s)
+	}
+}
+
+func stmtOneLine(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		init := ""
+		if s.Init != nil {
+			init = " = " + ExprString(s.Init)
+		}
+		return fmt.Sprintf("%s %s%s;", TypeString(s.Type), s.Name, init)
+	case *ExprStmt:
+		return ExprString(s.X) + ";"
+	}
+	return "/*stmt*/;"
+}
+
+// TypeString renders a syntactic type.
+func TypeString(t TypeExpr) string {
+	switch t := t.(type) {
+	case nil:
+		return "void"
+	case *PrimTypeExpr:
+		return t.Kind.String()
+	case *NamedTypeExpr:
+		return t.Name
+	case *ArrayTypeExpr:
+		return TypeString(t.Elem) + "[]"
+	}
+	return "?"
+}
+
+// ExprString renders an expression with full parenthesization of
+// subexpressions (safe, if verbose).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *LongLit:
+		return fmt.Sprintf("%dL", e.Value)
+	case *DoubleLit:
+		s := fmt.Sprintf("%g", e.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *CharLit:
+		switch e.Value {
+		case '\n':
+			return `'\n'`
+		case '\t':
+			return `'\t'`
+		case '\'':
+			return `'\''`
+		case '\\':
+			return `'\\'`
+		}
+		return "'" + string(e.Value) + "'"
+	case *StringLit:
+		q := fmt.Sprintf("%q", e.Value)
+		return q
+	case *NullLit:
+		return "null"
+	case *Ident:
+		return e.Name
+	case *ThisExpr:
+		return "this"
+	case *SuperCtorCall:
+		return "super(" + argList(e.Args) + ")"
+	case *SuperCall:
+		return "super." + e.Name + "(" + argList(e.Args) + ")"
+	case *FieldAccess:
+		return ExprString(e.X) + "." + e.Name
+	case *IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *CallExpr:
+		recv := ""
+		if e.Recv != nil {
+			recv = ExprString(e.Recv) + "."
+		}
+		return recv + e.Name + "(" + argList(e.Args) + ")"
+	case *NewObject:
+		return "new " + e.TypeName + "(" + argList(e.Args) + ")"
+	case *NewArray:
+		s := "new " + TypeString(e.Base)
+		for _, l := range e.Lens {
+			s += "[" + ExprString(l) + "]"
+		}
+		s += strings.Repeat("[]", e.ExtraDims)
+		return s
+	case *Unary:
+		return "(" + e.Op.String() + ExprString(e.X) + ")"
+	case *Binary:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *Assign:
+		return ExprString(e.LHS) + " " + e.Op.String() + " " + ExprString(e.RHS)
+	case *IncDec:
+		op := "++"
+		if e.Op == token.DEC {
+			op = "--"
+		}
+		return ExprString(e.X) + op
+	case *Cast:
+		return "((" + TypeString(e.Type) + ") " + ExprString(e.X) + ")"
+	case *InstanceOf:
+		return "(" + ExprString(e.X) + " instanceof " + TypeString(e.Type) + ")"
+	case *Cond:
+		return "(" + ExprString(e.C) + " ? " + ExprString(e.Then) + " : " + ExprString(e.Else) + ")"
+	}
+	return "/*?expr*/"
+}
+
+func argList(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = ExprString(a)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,714 @@
+// Package parser implements a recursive-descent parser for TJ source
+// files, producing the untyped AST consumed by sema.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/scanner"
+	"safetsa/internal/lang/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// bailout is used to abort parsing after too many errors.
+type bailout struct{}
+
+const maxErrors = 20
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// ParseFile parses a whole TJ compilation unit. On syntax errors it
+// returns the partial AST together with the error list.
+func ParseFile(file, src string) (*ast.File, []error) {
+	toks, errs := scanner.ScanAll(file, src)
+	p := &parser{toks: toks, errs: errs}
+	f := &ast.File{Name: file}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+			}
+		}()
+		for p.tok().Kind != token.EOF {
+			f.Classes = append(f.Classes, p.parseClass())
+		}
+	}()
+	return f, p.errs
+}
+
+func (p *parser) tok() token.Token { return p.toks[p.pos] }
+
+func (p *parser) at(k token.Kind) bool { return p.tok().Kind == k }
+
+func (p *parser) peekKind(n int) token.Kind {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *parser) next() token.Token {
+	t := p.tok()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...interface{}) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	if len(p.errs) >= maxErrors {
+		panic(bailout{})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if !p.at(k) {
+		p.errorf(p.tok().Pos, "expected %q, found %s", k.String(), p.tok())
+		// Do not consume: let the caller's loop structure resynchronize.
+		return token.Token{Kind: k, Pos: p.tok().Pos}
+	}
+	return p.next()
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// skipModifiers consumes access and final modifiers, returning whether
+// static was among them.
+func (p *parser) skipModifiers() (static bool, final bool) {
+	for {
+		switch p.tok().Kind {
+		case token.PUBLIC, token.PRIVATE, token.PROTECTED:
+			p.next()
+		case token.STATIC:
+			static = true
+			p.next()
+		case token.FINAL:
+			final = true
+			p.next()
+		default:
+			return static, final
+		}
+	}
+}
+
+func (p *parser) parseClass() *ast.ClassDecl {
+	p.skipModifiers()
+	start := p.expect(token.CLASS)
+	name := p.expect(token.IDENT)
+	c := &ast.ClassDecl{Name: name.Lit, P: start.Pos}
+	if p.accept(token.EXTENDS) {
+		c.Super = p.expect(token.IDENT).Lit
+	}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		p.parseMember(c)
+	}
+	p.expect(token.RBRACE)
+	return c
+}
+
+// parseMember parses one field, method, or constructor declaration and
+// appends it to c.
+func (p *parser) parseMember(c *ast.ClassDecl) {
+	static, final := p.skipModifiers()
+	pos := p.tok().Pos
+
+	// Constructor: IDENT matching the class name followed by '('.
+	if p.at(token.IDENT) && p.tok().Lit == c.Name && p.peekKind(1) == token.LPAREN {
+		name := p.next()
+		m := &ast.MethodDecl{Name: name.Lit, IsCtor: true, P: pos}
+		m.Params = p.parseParams()
+		p.skipThrows()
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+
+	typ := p.parseType()
+	name := p.expect(token.IDENT)
+	if p.at(token.LPAREN) {
+		m := &ast.MethodDecl{Name: name.Lit, Return: typ, Static: static, P: pos}
+		m.Params = p.parseParams()
+		p.skipThrows()
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+
+	// Field declaration, possibly with several comma-separated
+	// declarators sharing the base type.
+	for {
+		declType := typ
+		// Trailing [] on the declarator name (Java legacy syntax).
+		for p.accept(token.LBRACK) {
+			p.expect(token.RBRACK)
+			declType = &ast.ArrayTypeExpr{Elem: declType, P: pos}
+		}
+		f := &ast.FieldDecl{Name: name.Lit, Type: declType, Static: static, Final: final, P: pos}
+		if p.accept(token.ASSIGN) {
+			f.Init = p.parseExpr()
+		}
+		c.Fields = append(c.Fields, f)
+		if !p.accept(token.COMMA) {
+			break
+		}
+		name = p.expect(token.IDENT)
+	}
+	p.expect(token.SEMI)
+}
+
+func (p *parser) skipThrows() {
+	if p.accept(token.THROWS) {
+		p.expect(token.IDENT)
+		for p.accept(token.COMMA) {
+			p.expect(token.IDENT)
+		}
+	}
+}
+
+func (p *parser) parseParams() []*ast.Param {
+	p.expect(token.LPAREN)
+	var params []*ast.Param
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(params) > 0 {
+			p.expect(token.COMMA)
+		}
+		pos := p.tok().Pos
+		typ := p.parseType()
+		name := p.expect(token.IDENT)
+		for p.accept(token.LBRACK) {
+			p.expect(token.RBRACK)
+			typ = &ast.ArrayTypeExpr{Elem: typ, P: pos}
+		}
+		params = append(params, &ast.Param{Name: name.Lit, Type: typ, P: pos})
+	}
+	p.expect(token.RPAREN)
+	return params
+}
+
+func isPrimTypeToken(k token.Kind) bool {
+	switch k {
+	case token.INT, token.LONG, token.DOUBLE, token.BOOLEAN, token.CHAR, token.VOID:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseType() ast.TypeExpr {
+	pos := p.tok().Pos
+	var t ast.TypeExpr
+	switch {
+	case isPrimTypeToken(p.tok().Kind):
+		t = &ast.PrimTypeExpr{Kind: p.next().Kind, P: pos}
+	case p.at(token.IDENT):
+		t = &ast.NamedTypeExpr{Name: p.next().Lit, P: pos}
+	default:
+		p.errorf(pos, "expected type, found %s", p.tok())
+		p.next()
+		return &ast.PrimTypeExpr{Kind: token.INT, P: pos}
+	}
+	for p.at(token.LBRACK) && p.peekKind(1) == token.RBRACK {
+		p.next()
+		p.next()
+		t = &ast.ArrayTypeExpr{Elem: t, P: pos}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	start := p.expect(token.LBRACE)
+	b := &ast.BlockStmt{P: start.Pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		before := p.pos
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.pos == before {
+			// No progress: discard a token to avoid an infinite loop
+			// after a syntax error.
+			p.errorf(p.tok().Pos, "unexpected %s", p.tok())
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// startsLocalDecl reports whether the statement at the current position is
+// a local variable declaration: a primitive type, or IDENT ([])* IDENT.
+func (p *parser) startsLocalDecl() bool {
+	if isPrimTypeToken(p.tok().Kind) && !p.at(token.VOID) {
+		return true
+	}
+	if !p.at(token.IDENT) {
+		return false
+	}
+	i := 1
+	for p.peekKind(i) == token.LBRACK && p.peekKind(i+1) == token.RBRACK {
+		i += 2
+	}
+	return p.peekKind(i) == token.IDENT
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	pos := p.tok().Pos
+	switch p.tok().Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMI:
+		p.next()
+		return &ast.EmptyStmt{P: pos}
+	case token.IF:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		s := &ast.IfStmt{Cond: cond, P: pos}
+		s.Then = p.parseStmt()
+		if p.accept(token.ELSE) {
+			s.Else = p.parseStmt()
+		}
+		return s
+	case token.WHILE:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.WhileStmt{Cond: cond, Body: p.parseStmt(), P: pos}
+	case token.DO:
+		p.next()
+		body := p.parseStmt()
+		p.expect(token.WHILE)
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.DoWhileStmt{Body: body, Cond: cond, P: pos}
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		p.next()
+		s := &ast.ReturnStmt{P: pos}
+		if !p.at(token.SEMI) {
+			s.X = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return s
+	case token.BREAK:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{P: pos}
+	case token.CONTINUE:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{P: pos}
+	case token.THROW:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.ThrowStmt{X: x, P: pos}
+	case token.TRY:
+		return p.parseTry()
+	}
+	if p.startsLocalDecl() {
+		s := p.parseLocalDecl()
+		p.expect(token.SEMI)
+		return s
+	}
+	x := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{X: x, P: pos}
+}
+
+// parseLocalDecl parses "Type name [= init] (, name [= init])*" without
+// the trailing semicolon; multiple declarators are wrapped in a block.
+func (p *parser) parseLocalDecl() ast.Stmt {
+	pos := p.tok().Pos
+	typ := p.parseType()
+	var decls []ast.Stmt
+	for {
+		name := p.expect(token.IDENT)
+		declType := typ
+		for p.accept(token.LBRACK) {
+			p.expect(token.RBRACK)
+			declType = &ast.ArrayTypeExpr{Elem: declType, P: pos}
+		}
+		d := &ast.VarDeclStmt{Name: name.Lit, Type: declType, P: name.Pos}
+		if p.accept(token.ASSIGN) {
+			d.Init = p.parseExpr()
+		}
+		decls = append(decls, d)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0]
+	}
+	return &ast.BlockStmt{Stmts: decls, P: pos}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.tok().Pos
+	p.expect(token.FOR)
+	p.expect(token.LPAREN)
+	s := &ast.ForStmt{P: pos}
+	if !p.at(token.SEMI) {
+		if p.startsLocalDecl() {
+			s.Init = p.parseLocalDecl()
+		} else {
+			s.Init = &ast.ExprStmt{X: p.parseExpr(), P: p.tok().Pos}
+		}
+	}
+	p.expect(token.SEMI)
+	if !p.at(token.SEMI) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	if !p.at(token.RPAREN) {
+		s.Post = &ast.ExprStmt{X: p.parseExpr(), P: p.tok().Pos}
+	}
+	p.expect(token.RPAREN)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *parser) parseTry() ast.Stmt {
+	pos := p.expect(token.TRY).Pos
+	s := &ast.TryStmt{P: pos}
+	s.Body = p.parseBlock()
+	for p.at(token.CATCH) {
+		cp := p.next().Pos
+		p.expect(token.LPAREN)
+		typ := p.parseType()
+		name := p.expect(token.IDENT)
+		p.expect(token.RPAREN)
+		s.Catches = append(s.Catches, &ast.CatchClause{Type: typ, Name: name.Lit, Body: p.parseBlock(), P: cp})
+	}
+	if p.accept(token.FINALLY) {
+		s.Finally = p.parseBlock()
+	}
+	if len(s.Catches) == 0 && s.Finally == nil {
+		p.errorf(pos, "try statement needs at least one catch or finally clause")
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseAssign() }
+
+func isLValue(x ast.Expr) bool {
+	switch x.(type) {
+	case *ast.Ident, *ast.FieldAccess, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAssign() ast.Expr {
+	lhs := p.parseTernary()
+	if p.tok().Kind.IsAssignOp() {
+		op := p.next()
+		if !isLValue(lhs) {
+			p.errorf(op.Pos, "left operand of %s is not assignable", op.Kind)
+		}
+		rhs := p.parseAssign() // right associative
+		return &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs, P: op.Pos}
+	}
+	return lhs
+}
+
+func (p *parser) parseTernary() ast.Expr {
+	c := p.parseBinary(1)
+	if p.at(token.QUESTION) {
+		pos := p.next().Pos
+		then := p.parseAssign()
+		p.expect(token.COLON)
+		els := p.parseTernary()
+		return &ast.Cond{C: c, Then: then, Else: els, P: pos}
+	}
+	return c
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.tok()
+		prec := op.Kind.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		p.next()
+		if op.Kind == token.INSTANCEOF {
+			typ := p.parseType()
+			x = &ast.InstanceOf{X: x, Type: typ, P: op.Pos}
+			continue
+		}
+		y := p.parseBinary(prec + 1)
+		x = &ast.Binary{Op: op.Kind, X: x, Y: y, P: op.Pos}
+	}
+}
+
+// startsCast reports whether the '(' at the current position opens a cast
+// expression rather than a parenthesized subexpression.
+func (p *parser) startsCast() bool {
+	if !p.at(token.LPAREN) {
+		return false
+	}
+	i := 1
+	if isPrimTypeToken(p.peekKind(i)) && p.peekKind(i) != token.VOID {
+		return true
+	}
+	if p.peekKind(i) != token.IDENT {
+		return false
+	}
+	i++
+	brackets := false
+	for p.peekKind(i) == token.LBRACK && p.peekKind(i+1) == token.RBRACK {
+		i += 2
+		brackets = true
+	}
+	if p.peekKind(i) != token.RPAREN {
+		return false
+	}
+	if brackets {
+		return true
+	}
+	// "(Name) X" is a cast only when X can begin a unary expression that
+	// is not also a binary-operator continuation.
+	switch p.peekKind(i + 1) {
+	case token.IDENT, token.INTLIT, token.LONGLIT, token.DOUBLELIT,
+		token.CHARLIT, token.STRINGLIT, token.LPAREN, token.NOT,
+		token.TILDE, token.THIS, token.NEW, token.NULL, token.TRUE,
+		token.FALSE:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	pos := p.tok().Pos
+	switch p.tok().Kind {
+	case token.SUB, token.ADD, token.NOT, token.TILDE:
+		op := p.next().Kind
+		x := p.parseUnary()
+		return &ast.Unary{Op: op, X: x, P: pos}
+	case token.INC, token.DEC:
+		// Prefix inc/dec: treat as the equivalent compound assignment.
+		op := p.next().Kind
+		x := p.parseUnary()
+		if !isLValue(x) {
+			p.errorf(pos, "operand of %s is not assignable", op)
+		}
+		binOp := token.ADDASSIGN
+		if op == token.DEC {
+			binOp = token.SUBASSIGN
+		}
+		return &ast.Assign{Op: binOp, LHS: x, RHS: &ast.IntLit{Value: 1, P: pos}, P: pos}
+	}
+	if p.startsCast() {
+		p.next() // (
+		typ := p.parseType()
+		p.expect(token.RPAREN)
+		x := p.parseUnary()
+		return &ast.Cast{Type: typ, X: x, P: pos}
+	}
+	return p.parsePostfix(p.parsePrimary())
+}
+
+func (p *parser) parsePostfix(x ast.Expr) ast.Expr {
+	for {
+		pos := p.tok().Pos
+		switch p.tok().Kind {
+		case token.DOT:
+			p.next()
+			name := p.expect(token.IDENT)
+			if p.at(token.LPAREN) {
+				call := &ast.CallExpr{Recv: x, Name: name.Lit, P: pos}
+				call.Args = p.parseArgs()
+				x = call
+			} else {
+				x = &ast.FieldAccess{X: x, Name: name.Lit, P: pos}
+			}
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{X: x, Index: idx, P: pos}
+		case token.INC, token.DEC:
+			op := p.next().Kind
+			if !isLValue(x) {
+				p.errorf(pos, "operand of %s is not assignable", op)
+			}
+			x = &ast.IncDec{Op: op, X: x, P: pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	p.expect(token.LPAREN)
+	var args []ast.Expr
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(args) > 0 {
+			p.expect(token.COMMA)
+		}
+		args = append(args, p.parseExpr())
+	}
+	p.expect(token.RPAREN)
+	return args
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.tok().Pos
+	switch p.tok().Kind {
+	case token.INTLIT:
+		t := p.next()
+		v, err := parseIntLit(t.Lit)
+		if err != nil {
+			p.errorf(pos, "invalid int literal %q: %v", t.Lit, err)
+		}
+		return &ast.IntLit{Value: int32(v), P: pos}
+	case token.LONGLIT:
+		t := p.next()
+		v, err := parseIntLit(t.Lit)
+		if err != nil {
+			p.errorf(pos, "invalid long literal %q: %v", t.Lit, err)
+		}
+		return &ast.LongLit{Value: v, P: pos}
+	case token.DOUBLELIT:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf(pos, "invalid double literal %q: %v", t.Lit, err)
+		}
+		return &ast.DoubleLit{Value: v, P: pos}
+	case token.CHARLIT:
+		t := p.next()
+		r := ' '
+		for _, c := range t.Lit {
+			r = c
+			break
+		}
+		return &ast.CharLit{Value: r, P: pos}
+	case token.STRINGLIT:
+		t := p.next()
+		return &ast.StringLit{Value: t.Lit, P: pos}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{Value: true, P: pos}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{Value: false, P: pos}
+	case token.NULL:
+		p.next()
+		return &ast.NullLit{P: pos}
+	case token.THIS:
+		p.next()
+		return &ast.ThisExpr{P: pos}
+	case token.SUPER:
+		p.next()
+		if p.at(token.LPAREN) {
+			c := &ast.SuperCtorCall{P: pos}
+			c.Args = p.parseArgs()
+			return c
+		}
+		p.expect(token.DOT)
+		name := p.expect(token.IDENT)
+		c := &ast.SuperCall{Name: name.Lit, P: pos}
+		c.Args = p.parseArgs()
+		return c
+	case token.NEW:
+		return p.parseNew()
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	case token.IDENT:
+		t := p.next()
+		if p.at(token.LPAREN) {
+			call := &ast.CallExpr{Name: t.Lit, P: pos}
+			call.Args = p.parseArgs()
+			return call
+		}
+		return &ast.Ident{Name: t.Lit, P: pos}
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok())
+	p.next()
+	return &ast.IntLit{Value: 0, P: pos}
+}
+
+func parseIntLit(lit string) (int64, error) {
+	if len(lit) > 2 && (lit[1] == 'x' || lit[1] == 'X') {
+		u, err := strconv.ParseUint(lit[2:], 16, 64)
+		return int64(u), err
+	}
+	return strconv.ParseInt(lit, 10, 64)
+}
+
+func (p *parser) parseNew() ast.Expr {
+	pos := p.expect(token.NEW).Pos
+	var base ast.TypeExpr
+	switch {
+	case isPrimTypeToken(p.tok().Kind) && !p.at(token.VOID):
+		base = &ast.PrimTypeExpr{Kind: p.next().Kind, P: pos}
+	case p.at(token.IDENT):
+		base = &ast.NamedTypeExpr{Name: p.next().Lit, P: pos}
+	default:
+		p.errorf(pos, "expected type after new, found %s", p.tok())
+		return &ast.NullLit{P: pos}
+	}
+	if p.at(token.LPAREN) {
+		named, ok := base.(*ast.NamedTypeExpr)
+		if !ok {
+			p.errorf(pos, "cannot construct a primitive type")
+			named = &ast.NamedTypeExpr{Name: "Object", P: pos}
+		}
+		n := &ast.NewObject{TypeName: named.Name, P: pos}
+		n.Args = p.parseArgs()
+		return n
+	}
+	n := &ast.NewArray{Base: base, P: pos}
+	for p.at(token.LBRACK) && p.peekKind(1) != token.RBRACK {
+		p.next()
+		n.Lens = append(n.Lens, p.parseExpr())
+		p.expect(token.RBRACK)
+	}
+	if len(n.Lens) == 0 {
+		p.errorf(pos, "array creation needs at least one sized dimension")
+	}
+	for p.at(token.LBRACK) && p.peekKind(1) == token.RBRACK {
+		p.next()
+		p.next()
+		n.ExtraDims++
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := ParseFile("t.tj", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return f
+}
+
+func firstMethodBody(t *testing.T, src string) []ast.Stmt {
+	t.Helper()
+	f := parseOK(t, "class C { void m() { "+src+" } }")
+	return f.Classes[0].Methods[0].Body.Stmts
+}
+
+func firstExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	stmts := firstMethodBody(t, "x = "+src+";")
+	return stmts[0].(*ast.ExprStmt).X.(*ast.Assign).RHS
+}
+
+func TestClassShapes(t *testing.T) {
+	f := parseOK(t, `
+class A extends B {
+    int x;
+    static double y = 1.5;
+    int[] data, more;
+    A(int v) { x = v; }
+    int get() throws Exception { return x; }
+    static void s() {}
+}`)
+	c := f.Classes[0]
+	if c.Name != "A" || c.Super != "B" {
+		t.Fatalf("class header wrong: %+v", c)
+	}
+	if len(c.Fields) != 4 {
+		t.Fatalf("fields: %d", len(c.Fields))
+	}
+	if _, ok := c.Fields[3].Type.(*ast.ArrayTypeExpr); !ok {
+		t.Error("comma declarator lost the array type")
+	}
+	if len(c.Methods) != 3 || !c.Methods[0].IsCtor || !c.Methods[2].Static {
+		t.Fatalf("methods wrong")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b*c)
+	e := firstExpr(t, "a + b * c").(*ast.Binary)
+	if e.Op != token.ADD {
+		t.Fatal("top is not +")
+	}
+	if inner, ok := e.Y.(*ast.Binary); !ok || inner.Op != token.MUL {
+		t.Fatal("* did not bind tighter")
+	}
+	// a << b + c parses as a << (b+c)
+	e = firstExpr(t, "a << b + c").(*ast.Binary)
+	if e.Op != token.SHL {
+		t.Fatal("top is not <<")
+	}
+	// a || b && c parses as a || (b&&c)
+	e = firstExpr(t, "a || b && c").(*ast.Binary)
+	if e.Op != token.LOR {
+		t.Fatal("top is not ||")
+	}
+	// comparison binds tighter than ==: a < b == c < d
+	e = firstExpr(t, "a < b == c < d").(*ast.Binary)
+	if e.Op != token.EQL {
+		t.Fatal("top is not ==")
+	}
+}
+
+func TestCastDisambiguation(t *testing.T) {
+	if _, ok := firstExpr(t, "(Foo) bar").(*ast.Cast); !ok {
+		t.Error("(Foo) bar must be a cast")
+	}
+	if _, ok := firstExpr(t, "(foo) + bar").(*ast.Binary); !ok {
+		t.Error("(foo) + bar must be an addition, not a cast")
+	}
+	if _, ok := firstExpr(t, "(int) d").(*ast.Cast); !ok {
+		t.Error("(int) d must be a cast")
+	}
+	if _, ok := firstExpr(t, "(Foo[]) xs").(*ast.Cast); !ok {
+		t.Error("(Foo[]) xs must be a cast")
+	}
+	if _, ok := firstExpr(t, "(Foo) !b").(*ast.Cast); !ok {
+		t.Error("(Foo) !b must be a cast")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	stmts := firstMethodBody(t, `
+        int i = 0;
+        for (int j = 0; j < 10; j++) { i += j; }
+        while (i > 0) i--;
+        do { i++; } while (i < 3);
+        if (i == 3) return; else i = 4;
+        try { i = 1 / i; } catch (Exception e) { i = 0; } finally { i++; }
+        throw new Exception("x");`)
+	wantTypes := []string{"*ast.VarDeclStmt", "*ast.ForStmt", "*ast.WhileStmt",
+		"*ast.DoWhileStmt", "*ast.IfStmt", "*ast.TryStmt", "*ast.ThrowStmt"}
+	if len(stmts) != len(wantTypes) {
+		t.Fatalf("%d statements", len(stmts))
+	}
+	for i, s := range stmts {
+		got := strings.TrimPrefix(typeName(s), "ast.")
+		want := strings.TrimPrefix(wantTypes[i], "*ast.")
+		if got != want {
+			t.Errorf("stmt %d is %s, want %s", i, got, want)
+		}
+	}
+}
+
+func typeName(v interface{}) string {
+	s := strings.TrimPrefix(strings.TrimPrefix(
+		strings.TrimSpace(strings.Split(strings.TrimPrefix(
+			strings.TrimSpace(sprintT(v)), "*"), " ")[0]), "ast."), "*")
+	return s
+}
+
+func sprintT(v interface{}) string {
+	switch v.(type) {
+	case *ast.VarDeclStmt:
+		return "ast.VarDeclStmt"
+	case *ast.ForStmt:
+		return "ast.ForStmt"
+	case *ast.WhileStmt:
+		return "ast.WhileStmt"
+	case *ast.DoWhileStmt:
+		return "ast.DoWhileStmt"
+	case *ast.IfStmt:
+		return "ast.IfStmt"
+	case *ast.TryStmt:
+		return "ast.TryStmt"
+	case *ast.ThrowStmt:
+		return "ast.ThrowStmt"
+	}
+	return "other"
+}
+
+func TestNewForms(t *testing.T) {
+	if _, ok := firstExpr(t, "new Foo(1, 2)").(*ast.NewObject); !ok {
+		t.Error("new Foo(...)")
+	}
+	na, ok := firstExpr(t, "new int[3][4]").(*ast.NewArray)
+	if !ok || len(na.Lens) != 2 || na.ExtraDims != 0 {
+		t.Errorf("new int[3][4]: %+v", na)
+	}
+	na = firstExpr(t, "new double[n][]").(*ast.NewArray)
+	if len(na.Lens) != 1 || na.ExtraDims != 1 {
+		t.Errorf("new double[n][]: %+v", na)
+	}
+}
+
+func TestSuperForms(t *testing.T) {
+	f := parseOK(t, `
+class D extends B {
+    D() { super(1); }
+    int m() { return super.m(); }
+}`)
+	ctor := f.Classes[0].Methods[0]
+	es := ctor.Body.Stmts[0].(*ast.ExprStmt)
+	if _, ok := es.X.(*ast.SuperCtorCall); !ok {
+		t.Error("super(1) not parsed as constructor call")
+	}
+	ret := f.Classes[0].Methods[1].Body.Stmts[0].(*ast.ReturnStmt)
+	if _, ok := ret.X.(*ast.SuperCall); !ok {
+		t.Error("super.m() not parsed")
+	}
+}
+
+func TestPrefixIncrementLowering(t *testing.T) {
+	stmts := firstMethodBody(t, "++i;")
+	asn, ok := stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+	if !ok || asn.Op != token.ADDASSIGN {
+		t.Error("++i must lower to i += 1")
+	}
+	stmts = firstMethodBody(t, "i++;")
+	if _, ok := stmts[0].(*ast.ExprStmt).X.(*ast.IncDec); !ok {
+		t.Error("i++ must stay postfix IncDec")
+	}
+}
+
+func TestTernary(t *testing.T) {
+	c, ok := firstExpr(t, "a ? b : c ? d : e").(*ast.Cond)
+	if !ok {
+		t.Fatal("no conditional")
+	}
+	if _, ok := c.Else.(*ast.Cond); !ok {
+		t.Error("?: must be right associative")
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	for _, src := range []string{
+		"class {",
+		"class C { void m() { if } }",
+		"class C { int x = ; }",
+		"class C { void m() { 1 + ; } }",
+		"class C { void m() { try {} } }", // try without catch/finally
+		"class C { void m() { new int[]; } }",
+	} {
+		_, errs := ParseFile("t", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: no error reported", src)
+		}
+	}
+	// The parser must not loop forever or panic on truncated input.
+	for _, src := range []string{"class C { void m() {", "class C { int", "class"} {
+		ParseFile("t", src)
+	}
+}
+
+func TestAssignTargetsValidated(t *testing.T) {
+	_, errs := ParseFile("t", "class C { void m() { 1 = 2; } }")
+	if len(errs) == 0 {
+		t.Error("assignment to a literal accepted")
+	}
+	_, errs = ParseFile("t", "class C { void m() { f()++; } }")
+	if len(errs) == 0 {
+		t.Error("increment of a call accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package scanner
+
+import (
+	"testing"
+
+	"safetsa/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll("t.tj", src)
+	if len(errs) > 0 {
+		t.Fatalf("scan errors: %v", errs)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d is %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % ++ -- += -= *= /= %=",
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.INC, token.DEC, token.ADDASSIGN, token.SUBASSIGN,
+		token.MULASSIGN, token.QUOASSIGN, token.REMASSIGN)
+	expectKinds(t, "<< >> <<= >>= < <= > >= == != = !",
+		token.SHL, token.SHR, token.SHLASSIGN, token.SHRASSIGN,
+		token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.EQL, token.NEQ, token.ASSIGN, token.NOT)
+	expectKinds(t, "& && | || ^ ~ &= |= ^=",
+		token.AND, token.LAND, token.OR, token.LOR, token.XOR, token.TILDE,
+		token.ANDASSIGN, token.ORASSIGN, token.XORASSIGN)
+	expectKinds(t, "( ) { } [ ] , ; . ? :",
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACK, token.RBRACK, token.COMMA, token.SEMI,
+		token.DOT, token.QUESTION, token.COLON)
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "class className int integer",
+		token.CLASS, token.IDENT, token.INT, token.IDENT)
+	expectKinds(t, "while whileTrue do done",
+		token.WHILE, token.IDENT, token.DO, token.IDENT)
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]token.Kind{
+		"0":     token.INTLIT,
+		"123":   token.INTLIT,
+		"0x1F":  token.INTLIT,
+		"5L":    token.LONGLIT,
+		"5l":    token.LONGLIT,
+		"1.5":   token.DOUBLELIT,
+		"1.5e3": token.DOUBLELIT,
+		"2e-4":  token.DOUBLELIT,
+		"3.25d": token.DOUBLELIT,
+	}
+	for src, want := range cases {
+		toks, errs := ScanAll("t", src)
+		if len(errs) > 0 {
+			t.Errorf("%q: %v", src, errs)
+			continue
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q scanned as %v, want %v", src, toks[0].Kind, want)
+		}
+	}
+	// "1.foo" must NOT eat the dot as a fraction.
+	expectKinds(t, "x.length", token.IDENT, token.DOT, token.IDENT)
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	toks, errs := ScanAll("t", `'a' '\n' '\t' '\\' '\'' 'A' "hi\n\"quoted\""`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantLits := []string{"a", "\n", "\t", "\\", "'", "A", "hi\n\"quoted\""}
+	for i, want := range wantLits {
+		if toks[i].Lit != want {
+			t.Errorf("literal %d = %q, want %q", i, toks[i].Lit, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\n b /* block\n comment */ c",
+		token.IDENT, token.IDENT, token.IDENT)
+	_, errs := ScanAll("t", "/* unterminated")
+	if len(errs) == 0 {
+		t.Error("unterminated block comment not reported")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{"@", "\"open", "'x", "'\\q'"} {
+		_, errs := ScanAll("t", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: no error reported", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := ScanAll("f.tj", "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "f.tj:2:3" {
+		t.Errorf("pos string %q", toks[1].Pos.String())
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	toks, errs := ScanAll("t", "größe = 1;")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != token.IDENT || toks[0].Lit != "größe" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Lit)
+	}
+}

@@ -1,0 +1,174 @@
+package sema
+
+import "safetsa/internal/lang/ast"
+
+// newUniverse creates the Program skeleton with the primitive types and
+// the imported host classes: Object, String, and the exception hierarchy.
+// These mirror the paper's "types imported from the host environment's
+// libraries", whose type-table entries are generated implicitly and are
+// therefore tamper-proof.
+func newUniverse() *Program {
+	p := &Program{
+		Classes:        make(map[string]*Class),
+		arrays:         make(map[*Type]*Type),
+		MethodInfo:     make(map[*MethodSym]*MethodInfo),
+		DeclLocal:      make(map[*ast.VarDeclStmt]*Local),
+		CatchLocal:     make(map[*ast.CatchClause]*Local),
+		ImplicitSuper:  make(map[*MethodSym]*MethodSym),
+		InstanceOfType: make(map[*ast.InstanceOf]*Type),
+		Int:            &Type{Kind: KindInt, name: "int"},
+		Long:           &Type{Kind: KindLong, name: "long"},
+		Double:         &Type{Kind: KindDouble, name: "double"},
+		Boolean:        &Type{Kind: KindBoolean, name: "boolean"},
+		Char:           &Type{Kind: KindChar, name: "char"},
+		Void:           &Type{Kind: KindVoid, name: "void"},
+		Null:           &Type{Kind: KindNull, name: "null"},
+	}
+
+	obj := &Class{Name: "Object", Imported: true}
+	p.ClsObject = obj
+	p.Object = p.ClassType(obj)
+	p.Classes["Object"] = obj
+
+	str := &Class{Name: "String", Super: obj, Imported: true}
+	p.ClsString = str
+	p.String = p.ClassType(str)
+	p.Classes["String"] = str
+
+	throwable := &Class{Name: "Throwable", Super: obj, Imported: true}
+	p.ClsThrowable = throwable
+	p.Throwable = p.ClassType(throwable)
+	p.Classes["Throwable"] = throwable
+
+	exc := &Class{Name: "Exception", Super: throwable, Imported: true}
+	p.ClsException = exc
+	p.Classes["Exception"] = exc
+
+	mkExc := func(name string) *Class {
+		c := &Class{Name: name, Super: exc, Imported: true}
+		p.Classes[name] = c
+		return c
+	}
+	p.ClsNPE = mkExc("NullPointerException")
+	p.ClsArith = mkExc("ArithmeticException")
+	p.ClsBounds = mkExc("IndexOutOfBoundsException")
+	p.ClsCast = mkExc("ClassCastException")
+	p.ClsNegArraySize = mkExc("NegativeArraySizeException")
+
+	// Object methods.
+	obj.Methods = []*MethodSym{
+		{Name: "hashCode", Return: p.Int, Owner: obj, Builtin: BObjHashCode},
+		{Name: "equals", Params: []*Type{p.Object}, Return: p.Boolean, Owner: obj, Builtin: BObjEquals},
+		{Name: "toString", Return: p.String, Owner: obj, Builtin: BObjToString},
+	}
+	obj.Ctors = []*MethodSym{
+		{Name: "Object", IsCtor: true, Return: p.Void, Owner: obj, VSlot: -1},
+	}
+
+	// String methods.
+	str.Methods = []*MethodSym{
+		{Name: "length", Return: p.Int, Owner: str, Builtin: BStrLength},
+		{Name: "charAt", Params: []*Type{p.Int}, Return: p.Char, Owner: str, Builtin: BStrCharAt},
+		{Name: "substring", Params: []*Type{p.Int, p.Int}, Return: p.String, Owner: str, Builtin: BStrSubstring},
+		{Name: "equals", Params: []*Type{p.Object}, Return: p.Boolean, Owner: str, Builtin: BStrEquals},
+		{Name: "compareTo", Params: []*Type{p.String}, Return: p.Int, Owner: str, Builtin: BStrCompareTo},
+		{Name: "indexOf", Params: []*Type{p.String}, Return: p.Int, Owner: str, Builtin: BStrIndexOf},
+		{Name: "hashCode", Return: p.Int, Owner: str, Builtin: BStrHashCode},
+	}
+
+	// Throwable/Exception: a message field plus getMessage. The message
+	// field occupies instance slot 0 of every throwable.
+	throwable.Fields = []*FieldSym{
+		{Name: "message", Type: p.String, Owner: throwable, Slot: 0},
+	}
+	throwable.NumSlots = 1
+	throwable.Methods = []*MethodSym{
+		{Name: "getMessage", Return: p.String, Owner: throwable, Builtin: BExcGetMessage},
+	}
+	throwable.Ctors = []*MethodSym{
+		{Name: "Throwable", IsCtor: true, Return: p.Void, Owner: throwable, VSlot: -1},
+		{Name: "Throwable", IsCtor: true, Params: []*Type{p.String}, Return: p.Void, Owner: throwable, VSlot: -1},
+	}
+	for _, c := range []*Class{exc, p.ClsNPE, p.ClsArith, p.ClsBounds, p.ClsCast, p.ClsNegArraySize} {
+		c.NumSlots = 1
+		c.Ctors = []*MethodSym{
+			{Name: c.Name, IsCtor: true, Return: p.Void, Owner: c, VSlot: -1},
+			{Name: c.Name, IsCtor: true, Params: []*Type{p.String}, Return: p.Void, Owner: c, VSlot: -1},
+		}
+	}
+
+	return p
+}
+
+// mathBuiltins maps Math.<name> overload sets.
+func (p *Program) mathBuiltins(name string) []*Builtin {
+	b := func(id BuiltinID, ret *Type, params ...*Type) *Builtin {
+		return &Builtin{ID: id, Name: "Math." + name, Params: params, Return: ret}
+	}
+	switch name {
+	case "sqrt":
+		return []*Builtin{b(BMathSqrt, p.Double, p.Double)}
+	case "abs":
+		return []*Builtin{
+			b(BMathAbsI, p.Int, p.Int),
+			b(BMathAbsL, p.Long, p.Long),
+			b(BMathAbsD, p.Double, p.Double),
+		}
+	case "min":
+		return []*Builtin{
+			b(BMathMinI, p.Int, p.Int, p.Int),
+			b(BMathMinL, p.Long, p.Long, p.Long),
+			b(BMathMinD, p.Double, p.Double, p.Double),
+		}
+	case "max":
+		return []*Builtin{
+			b(BMathMaxI, p.Int, p.Int, p.Int),
+			b(BMathMaxL, p.Long, p.Long, p.Long),
+			b(BMathMaxD, p.Double, p.Double, p.Double),
+		}
+	case "pow":
+		return []*Builtin{b(BMathPow, p.Double, p.Double, p.Double)}
+	case "floor":
+		return []*Builtin{b(BMathFloor, p.Double, p.Double)}
+	case "ceil":
+		return []*Builtin{b(BMathCeil, p.Double, p.Double)}
+	case "log":
+		return []*Builtin{b(BMathLog, p.Double, p.Double)}
+	case "exp":
+		return []*Builtin{b(BMathExp, p.Double, p.Double)}
+	case "sin":
+		return []*Builtin{b(BMathSin, p.Double, p.Double)}
+	case "cos":
+		return []*Builtin{b(BMathCos, p.Double, p.Double)}
+	}
+	return nil
+}
+
+// printBuiltins maps System.out.<name> overload sets.
+func (p *Program) printBuiltins(name string) []*Builtin {
+	b := func(id BuiltinID, params ...*Type) *Builtin {
+		return &Builtin{ID: id, Name: "System.out." + name, Params: params, Return: p.Void}
+	}
+	switch name {
+	case "println":
+		return []*Builtin{
+			b(BPrintlnString, p.String),
+			b(BPrintlnInt, p.Int),
+			b(BPrintlnLong, p.Long),
+			b(BPrintlnDouble, p.Double),
+			b(BPrintlnBool, p.Boolean),
+			b(BPrintlnChar, p.Char),
+			b(BPrintlnEmpty),
+		}
+	case "print":
+		return []*Builtin{
+			b(BPrintString, p.String),
+			b(BPrintInt, p.Int),
+			b(BPrintLong, p.Long),
+			b(BPrintDouble, p.Double),
+			b(BPrintBool, p.Boolean),
+			b(BPrintChar, p.Char),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package opt
+
+import (
+	"safetsa/internal/core"
+)
+
+// dce performs liveness-based dead-code elimination in the style of
+// Briggs et al. [7 in the paper]: roots are the instructions with
+// observable effects (stores, calls, potentially-throwing operations —
+// whose exceptions are part of the program's semantics) plus the values
+// referenced by the Control Structure Tree; everything else, notably the
+// pessimistically placed phi instructions, is swept when unmarked. The
+// paper reports this removing 31% of phi instructions on average.
+func dce(m *core.Module, f *core.Func) int {
+	live := make(map[core.ValueID]bool)
+	var work []core.ValueID
+
+	markVal := func(v core.ValueID) {
+		if v != core.NoValue && !live[v] {
+			live[v] = true
+			work = append(work, v)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Code {
+			if in.Op.HasSideEffect() || in.Op == core.OpCatch || in.Op == core.OpParam {
+				markVal(in.ID)
+				for _, a := range in.Args {
+					markVal(a)
+				}
+				if in.Bind != core.NoValue {
+					markVal(in.Bind)
+				}
+			}
+		}
+	}
+	var walkCST func(n *core.CSTNode)
+	walkCST = func(n *core.CSTNode) {
+		if n == nil {
+			return
+		}
+		markVal(n.Cond)
+		markVal(n.Val)
+		for _, k := range n.Kids {
+			walkCST(k)
+		}
+	}
+	walkCST(f.Body)
+
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := f.Value(v)
+		if in == nil {
+			continue
+		}
+		for _, a := range in.Args {
+			markVal(a)
+		}
+		if in.Bind != core.NoValue {
+			markVal(in.Bind)
+		}
+	}
+
+	removed := 0
+	for _, b := range f.Blocks {
+		keepPhis := b.Phis[:0]
+		for _, phi := range b.Phis {
+			if live[phi.ID] {
+				keepPhis = append(keepPhis, phi)
+			} else {
+				removed++
+			}
+		}
+		b.Phis = keepPhis
+		keep := b.Code[:0]
+		for _, in := range b.Code {
+			if in.Op.HasSideEffect() || in.Op == core.OpCatch || in.Op == core.OpParam ||
+				!in.HasResult() || live[in.ID] {
+				keep = append(keep, in)
+			} else {
+				removed++
+			}
+		}
+		b.Code = keep
+	}
+	_ = m
+	return removed
+}

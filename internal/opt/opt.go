@@ -1,0 +1,157 @@
+// Package opt implements the producer-side optimizations of section 8 of
+// the paper: constant propagation with folding, dominator-scoped common
+// subexpression elimination with an artificial memory-state variable
+// ("Mem") threading load/store dependencies, and liveness-based dead-code
+// elimination that prunes the pessimistically placed phi instructions.
+// Null-check and bounds-check elimination fall out of CSE over the check
+// instructions — the eliminated checks travel tamper-proof because the
+// remaining ones are still structurally verified by the consumer.
+package opt
+
+import (
+	"safetsa/internal/core"
+)
+
+// Stats reports what the optimizer did, per category; these feed the
+// Figure 6 table and the section 8 claims.
+type Stats struct {
+	InstrsBefore int
+	InstrsAfter  int
+
+	PhisBefore int
+	PhisAfter  int
+
+	NullChecksBefore int
+	NullChecksAfter  int
+
+	ArrayChecksBefore int
+	ArrayChecksAfter  int
+
+	// Per-pass removal counts.
+	ConstFolded int
+	CSERemoved  int
+	DCERemoved  int
+}
+
+// Count tallies the statistics categories over a module.
+func Count(m *core.Module) (instrs, phis, nullChecks, arrayChecks int) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			phis += len(b.Phis)
+			instrs += len(b.Phis)
+			for _, in := range b.Code {
+				instrs++
+				switch in.Op {
+				case core.OpNullCheck:
+					nullChecks++
+				case core.OpIndexCheck:
+					arrayChecks++
+				}
+			}
+		}
+	}
+	return
+}
+
+// Options selects optimizer variants.
+type Options struct {
+	// FieldSensitiveMem partitions the artificial Mem variable by field
+	// (and by array element type), the "simple form of field analysis"
+	// the paper names as the next improvement in section 8. A store to
+	// one field then no longer kills loads of any other, exposing more
+	// common subexpressions. Off by default: the paper's measured
+	// configuration is the single conservative Mem.
+	FieldSensitiveMem bool
+}
+
+// Optimize runs the paper's measured pipeline (single conservative Mem)
+// on a module, in place, and returns the statistics.
+func Optimize(m *core.Module) Stats {
+	return OptimizeWithOptions(m, Options{})
+}
+
+// OptimizeWithOptions runs the producer-side pipeline with variant
+// selection.
+func OptimizeWithOptions(m *core.Module, o Options) Stats {
+	var st Stats
+	st.InstrsBefore, st.PhisBefore, st.NullChecksBefore, st.ArrayChecksBefore = Count(m)
+	for _, f := range m.Funcs {
+		optimizeFunc(m, f, o, &st)
+	}
+	st.InstrsAfter, st.PhisAfter, st.NullChecksAfter, st.ArrayChecksAfter = Count(m)
+	return st
+}
+
+func optimizeFunc(m *core.Module, f *core.Func, o Options, st *Stats) {
+	// Two rounds: CSE exposes new constants and copies; DCE after each
+	// round keeps the tables small.
+	for round := 0; round < 2; round++ {
+		st.ConstFolded += constProp(m, f)
+		st.CSERemoved += cse(m, f, o)
+	}
+	st.DCERemoved += dce(m, f)
+}
+
+// replaceUses rewrites every operand (instruction arguments, safe-index
+// bindings, and CST value references) through the replacement map,
+// resolving chains.
+func replaceUses(f *core.Func, repl map[core.ValueID]core.ValueID) {
+	if len(repl) == 0 {
+		return
+	}
+	resolve := func(v core.ValueID) core.ValueID {
+		for {
+			n, ok := repl[v]
+			if !ok {
+				return v
+			}
+			v = n
+		}
+	}
+	for _, b := range f.Blocks {
+		b.Instrs(func(in *core.Instr) {
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+			if in.Bind != core.NoValue {
+				in.Bind = resolve(in.Bind)
+			}
+		})
+	}
+	var walk func(n *core.CSTNode)
+	walk = func(n *core.CSTNode) {
+		if n == nil {
+			return
+		}
+		if n.Cond != core.NoValue {
+			n.Cond = resolve(n.Cond)
+		}
+		if n.Val != core.NoValue {
+			n.Val = resolve(n.Val)
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(f.Body)
+}
+
+// removeInstr deletes an instruction from its block (either section).
+func removeInstr(in *core.Instr) {
+	b := in.Blk
+	if in.Op == core.OpPhi {
+		for i, p := range b.Phis {
+			if p == in {
+				b.Phis = append(b.Phis[:i], b.Phis[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	for i, p := range b.Code {
+		if p == in {
+			b.Code = append(b.Code[:i], b.Code[i+1:]...)
+			return
+		}
+	}
+}

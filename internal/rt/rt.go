@@ -1,0 +1,416 @@
+// Package rt is the shared runtime substrate for the two code consumers
+// (the SafeTSA evaluator in package interp and the baseline stack-machine
+// interpreter in package bytecode): values, heap objects, arrays,
+// strings, the imported host library (Math, System.out, String methods),
+// and exception signalling. Sharing the runtime makes the differential
+// tests meaningful — both pipelines act on identical machine state.
+package rt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: exactly one of the payload fields is
+// meaningful, as dictated by the statically known type at each use site.
+// Integral types (int, long, char, boolean) live in I, double in D,
+// references in R (nil R = Java null).
+type Value struct {
+	I int64
+	D float64
+	R Ref
+}
+
+// Ref is a reference payload: *Object, *Array, *Str, or nil for null.
+type Ref interface{ refTag() }
+
+// Object is a class instance.
+type Object struct {
+	Class  *ClassInfo
+	Fields []Value
+	id     int64
+}
+
+// Array is an array instance; TypeID is the consumer's tag for the array
+// type (used by instanceof and checked casts).
+type Array struct {
+	Elems  []Value
+	TypeID int32
+}
+
+// Str is an immutable string instance.
+type Str struct{ S string }
+
+func (*Object) refTag() {}
+func (*Array) refTag()  {}
+func (*Str) refTag()    {}
+
+// IntValue, LongValue, DoubleValue, BoolValue, CharValue, RefValue are
+// convenience constructors.
+func IntValue(v int32) Value      { return Value{I: int64(v)} }
+func LongValue(v int64) Value     { return Value{I: v} }
+func DoubleValue(v float64) Value { return Value{D: v} }
+func BoolValue(b bool) Value {
+	if b {
+		return Value{I: 1}
+	}
+	return Value{}
+}
+func CharValue(r rune) Value { return Value{I: int64(uint16(r))} }
+func RefValue(r Ref) Value   { return Value{R: r} }
+
+// Bool reads a boolean payload.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// Int reads an int payload with Java's 32-bit wrapping.
+func (v Value) Int() int32 { return int32(v.I) }
+
+// ClassInfo is the consumer-independent runtime metadata of a class.
+type ClassInfo struct {
+	Name     string
+	Super    *ClassInfo
+	NumSlots int
+	// VTable holds consumer-specific method identifiers (method-table
+	// indices for SafeTSA, method ids for the bytecode loader).
+	VTable []int32
+	// TypeID tags the class in the consumer's type numbering.
+	TypeID int32
+	// Statics is the static field storage of the class.
+	Statics []Value
+}
+
+// IsSubclassOf reports whether c is d or below it.
+func (c *ClassInfo) IsSubclassOf(d *ClassInfo) bool {
+	for x := c; x != nil; x = x.Super {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Thrown carries a TJ exception through the Go stack via panic/recover.
+type Thrown struct{ Val Value }
+
+// Env is the execution environment shared by the interpreters.
+type Env struct {
+	Out io.Writer
+	// Steps counts executed instructions; execution aborts with
+	// ErrStepLimit once MaxSteps is exceeded (0 = unlimited).
+	Steps    int64
+	MaxSteps int64
+
+	nextID int64
+}
+
+// ErrStepLimit is panicked (as a plain Go panic, not a Thrown) when the
+// step budget is exhausted.
+var ErrStepLimit = fmt.Errorf("rt: step limit exceeded")
+
+// Step consumes one step of budget.
+func (e *Env) Step() {
+	e.Steps++
+	if e.MaxSteps > 0 && e.Steps > e.MaxSteps {
+		panic(ErrStepLimit)
+	}
+}
+
+// NewObject allocates an instance with zeroed fields.
+func (e *Env) NewObject(c *ClassInfo) *Object {
+	e.nextID++
+	return &Object{Class: c, Fields: make([]Value, c.NumSlots), id: e.nextID}
+}
+
+// NewArray allocates an array of n zero values; n must already have been
+// checked non-negative.
+func (e *Env) NewArray(n int32, typeID int32) *Array {
+	return &Array{Elems: make([]Value, n), TypeID: typeID}
+}
+
+// Identity returns the identity hash of a reference.
+func Identity(r Ref) int64 {
+	switch r := r.(type) {
+	case *Object:
+		return r.id
+	case *Array:
+		return int64(len(r.Elems))*31 + int64(r.TypeID)
+	case *Str:
+		return int64(StringHash(r.S))
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Exceptions
+
+// ExcClasses bundles the ClassInfos of the imported exception hierarchy a
+// consumer registered, so the runtime can construct implicit exceptions.
+type ExcClasses struct {
+	Throwable, Exception              *ClassInfo
+	NPE, Arith, Bounds, Cast, NegSize *ClassInfo
+}
+
+// ThrowNew panics with a freshly allocated exception of class c carrying
+// the message in field slot 0.
+func (e *Env) ThrowNew(c *ClassInfo, msg string) {
+	o := e.NewObject(c)
+	if len(o.Fields) > 0 {
+		o.Fields[0] = RefValue(&Str{S: msg})
+	}
+	panic(Thrown{Val: RefValue(o)})
+}
+
+// ---------------------------------------------------------------------
+// Java arithmetic semantics
+
+// IDiv implements Java int division (throws via env on zero divisor).
+func IDiv(a, b int32) int32 {
+	if a == math.MinInt32 && b == -1 {
+		return math.MinInt32
+	}
+	return a / b
+}
+
+// IRem implements Java int remainder.
+func IRem(a, b int32) int32 {
+	if a == math.MinInt32 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// LDiv implements Java long division.
+func LDiv(a, b int64) int64 {
+	if a == math.MinInt64 && b == -1 {
+		return math.MinInt64
+	}
+	return a / b
+}
+
+// LRem implements Java long remainder.
+func LRem(a, b int64) int64 {
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// D2I converts double to int with Java's saturating semantics.
+func D2I(d float64) int32 {
+	switch {
+	case math.IsNaN(d):
+		return 0
+	case d >= math.MaxInt32:
+		return math.MaxInt32
+	case d <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(d)
+}
+
+// D2L converts double to long with Java's saturating semantics.
+func D2L(d float64) int64 {
+	switch {
+	case math.IsNaN(d):
+		return 0
+	case d >= math.MaxInt64:
+		return math.MaxInt64
+	case d <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(d)
+}
+
+// DRem implements Java's % on doubles (IEEE remainder semantics of the
+// JLS, which is math.Mod, not math.Remainder).
+func DRem(a, b float64) float64 { return math.Mod(a, b) }
+
+// ---------------------------------------------------------------------
+// String operations of the imported String type
+
+// FormatDouble renders a double like Java's Double.toString for the
+// common cases (sufficient for reproducible benchmark output).
+func FormatDouble(d float64) string {
+	switch {
+	case math.IsNaN(d):
+		return "NaN"
+	case math.IsInf(d, 1):
+		return "Infinity"
+	case math.IsInf(d, -1):
+		return "-Infinity"
+	case d == math.Trunc(d) && math.Abs(d) < 1e7:
+		return strconv.FormatFloat(d, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(d, 'g', -1, 64)
+}
+
+// StringOf renders any value in Java string-conversion style; kind is a
+// one-letter tag (i, l, d, z, c, r).
+func StringOf(v Value, kind byte) string {
+	switch kind {
+	case 'i':
+		return strconv.FormatInt(int64(int32(v.I)), 10)
+	case 'l':
+		return strconv.FormatInt(v.I, 10)
+	case 'd':
+		return FormatDouble(v.D)
+	case 'z':
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case 'c':
+		return string(rune(uint16(v.I)))
+	case 'r':
+		return RefString(v.R)
+	}
+	panic("rt: bad string conversion tag")
+}
+
+// RefString renders a reference as Java string conversion would.
+func RefString(r Ref) string {
+	switch r := r.(type) {
+	case nil:
+		return "null"
+	case *Str:
+		return r.S
+	case *Object:
+		return fmt.Sprintf("%s@%x", r.Class.Name, r.id)
+	case *Array:
+		return fmt.Sprintf("array@%x", Identity(r))
+	}
+	return "?"
+}
+
+// StringHash implements Java's String.hashCode.
+func StringHash(s string) int32 {
+	var h int32
+	for _, r := range utf16Units(s) {
+		h = 31*h + int32(r)
+	}
+	return h
+}
+
+func utf16Units(s string) []uint16 {
+	out := make([]uint16, 0, len(s))
+	for _, r := range s {
+		if r > 0xFFFF {
+			r -= 0x10000
+			out = append(out, uint16(0xD800+(r>>10)), uint16(0xDC00+(r&0x3FF)))
+		} else {
+			out = append(out, uint16(r))
+		}
+	}
+	return out
+}
+
+// GetStr extracts a Go string from a string reference; ok is false on
+// null or non-string references.
+func GetStr(r Ref) (string, bool) {
+	s, ok := r.(*Str)
+	if !ok {
+		return "", false
+	}
+	return s.S, true
+}
+
+// Concat implements the String.concat primitive: null renders "null".
+func Concat(a, b Ref) Ref {
+	return &Str{S: RefString(a) + RefString(b)}
+}
+
+// Println/Print write to the environment output.
+func (e *Env) Println(s string) { fmt.Fprintln(e.Out, s) }
+func (e *Env) Print(s string)   { fmt.Fprint(e.Out, s) }
+
+// MathOp evaluates the named double intrinsic.
+func MathOp(name string, a, b float64) float64 {
+	switch name {
+	case "sqrt":
+		return math.Sqrt(a)
+	case "abs":
+		return math.Abs(a)
+	case "min":
+		return math.Min(a, b)
+	case "max":
+		return math.Max(a, b)
+	case "pow":
+		return math.Pow(a, b)
+	case "floor":
+		return math.Floor(a)
+	case "ceil":
+		return math.Ceil(a)
+	case "log":
+		return math.Log(a)
+	case "exp":
+		return math.Exp(a)
+	case "sin":
+		return math.Sin(a)
+	case "cos":
+		return math.Cos(a)
+	}
+	panic("rt: unknown math intrinsic " + name)
+}
+
+// Substring implements String.substring with Java bounds semantics;
+// returns ok=false when the bounds are invalid (caller throws).
+func Substring(s string, begin, end int32) (string, bool) {
+	u := utf16Units(s)
+	if begin < 0 || end > int32(len(u)) || begin > end {
+		return "", false
+	}
+	return stringFromUnits(u[begin:end]), true
+}
+
+// CharAt returns the UTF-16 unit at index i.
+func CharAt(s string, i int32) (uint16, bool) {
+	u := utf16Units(s)
+	if i < 0 || i >= int32(len(u)) {
+		return 0, false
+	}
+	return u[i], true
+}
+
+// StrLen is the UTF-16 length of the string.
+func StrLen(s string) int32 { return int32(len(utf16Units(s))) }
+
+// IndexOfStr is Java's String.indexOf(String).
+func IndexOfStr(s, sub string) int32 {
+	i := strings.Index(s, sub)
+	if i < 0 {
+		return -1
+	}
+	return int32(len(utf16Units(s[:i])))
+}
+
+// CompareStr is Java's String.compareTo.
+func CompareStr(a, b string) int32 {
+	ua, ub := utf16Units(a), utf16Units(b)
+	n := len(ua)
+	if len(ub) < n {
+		n = len(ub)
+	}
+	for i := 0; i < n; i++ {
+		if ua[i] != ub[i] {
+			return int32(ua[i]) - int32(ub[i])
+		}
+	}
+	return int32(len(ua) - len(ub))
+}
+
+func stringFromUnits(u []uint16) string {
+	var sb strings.Builder
+	for i := 0; i < len(u); i++ {
+		r := rune(u[i])
+		if r >= 0xD800 && r <= 0xDBFF && i+1 < len(u) &&
+			u[i+1] >= 0xDC00 && u[i+1] <= 0xDFFF {
+			r = 0x10000 + (r-0xD800)<<10 + (rune(u[i+1]) - 0xDC00)
+			i++
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

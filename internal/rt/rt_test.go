@@ -1,0 +1,239 @@
+package rt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJavaDivisionEdges(t *testing.T) {
+	if got := IDiv(math.MinInt32, -1); got != math.MinInt32 {
+		t.Errorf("MinInt32 / -1 = %d, want MinInt32 (Java wraps)", got)
+	}
+	if got := IRem(math.MinInt32, -1); got != 0 {
+		t.Errorf("MinInt32 %% -1 = %d, want 0", got)
+	}
+	if got := LDiv(math.MinInt64, -1); got != math.MinInt64 {
+		t.Errorf("MinInt64 / -1 = %d", got)
+	}
+	if got := LRem(math.MinInt64, -1); got != 0 {
+		t.Errorf("MinInt64 %% -1 = %d", got)
+	}
+	if got := IDiv(7, -2); got != -3 {
+		t.Errorf("7 / -2 = %d, want -3 (truncation toward zero)", got)
+	}
+	if got := IRem(-7, 2); got != -1 {
+		t.Errorf("-7 %% 2 = %d, want -1", got)
+	}
+}
+
+// TestDivRemIdentity: Java requires (a/b)*b + a%b == a for every b != 0.
+func TestDivRemIdentity(t *testing.T) {
+	prop := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		return IDiv(a, b)*b+IRem(a, b) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	propL := func(a, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		return LDiv(a, b)*b+LRem(a, b) == a
+	}
+	if err := quick.Check(propL, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2ISaturation(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int32
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), math.MaxInt32},
+		{math.Inf(-1), math.MinInt32},
+		{1e100, math.MaxInt32},
+		{-1e100, math.MinInt32},
+		{3.99, 3},
+		{-3.99, -3},
+	}
+	for _, c := range cases {
+		if got := D2I(c.in); got != c.want {
+			t.Errorf("D2I(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := D2L(1e300); got != math.MaxInt64 {
+		t.Errorf("D2L(1e300) = %d", got)
+	}
+}
+
+func TestFormatDouble(t *testing.T) {
+	cases := map[float64]string{
+		0:                   "0.0",
+		1:                   "1.0",
+		-2.5:                "-2.5",
+		66:                  "66.0",
+		math.Inf(1):         "Infinity",
+		math.Inf(-1):        "-Infinity",
+		math.NaN():          "NaN",
+		0.30000000000000004: "0.30000000000000004",
+	}
+	for in, want := range cases {
+		if got := FormatDouble(in); got != want {
+			t.Errorf("FormatDouble(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStringHashMatchesJava(t *testing.T) {
+	// Values computed with the JDK.
+	cases := map[string]int32{
+		"":      0,
+		"a":     97,
+		"ab":    3105, // 31*97 + 98
+		"hello": 99162322,
+		"Aa":    2112,
+		"BB":    2112, // the classic collision with "Aa"
+	}
+	for s, want := range cases {
+		if got := StringHash(s); got != want {
+			t.Errorf("StringHash(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestUTF16StringOps(t *testing.T) {
+	s := "a☃b𝄞c" // includes a surrogate pair (𝄞 = U+1D11E)
+	if got := StrLen(s); got != 6 {
+		t.Fatalf("StrLen = %d, want 6 (UTF-16 units)", got)
+	}
+	if c, ok := CharAt(s, 1); !ok || rune(c) != '☃' {
+		t.Errorf("CharAt(1) = %c, %v", rune(c), ok)
+	}
+	if c, ok := CharAt(s, 3); !ok || c < 0xD800 {
+		t.Errorf("CharAt(3) should be a surrogate half, got %x %v", c, ok)
+	}
+	if _, ok := CharAt(s, 6); ok {
+		t.Error("CharAt out of range succeeded")
+	}
+	sub, ok := Substring(s, 1, 3)
+	if !ok || sub != "☃b" {
+		t.Errorf("Substring(1,3) = %q, %v", sub, ok)
+	}
+	if _, ok := Substring(s, 3, 2); ok {
+		t.Error("reversed substring bounds accepted")
+	}
+	full, ok := Substring(s, 0, 6)
+	if !ok || full != s {
+		t.Errorf("full substring = %q", full)
+	}
+	if got := IndexOfStr(s, "b𝄞"); got != 2 {
+		t.Errorf("IndexOfStr = %d, want 2", got)
+	}
+	if got := IndexOfStr(s, "zz"); got != -1 {
+		t.Errorf("IndexOfStr miss = %d", got)
+	}
+	if CompareStr("abc", "abd") >= 0 || CompareStr("abc", "abc") != 0 || CompareStr("abcd", "abc") <= 0 {
+		t.Error("CompareStr ordering wrong")
+	}
+}
+
+func TestStringOfAndRefString(t *testing.T) {
+	if got := StringOf(IntValue(-5), 'i'); got != "-5" {
+		t.Errorf("int: %q", got)
+	}
+	if got := StringOf(BoolValue(true), 'z'); got != "true" {
+		t.Errorf("bool: %q", got)
+	}
+	if got := StringOf(CharValue('x'), 'c'); got != "x" {
+		t.Errorf("char: %q", got)
+	}
+	if got := RefString(nil); got != "null" {
+		t.Errorf("null: %q", got)
+	}
+	if got := RefString(&Str{S: "ok"}); got != "ok" {
+		t.Errorf("str: %q", got)
+	}
+	if c, ok := GetStr(Concat(&Str{S: "a"}, nil)); !ok || c != "anull" {
+		t.Errorf("Concat with null: %q %v", c, ok)
+	}
+}
+
+func TestEnvObjectsAndExceptions(t *testing.T) {
+	var out bytes.Buffer
+	env := &Env{Out: &out}
+	ci := &ClassInfo{Name: "Thing", NumSlots: 2}
+	a := env.NewObject(ci)
+	b := env.NewObject(ci)
+	if Identity(a) == Identity(b) {
+		t.Error("distinct objects share identity")
+	}
+	if len(a.Fields) != 2 {
+		t.Error("field storage not allocated")
+	}
+	arr := env.NewArray(3, 9)
+	if len(arr.Elems) != 3 || arr.TypeID != 9 {
+		t.Error("array allocation wrong")
+	}
+
+	exc := &ClassInfo{Name: "Boom", NumSlots: 1}
+	func() {
+		defer func() {
+			r := recover()
+			th, ok := r.(Thrown)
+			if !ok {
+				t.Fatalf("ThrowNew panicked with %T", r)
+			}
+			o := th.Val.R.(*Object)
+			if msg, _ := GetStr(o.Fields[0].R); msg != "bang" {
+				t.Errorf("message %q", msg)
+			}
+		}()
+		env.ThrowNew(exc, "bang")
+	}()
+
+	env.Println("line")
+	env.Print("x")
+	if out.String() != "line\nx" {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	env := &Env{MaxSteps: 2}
+	env.Step()
+	env.Step()
+	defer func() {
+		if recover() != ErrStepLimit {
+			t.Fatal("step limit did not trip")
+		}
+	}()
+	env.Step()
+}
+
+func TestSubclassChain(t *testing.T) {
+	a := &ClassInfo{Name: "A"}
+	b := &ClassInfo{Name: "B", Super: a}
+	c := &ClassInfo{Name: "C", Super: b}
+	if !c.IsSubclassOf(a) || !c.IsSubclassOf(c) || a.IsSubclassOf(b) {
+		t.Error("subclass relation wrong")
+	}
+}
+
+func TestDRem(t *testing.T) {
+	if got := DRem(5.5, 2.0); got != 1.5 {
+		t.Errorf("5.5 %% 2.0 = %v", got)
+	}
+	if got := DRem(-5.5, 2.0); got != -1.5 {
+		t.Errorf("-5.5 %% 2.0 = %v (Java keeps the dividend's sign)", got)
+	}
+	if !math.IsNaN(DRem(1, 0)) {
+		t.Error("x % 0.0 must be NaN")
+	}
+}

@@ -1,0 +1,274 @@
+// Package ssabuild translates the checked TJ program (the UAST) into a
+// SafeTSA module. The translation is a single pass over the structured
+// tree in the style of Brandis and Mössenböck [6 in the paper]: the
+// Control Structure Tree, the basic blocks, the structural dominator
+// links, and the SSA value numbering are all produced together. Phi
+// placement is pessimistic at loop headers and exception handlers (the
+// single-pass compromise); the producer-side optimizer prunes the
+// superfluous ones, as in section 7.
+package ssabuild
+
+import (
+	"fmt"
+
+	"safetsa/internal/core"
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/sema"
+)
+
+// Builder accumulates the module-level translation state.
+type Builder struct {
+	prog *sema.Program
+	mod  *core.Module
+
+	classType map[*sema.Class]core.TypeID
+	fieldIdx  map[*sema.FieldSym]int32
+	methodIdx map[*sema.MethodSym]int32
+	// printIdx caches synthetic imported-method entries for the
+	// System.out builtins, keyed by BuiltinID.
+	printIdx map[sema.BuiltinID]int32
+}
+
+// Build translates a checked program into a SafeTSA module.
+func Build(prog *sema.Program) (*core.Module, error) {
+	b := &Builder{
+		prog:      prog,
+		classType: make(map[*sema.Class]core.TypeID),
+		fieldIdx:  make(map[*sema.FieldSym]int32),
+		methodIdx: make(map[*sema.MethodSym]int32),
+		printIdx:  make(map[sema.BuiltinID]int32),
+	}
+	b.mod = &core.Module{Types: core.NewTypeTable(), Entry: -1}
+	b.buildTables()
+	if err := b.buildBodies(); err != nil {
+		return nil, err
+	}
+	return b.mod, nil
+}
+
+// typeOf maps a sema type to the module type table.
+func (b *Builder) typeOf(t *sema.Type) core.TypeID {
+	tt := b.mod.Types
+	switch t.Kind {
+	case sema.KindInt:
+		return tt.Int
+	case sema.KindLong:
+		return tt.Long
+	case sema.KindDouble:
+		return tt.Double
+	case sema.KindBoolean:
+		return tt.Boolean
+	case sema.KindChar:
+		return tt.Char
+	case sema.KindVoid:
+		return tt.Void
+	case sema.KindNull:
+		return tt.Object
+	case sema.KindClass:
+		return b.classID(t.Class)
+	case sema.KindArray:
+		return tt.ArrayOf(b.typeOf(t.Elem))
+	}
+	panic("ssabuild: unhandled sema type")
+}
+
+func (b *Builder) classID(c *sema.Class) core.TypeID {
+	if id, ok := b.classType[c]; ok {
+		return id
+	}
+	tt := b.mod.Types
+	if c.Imported {
+		id := tt.Class(c.Name)
+		if id == core.NoType {
+			panic("ssabuild: imported class missing from implicit type table: " + c.Name)
+		}
+		b.classType[c] = id
+		return id
+	}
+	// Ensure the superclass exists first so Super links are valid.
+	superID := b.classID(c.Super)
+	id := tt.AddClass(c.Name, superID)
+	b.classType[c] = id
+	return id
+}
+
+// fieldRef interns a field-table entry.
+func (b *Builder) fieldRef(f *sema.FieldSym) int32 {
+	if i, ok := b.fieldIdx[f]; ok {
+		return i
+	}
+	i := int32(len(b.mod.Fields))
+	b.mod.Fields = append(b.mod.Fields, core.FieldRef{
+		Owner:  b.classID(f.Owner),
+		Name:   f.Name,
+		Type:   b.typeOf(f.Type),
+		Static: f.Static,
+		Slot:   int32(f.Slot),
+	})
+	b.fieldIdx[f] = i
+	return i
+}
+
+// methodRef interns a method-table entry.
+func (b *Builder) methodRef(m *sema.MethodSym) int32 {
+	if i, ok := b.methodIdx[m]; ok {
+		return i
+	}
+	params := make([]core.TypeID, len(m.Params))
+	for j, p := range m.Params {
+		params[j] = b.typeOf(p)
+	}
+	i := int32(len(b.mod.Methods))
+	b.mod.Methods = append(b.mod.Methods, core.MethodRef{
+		Owner:   b.classID(m.Owner),
+		Name:    m.Name,
+		Params:  params,
+		Result:  b.typeOf(m.Return),
+		Static:  m.Static,
+		IsCtor:  m.IsCtor,
+		VSlot:   int32(m.VSlot),
+		Builtin: core.BuiltinID(m.Builtin),
+		FuncIdx: -1,
+	})
+	b.methodIdx[m] = i
+	return i
+}
+
+// printRef interns a synthetic imported static method for a System.out
+// builtin.
+func (b *Builder) printRef(bi *sema.Builtin) int32 {
+	if i, ok := b.printIdx[bi.ID]; ok {
+		return i
+	}
+	params := make([]core.TypeID, len(bi.Params))
+	for j, p := range bi.Params {
+		params[j] = b.typeOf(p)
+	}
+	i := int32(len(b.mod.Methods))
+	b.mod.Methods = append(b.mod.Methods, core.MethodRef{
+		Owner:   b.mod.Types.Object,
+		Name:    bi.Name,
+		Params:  params,
+		Result:  b.mod.Types.Void,
+		Static:  true,
+		VSlot:   -1,
+		Builtin: core.BuiltinID(bi.ID),
+		FuncIdx: -1,
+	})
+	b.printIdx[bi.ID] = i
+	return i
+}
+
+// buildTables populates the type table and per-class definitions.
+func (b *Builder) buildTables() {
+	for _, c := range b.prog.UserClasses() {
+		b.classID(c)
+	}
+	for _, c := range b.prog.UserClasses() {
+		cd := &core.ClassDef{
+			Type:       b.classID(c),
+			Super:      b.classID(c.Super),
+			NumSlots:   int32(c.NumSlots),
+			NumStatics: int32(c.NumStatics),
+		}
+		for _, f := range c.Fields {
+			cd.Fields = append(cd.Fields, b.fieldRef(f))
+		}
+		for _, m := range c.Ctors {
+			cd.Methods = append(cd.Methods, b.methodRef(m))
+		}
+		for _, m := range c.Methods {
+			cd.Methods = append(cd.Methods, b.methodRef(m))
+		}
+		for _, m := range c.VTable {
+			cd.VTable = append(cd.VTable, b.methodRef(m))
+		}
+		b.mod.Classes = append(b.mod.Classes, cd)
+	}
+}
+
+// buildBodies translates every user method body, the synthetic static
+// initializers, and locates the entry point.
+func (b *Builder) buildBodies() error {
+	for _, c := range b.prog.UserClasses() {
+		// Static initializer.
+		var staticInits []*sema.FieldSym
+		for _, f := range c.Fields {
+			if f.Static && f.Init != nil {
+				staticInits = append(staticInits, f)
+			}
+		}
+		si := int32(-1)
+		if len(staticInits) > 0 {
+			f, err := b.buildClinit(c, staticInits)
+			if err != nil {
+				return err
+			}
+			si = int32(len(b.mod.Funcs))
+			b.mod.Funcs = append(b.mod.Funcs, f)
+		}
+		b.mod.StaticInit = append(b.mod.StaticInit, si)
+
+		for _, m := range c.Ctors {
+			if err := b.buildMethod(m); err != nil {
+				return err
+			}
+		}
+		for _, m := range c.Methods {
+			if err := b.buildMethod(m); err != nil {
+				return err
+			}
+			if m.Name == "main" && m.Static && len(m.Params) <= 1 {
+				ok := len(m.Params) == 0
+				if len(m.Params) == 1 {
+					p := m.Params[0]
+					ok = p.Kind == sema.KindArray && p.Elem == b.prog.String
+				}
+				if ok && b.mod.Entry < 0 {
+					b.mod.Entry = b.methodIdx[m]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (b *Builder) buildMethod(m *sema.MethodSym) error {
+	midx := b.methodRef(m)
+	fb := newFnBuilder(b, m)
+	if err := fb.build(); err != nil {
+		return fmt.Errorf("%s: %w", m.Sig(), err)
+	}
+	fb.f.Method = midx
+	b.mod.Methods[midx].FuncIdx = int32(len(b.mod.Funcs))
+	b.mod.Funcs = append(b.mod.Funcs, fb.f)
+	return nil
+}
+
+// buildClinit builds the synthetic static initializer of a class.
+func (b *Builder) buildClinit(c *sema.Class, fields []*sema.FieldSym) (*core.Func, error) {
+	fb := newFnBuilderRaw(b, c.Name+".<clinit>", nil, b.prog.Void)
+	seq := []*core.CSTNode{{Kind: core.CBlock, Block: fb.f.Entry}}
+	fb.resume(fb.f.Entry, &seq)
+	for _, f := range fields {
+		v := fb.exprConv(f.Init, f.Type)
+		if fb.cur == nil {
+			break
+		}
+		fb.emit(&core.Instr{
+			Op: core.OpSetField, Type: fb.tt().Void,
+			Field: b.fieldRef(f), Args: []core.ValueID{v},
+		})
+	}
+	if fb.cur != nil {
+		seq = append(seq, &core.CSTNode{Kind: core.CReturn, At: fb.cur})
+	}
+	fb.f.Body = &core.CSTNode{Kind: core.CSeq, Kids: seq}
+	fb.finish()
+	if err := core.CheckStructuralDominators(fb.f); err != nil {
+		return nil, err
+	}
+	return fb.f, nil
+}
+
+var _ ast.Node // keep the ast import stable while the builder grows

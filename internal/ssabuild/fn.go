@@ -1,0 +1,894 @@
+package ssabuild
+
+import (
+	"fmt"
+
+	"safetsa/internal/core"
+	"safetsa/internal/lang/ast"
+	"safetsa/internal/lang/sema"
+)
+
+// snapshot is one version map of the locals at a program point.
+type snapshot map[*sema.Local]core.ValueID
+
+func (s snapshot) clone() snapshot {
+	out := make(snapshot, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// edgeSnap pairs an incoming edge with the variable versions at its
+// source point.
+type edgeSnap struct {
+	from *core.Block
+	vars snapshot
+}
+
+// phiSlot tracks a pessimistically placed loop-header (or handler) phi
+// whose trailing operands are appended as the loop's back and continue
+// edges are discovered.
+type phiSlot struct {
+	local *sema.Local
+	phi   *core.Instr
+}
+
+// loopCtx is the state of the innermost loop being built.
+type loopCtx struct {
+	header     *core.Block // continue target (while header / do-while body entry?)
+	headerPhis []phiSlot
+	// contToHeader is true for while-shaped loops, where continue edges
+	// go straight to the header and extend the header phis.
+	contToHeader bool
+	contSnaps    []edgeSnap // do-while: continue edges to the latch join
+	breakSnaps   []edgeSnap
+	postAST      []ast.Stmt // for-loop update, inlined at continue sites
+	triesBase    int        // len(fb.tries) at loop entry
+}
+
+// tryCtx is the state of an enclosing try statement.
+type tryCtx struct {
+	finallyAST *ast.BlockStmt // inlined on every exit path
+	// routing is true while the protected body is being built: throwing
+	// instructions register exception edges here.
+	routing bool
+	sites   []siteSnap
+}
+
+// siteSnap is one potential point of exception: an instruction site or
+// an explicit throw node, with the variable versions live at that point.
+type siteSnap struct {
+	from  *core.Block
+	site  *core.Instr   // nil for CThrow edges
+	throw *core.CSTNode // the throw node for CThrow edges
+	vars  snapshot
+}
+
+// fnBuilder builds one function body.
+type fnBuilder struct {
+	b    *Builder
+	m    *sema.MethodSym
+	info *sema.MethodInfo
+	f    *core.Func
+
+	cur *core.Block // nil when the current path has terminated
+	// seq points at the CST sequence currently being extended — the one
+	// holding cur's leaf. Expression lowerings (short-circuit operators,
+	// multi-dimensional array allocation) append their control nodes
+	// here.
+	seq  *[]*core.CSTNode
+	vars snapshot
+	// scope lists the locals currently in scope, in declaration order;
+	// all deterministic iteration over variables uses it.
+	scope []*sema.Local
+	recv  core.ValueID // receiver value (safe-ref plane), NoValue for statics
+
+	consts      map[constKey]core.ValueID
+	constInstrs []*core.Instr
+	paramInstrs []*core.Instr
+
+	loops []*loopCtx
+	tries []*tryCtx
+
+	// inFinally suppresses re-inlining a finally block into exits that
+	// occur within the finally block itself.
+	inFinally int
+}
+
+type constKey struct {
+	kind core.ConstKind
+	i    int64
+	d    float64
+	s    string
+	t    core.TypeID // plane, for null constants
+}
+
+func newFnBuilderRaw(b *Builder, name string, params []core.TypeID, result *sema.Type) *fnBuilder {
+	fb := &fnBuilder{
+		b:      b,
+		f:      core.NewFunc(name),
+		vars:   make(snapshot),
+		consts: make(map[constKey]core.ValueID),
+	}
+	fb.f.Params = params
+	fb.f.Result = b.typeOf(result)
+	entry := fb.f.NewBlock()
+	fb.f.Entry = entry
+	fb.cur = entry
+	for i := range params {
+		in := &core.Instr{Op: core.OpParam, Type: params[i], Aux: int32(i), Blk: entry}
+		fb.f.Define(in)
+		fb.paramInstrs = append(fb.paramInstrs, in)
+	}
+	return fb
+}
+
+func newFnBuilder(b *Builder, m *sema.MethodSym) *fnBuilder {
+	info := b.prog.MethodInfo[m]
+	if info == nil {
+		info = &sema.MethodInfo{}
+	}
+	var params []core.TypeID
+	if !m.Static {
+		params = append(params, b.mod.Types.SafeRefOf(b.classID(m.Owner)))
+	}
+	for _, p := range m.Params {
+		params = append(params, b.typeOf(p))
+	}
+	fb := newFnBuilderRaw(b, m.QName(), params, m.Return)
+	fb.m = m
+	fb.info = info
+	off := 0
+	if !m.Static {
+		fb.recv = fb.paramInstrs[0].ID
+		off = 1
+	}
+	for i, l := range info.Params {
+		fb.vars[l] = fb.paramInstrs[off+i].ID
+		fb.scope = append(fb.scope, l)
+	}
+	return fb
+}
+
+func (fb *fnBuilder) tt() *core.TypeTable { return fb.b.mod.Types }
+
+func (fb *fnBuilder) snapshotVars() snapshot { return fb.vars.clone() }
+
+// emit appends an instruction to the current block, defining its result
+// value when it has one, and registers exception edges for throwing
+// instructions inside try regions.
+func (fb *fnBuilder) emit(in *core.Instr) core.ValueID {
+	if fb.cur == nil {
+		panic("ssabuild: emit on terminated path in " + fb.f.Name)
+	}
+	in.Blk = fb.cur
+	if in.Type != fb.tt().Void {
+		fb.f.Define(in)
+	}
+	fb.cur.Code = append(fb.cur.Code, in)
+	if in.Op.CanThrow() {
+		if t := fb.routingTry(); t != nil {
+			t.sites = append(t.sites, siteSnap{from: fb.cur, site: in, vars: fb.snapshotVars()})
+		}
+	}
+	return in.ID
+}
+
+// routingTry returns the innermost try context that still routes
+// exceptions (i.e. whose protected body is being built).
+func (fb *fnBuilder) routingTry() *tryCtx {
+	for i := len(fb.tries) - 1; i >= 0; i-- {
+		if fb.tries[i].routing {
+			return fb.tries[i]
+		}
+	}
+	return nil
+}
+
+// newBlock creates a block with the given structural immediate dominator.
+func (fb *fnBuilder) newBlock(idom *core.Block) *core.Block {
+	b := fb.f.NewBlock()
+	b.IDom = idom
+	return b
+}
+
+// enter makes b the current block and appends its CST leaf to seq.
+func (fb *fnBuilder) enter(b *core.Block, seq *[]*core.CSTNode) {
+	fb.cur = b
+	fb.seq = seq
+	*seq = append(*seq, &core.CSTNode{Kind: core.CBlock, Block: b})
+}
+
+// resume makes b current within seq without creating a leaf (the leaf was
+// already placed when the block was set up).
+func (fb *fnBuilder) resume(b *core.Block, seq *[]*core.CSTNode) {
+	fb.cur = b
+	fb.seq = seq
+}
+
+// addPhi appends a phi to b and returns its value.
+func (fb *fnBuilder) addPhi(b *core.Block, plane core.TypeID, args []core.ValueID) *core.Instr {
+	phi := &core.Instr{Op: core.OpPhi, Type: plane, Args: args, Blk: b}
+	fb.f.Define(phi)
+	b.Phis = append(b.Phis, phi)
+	return phi
+}
+
+// localPlane is the plane on which versions of a local live: the plain
+// type of the local (never a safe shadow).
+func (fb *fnBuilder) localPlane(l *sema.Local) core.TypeID { return fb.b.typeOf(l.Type) }
+
+// structDominates walks the structural dominator chain (usable during
+// construction, before Finish assigns the pre/post numbering).
+func structDominates(a, b *core.Block) bool {
+	for x := b; x != nil; x = x.IDom {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// join creates a join block with the given incoming edges (in canonical
+// order) and makes it current. A phi is placed for a local when its
+// versions differ between the edges, or when the agreed version's
+// definition is not a structural ancestor of the join — without the phi
+// such a version would be inexpressible as an (l, r) reference, even
+// though it dominates the join in the refined flow graph. With no edges
+// the path is terminated.
+func (fb *fnBuilder) join(snaps []edgeSnap, idom *core.Block, seq *[]*core.CSTNode) {
+	switch len(snaps) {
+	case 0:
+		fb.cur = nil
+		fb.vars = make(snapshot)
+		return
+	}
+	j := fb.newBlock(idom)
+	for _, s := range snaps {
+		j.Preds = append(j.Preds, core.Pred{From: s.from})
+	}
+	merged := make(snapshot, len(fb.vars))
+	for _, l := range fb.scope {
+		first, ok := snaps[0].vars[l]
+		if !ok {
+			continue
+		}
+		same := true
+		for _, s := range snaps[1:] {
+			if s.vars[l] != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			if def := fb.f.DefBlock(first); def == nil || structDominates(def, j) {
+				merged[l] = first
+				continue
+			}
+		}
+		args := make([]core.ValueID, len(snaps))
+		for k, s := range snaps {
+			args[k] = s.vars[l]
+		}
+		merged[l] = fb.addPhi(j, fb.localPlane(l), args).ID
+	}
+	fb.vars = merged
+	fb.enter(j, seq)
+}
+
+// ---------------------------------------------------------------------
+// Top level
+
+func (fb *fnBuilder) build() error {
+	var seq []*core.CSTNode
+	seq = append(seq, &core.CSTNode{Kind: core.CBlock, Block: fb.f.Entry})
+	fb.resume(fb.f.Entry, &seq)
+
+	var body []ast.Stmt
+	if fb.m.Synthetic {
+		// Compiler-generated default constructor: super() + field inits.
+		fb.emitCtorPreamble(nil, &seq)
+	} else {
+		body = fb.m.Decl.Body.Stmts
+		if fb.m.IsCtor {
+			var explicit *ast.SuperCtorCall
+			if len(body) > 0 {
+				if es, ok := body[0].(*ast.ExprStmt); ok {
+					if sc, ok := es.X.(*ast.SuperCtorCall); ok {
+						explicit = sc
+						body = body[1:]
+					}
+				}
+			}
+			fb.emitCtorPreamble(explicit, &seq)
+		}
+	}
+	fb.buildStmts(body, &seq)
+
+	// Implicit return at the end of the method.
+	if fb.cur != nil {
+		ret := &core.CSTNode{Kind: core.CReturn, At: fb.cur}
+		if fb.f.Result != fb.tt().Void {
+			// TJ does not enforce reachability analysis, so a method
+			// may fall off its end; return the zero value of the
+			// result type, as documented in DESIGN.md.
+			ret.Val = fb.zeroValue(fb.f.Result)
+			ret.At = fb.cur
+		}
+		seq = append(seq, ret)
+		fb.cur = nil
+	}
+
+	fb.f.Body = &core.CSTNode{Kind: core.CSeq, Kids: seq}
+	fb.finish()
+	return core.CheckStructuralDominators(fb.f)
+}
+
+// emitCtorPreamble emits the super-constructor call and the instance
+// field initializers at the start of a constructor body.
+func (fb *fnBuilder) emitCtorPreamble(explicit *ast.SuperCtorCall, seq *[]*core.CSTNode) {
+	owner := fb.m.Owner
+	var superCtor *sema.MethodSym
+	var args []core.ValueID
+	if explicit != nil {
+		superCtor, _ = explicit.Ctor.(*sema.MethodSym)
+		if superCtor != nil {
+			args = fb.callArgs(explicit.Args, superCtor.Params)
+		}
+	} else {
+		superCtor = fb.b.prog.ImplicitSuper[fb.m]
+	}
+	if superCtor != nil {
+		recv := fb.adjustRef(fb.recv, fb.tt().SafeRefOf(fb.b.classID(superCtor.Owner)))
+		fb.emit(&core.Instr{
+			Op: core.OpXCall, Type: fb.tt().Void,
+			Method: fb.b.methodRef(superCtor),
+			Args:   append([]core.ValueID{recv}, args...),
+		})
+	}
+	for _, fld := range owner.Fields {
+		if fld.Static || fld.Init == nil {
+			continue
+		}
+		v := fb.exprConv(fld.Init, fld.Type)
+		if fb.cur == nil {
+			return
+		}
+		recv := fb.adjustRef(fb.recv, fb.tt().SafeRefOf(fb.b.classID(fld.Owner)))
+		fb.emit(&core.Instr{
+			Op: core.OpSetField, Type: fb.tt().Void,
+			Field: fb.b.fieldRef(fld),
+			Args:  []core.ValueID{recv, v},
+		})
+	}
+	_ = seq
+}
+
+// finish splices the pre-loaded parameter and constant registers into the
+// initial basic block (section 5) and computes the canonical ordering.
+func (fb *fnBuilder) finish() {
+	entry := fb.f.Entry
+	pre := make([]*core.Instr, 0, len(fb.paramInstrs)+len(fb.constInstrs)+len(entry.Code))
+	pre = append(pre, fb.paramInstrs...)
+	pre = append(pre, fb.constInstrs...)
+	entry.Code = append(pre, entry.Code...)
+	if fb.f.Body == nil {
+		fb.f.Body = &core.CSTNode{Kind: core.CSeq,
+			Kids: []*core.CSTNode{{Kind: core.CBlock, Block: entry}}}
+	}
+	fb.f.Finish()
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (fb *fnBuilder) buildStmts(stmts []ast.Stmt, seq *[]*core.CSTNode) {
+	for _, s := range stmts {
+		if fb.cur == nil {
+			return // unreachable code after a terminator is dropped
+		}
+		fb.buildStmt(s, seq)
+	}
+}
+
+func (fb *fnBuilder) buildStmt(s ast.Stmt, seq *[]*core.CSTNode) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		mark := len(fb.scope)
+		fb.buildStmts(s.Stmts, seq)
+		fb.popScope(mark)
+	case *ast.EmptyStmt:
+	case *ast.VarDeclStmt:
+		l := fb.b.prog.DeclLocal[s]
+		var v core.ValueID
+		if s.Init != nil {
+			v = fb.exprConv(s.Init, l.Type)
+		} else {
+			v = fb.zeroValue(fb.localPlane(l))
+		}
+		if fb.cur == nil {
+			return
+		}
+		fb.vars[l] = v
+		fb.scope = append(fb.scope, l)
+	case *ast.ExprStmt:
+		fb.expr(s.X)
+	case *ast.IfStmt:
+		fb.buildIf(s, seq)
+	case *ast.WhileStmt:
+		assigned := make(map[*sema.Local]bool)
+		assignedLocals(assigned, s.Cond, s.Body)
+		fb.buildLoop(s.Cond, func(bodySeq *[]*core.CSTNode) {
+			fb.buildStmt(s.Body, bodySeq)
+		}, nil, assigned, seq)
+	case *ast.ForStmt:
+		fb.buildFor(s, seq)
+	case *ast.DoWhileStmt:
+		fb.buildDoWhile(s, seq)
+	case *ast.ReturnStmt:
+		fb.buildReturn(s, seq)
+	case *ast.BreakStmt:
+		fb.buildBreak(seq)
+	case *ast.ContinueStmt:
+		fb.buildContinue(seq)
+	case *ast.ThrowStmt:
+		v := fb.expr(s.X)
+		if fb.cur == nil {
+			return
+		}
+		fb.throwValue(v, seq)
+	case *ast.TryStmt:
+		fb.buildTry(s, seq)
+	default:
+		panic(fmt.Sprintf("ssabuild: unhandled statement %T", s))
+	}
+}
+
+func (fb *fnBuilder) popScope(mark int) {
+	for _, l := range fb.scope[mark:] {
+		delete(fb.vars, l)
+	}
+	fb.scope = fb.scope[:mark]
+}
+
+func (fb *fnBuilder) buildIf(s *ast.IfStmt, seq *[]*core.CSTNode) {
+	cond := fb.exprBool(s.Cond)
+	if fb.cur == nil {
+		return
+	}
+	c := fb.cur
+	node := &core.CSTNode{Kind: core.CIf, At: c, Cond: cond}
+	entryVars := fb.snapshotVars()
+
+	thenEntry := fb.newBlock(c)
+	thenEntry.Preds = []core.Pred{{From: c}}
+	var thenSeq []*core.CSTNode
+	fb.enter(thenEntry, &thenSeq)
+	mark := len(fb.scope)
+	fb.buildStmt(s.Then, &thenSeq)
+	fb.popScope(mark)
+	thenEnd, thenVars := fb.cur, fb.snapshotVars()
+	node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: thenSeq})
+
+	var snaps []edgeSnap
+	if thenEnd != nil {
+		snaps = append(snaps, edgeSnap{thenEnd, thenVars})
+	}
+	if s.Else != nil {
+		fb.vars = entryVars.clone()
+		elseEntry := fb.newBlock(c)
+		elseEntry.Preds = []core.Pred{{From: c}}
+		var elseSeq []*core.CSTNode
+		fb.enter(elseEntry, &elseSeq)
+		fb.buildStmt(s.Else, &elseSeq)
+		fb.popScope(mark)
+		if fb.cur != nil {
+			snaps = append(snaps, edgeSnap{fb.cur, fb.snapshotVars()})
+		}
+		node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: elseSeq})
+	} else {
+		snaps = append(snaps, edgeSnap{c, entryVars})
+	}
+	*seq = append(*seq, node)
+	fb.join(snaps, c, seq)
+}
+
+// buildLoop builds a while-shaped loop: pessimistic phis at the header
+// for the locals the loop assigns (nil assigned = all in scope),
+// condition evaluation (possibly multi-block for short-circuit
+// operators), body, back edge, and the exit join.
+func (fb *fnBuilder) buildLoop(cond ast.Expr, bodyFn func(*[]*core.CSTNode), postAST []ast.Stmt,
+	assigned map[*sema.Local]bool, seq *[]*core.CSTNode) {
+	c := fb.cur
+	h := fb.newBlock(c)
+	h.Preds = []core.Pred{{From: c}}
+	ctx := &loopCtx{header: h, contToHeader: true, postAST: postAST, triesBase: len(fb.tries)}
+	// Single-pass phi placement (Brandis–Mössenböck, with the paper's
+	// refinement): one phi per assigned in-scope local; the remaining
+	// superfluous ones are pruned by the producer-side DCE.
+	for _, l := range fb.scope {
+		if assigned != nil && !assigned[l] {
+			continue
+		}
+		phi := fb.addPhi(h, fb.localPlane(l), []core.ValueID{fb.vars[l]})
+		fb.vars[l] = phi.ID
+		ctx.headerPhis = append(ctx.headerPhis, phiSlot{l, phi})
+	}
+	fb.loops = append(fb.loops, ctx)
+
+	condSeq := []*core.CSTNode{{Kind: core.CBlock, Block: h}}
+	fb.resume(h, &condSeq)
+	condV := fb.exprBool(cond)
+	condEnd := fb.cur
+	condVars := fb.snapshotVars()
+
+	node := &core.CSTNode{Kind: core.CWhile, Block: h, At: condEnd, Cond: condV}
+	node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: condSeq})
+
+	bodyEntry := fb.newBlock(condEnd)
+	bodyEntry.Preds = []core.Pred{{From: condEnd}}
+	var bodySeq []*core.CSTNode
+	fb.enter(bodyEntry, &bodySeq)
+	mark := len(fb.scope)
+	bodyFn(&bodySeq)
+	fb.popScope(mark)
+	if fb.cur != nil {
+		// Back edge closes the header phis.
+		h.Preds = append(h.Preds, core.Pred{From: fb.cur})
+		for _, ps := range ctx.headerPhis {
+			ps.phi.Args = append(ps.phi.Args, fb.vars[ps.local])
+		}
+	}
+	node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: bodySeq})
+	fb.loops = fb.loops[:len(fb.loops)-1]
+	*seq = append(*seq, node)
+
+	snaps := append([]edgeSnap{{condEnd, condVars}}, ctx.breakSnaps...)
+	fb.join(snaps, condEnd, seq)
+}
+
+func (fb *fnBuilder) buildFor(s *ast.ForStmt, seq *[]*core.CSTNode) {
+	mark := len(fb.scope)
+	if s.Init != nil {
+		fb.buildStmt(s.Init, seq)
+	}
+	if fb.cur == nil {
+		fb.popScope(mark)
+		return
+	}
+	cond := s.Cond
+	if cond == nil {
+		t := &ast.BoolLit{Value: true, P: s.P}
+		t.SetTypeInfo(fb.b.prog.Boolean)
+		cond = t
+	}
+	var post []ast.Stmt
+	if s.Post != nil {
+		post = []ast.Stmt{s.Post}
+	}
+	assigned := make(map[*sema.Local]bool)
+	assignedLocals(assigned, cond, s.Post, s.Body)
+	fb.buildLoop(cond, func(bodySeq *[]*core.CSTNode) {
+		fb.buildStmt(s.Body, bodySeq)
+		// The update part runs after the body on the normal path;
+		// continue sites inline it separately.
+		if fb.cur != nil {
+			fb.buildStmts(post, bodySeq)
+		}
+	}, post, assigned, seq)
+	fb.popScope(mark)
+}
+
+func (fb *fnBuilder) buildDoWhile(s *ast.DoWhileStmt, seq *[]*core.CSTNode) {
+	c := fb.cur
+	bodyEntry := fb.newBlock(c)
+	bodyEntry.Preds = []core.Pred{{From: c}}
+	ctx := &loopCtx{header: bodyEntry, triesBase: len(fb.tries)}
+	assigned := make(map[*sema.Local]bool)
+	assignedLocals(assigned, s.Body, s.Cond)
+	for _, l := range fb.scope {
+		if !assigned[l] {
+			continue
+		}
+		phi := fb.addPhi(bodyEntry, fb.localPlane(l), []core.ValueID{fb.vars[l]})
+		fb.vars[l] = phi.ID
+		ctx.headerPhis = append(ctx.headerPhis, phiSlot{l, phi})
+	}
+	fb.loops = append(fb.loops, ctx)
+
+	bodySeq := []*core.CSTNode{{Kind: core.CBlock, Block: bodyEntry}}
+	fb.resume(bodyEntry, &bodySeq)
+	mark := len(fb.scope)
+	fb.buildStmt(s.Body, &bodySeq)
+	fb.popScope(mark)
+
+	// Latch join: continue edges first (walk-encounter order), then the
+	// body fall-through.
+	latchSnaps := append([]edgeSnap(nil), ctx.contSnaps...)
+	if fb.cur != nil {
+		latchSnaps = append(latchSnaps, edgeSnap{fb.cur, fb.snapshotVars()})
+	}
+	fb.loops = fb.loops[:len(fb.loops)-1]
+
+	if len(latchSnaps) == 0 {
+		// The body never reaches the condition: the loop runs at most
+		// once and degenerates to its body.
+		*seq = append(*seq, &core.CSTNode{Kind: core.CSeq, Kids: bodySeq})
+		fb.join(ctx.breakSnaps, bodyEntry, seq)
+		return
+	}
+
+	var latchSeq []*core.CSTNode
+	fb.join(latchSnaps, bodyEntry, &latchSeq)
+	condV := fb.exprBool(s.Cond)
+	condEnd := fb.cur
+	condVars := fb.snapshotVars()
+
+	// Back edge.
+	bodyEntry.Preds = append(bodyEntry.Preds, core.Pred{From: condEnd})
+	for _, ps := range ctx.headerPhis {
+		ps.phi.Args = append(ps.phi.Args, fb.vars[ps.local])
+	}
+
+	node := &core.CSTNode{Kind: core.CDoWhile, Block: bodyEntry, At: condEnd, Cond: condV}
+	node.Kids = []*core.CSTNode{
+		{Kind: core.CSeq, Kids: bodySeq},
+		{Kind: core.CSeq, Kids: latchSeq},
+	}
+	*seq = append(*seq, node)
+
+	snaps := append([]edgeSnap{{condEnd, condVars}}, ctx.breakSnaps...)
+	fb.join(snaps, bodyEntry, seq)
+}
+
+// inlineFinallies builds the finally blocks of the try contexts from
+// fb.tries[base:] (innermost first) into the current path, as performed
+// on every break/continue/return that leaves them.
+func (fb *fnBuilder) inlineFinallies(base int, seq *[]*core.CSTNode) {
+	if fb.inFinally > 0 {
+		return
+	}
+	for i := len(fb.tries) - 1; i >= base; i-- {
+		t := fb.tries[i]
+		if t.finallyAST == nil || fb.cur == nil {
+			continue
+		}
+		fb.inFinally++
+		mark := len(fb.scope)
+		fb.buildStmts(t.finallyAST.Stmts, seq)
+		fb.popScope(mark)
+		fb.inFinally--
+	}
+}
+
+func (fb *fnBuilder) buildReturn(s *ast.ReturnStmt, seq *[]*core.CSTNode) {
+	var v core.ValueID
+	if s.X != nil {
+		// Evaluate the result before any finally blocks run.
+		want := fb.m.Return
+		v = fb.exprConv(s.X, want)
+	}
+	if fb.cur == nil {
+		return
+	}
+	fb.inlineFinallies(0, seq)
+	if fb.cur == nil {
+		return
+	}
+	*seq = append(*seq, &core.CSTNode{Kind: core.CReturn, Val: v, At: fb.cur})
+	fb.cur = nil
+}
+
+func (fb *fnBuilder) buildBreak(seq *[]*core.CSTNode) {
+	ctx := fb.loops[len(fb.loops)-1]
+	fb.inlineFinallies(ctx.triesBase, seq)
+	if fb.cur == nil {
+		return
+	}
+	ctx.breakSnaps = append(ctx.breakSnaps, edgeSnap{fb.cur, fb.snapshotVars()})
+	*seq = append(*seq, &core.CSTNode{Kind: core.CBreak})
+	fb.cur = nil
+}
+
+func (fb *fnBuilder) buildContinue(seq *[]*core.CSTNode) {
+	ctx := fb.loops[len(fb.loops)-1]
+	fb.inlineFinallies(ctx.triesBase, seq)
+	if fb.cur == nil {
+		return
+	}
+	// For-loop update code runs on the continue path.
+	if len(ctx.postAST) > 0 {
+		fb.buildStmts(ctx.postAST, seq)
+		if fb.cur == nil {
+			return
+		}
+	}
+	if ctx.contToHeader {
+		ctx.header.Preds = append(ctx.header.Preds, core.Pred{From: fb.cur})
+		for _, ps := range ctx.headerPhis {
+			ps.phi.Args = append(ps.phi.Args, fb.vars[ps.local])
+		}
+	} else {
+		ctx.contSnaps = append(ctx.contSnaps, edgeSnap{fb.cur, fb.snapshotVars()})
+	}
+	*seq = append(*seq, &core.CSTNode{Kind: core.CContinue})
+	fb.cur = nil
+}
+
+// throwValue routes a throw: to the innermost handler when inside a try
+// body (with a variable snapshot for the exception phis), otherwise out
+// of the function.
+func (fb *fnBuilder) throwValue(v core.ValueID, seq *[]*core.CSTNode) {
+	tv := fb.adjustRef(v, fb.tt().Throwable)
+	node := &core.CSTNode{Kind: core.CThrow, Val: tv, At: fb.cur}
+	if t := fb.routingTry(); t != nil {
+		t.sites = append(t.sites, siteSnap{from: fb.cur, throw: node, vars: fb.snapshotVars()})
+	}
+	*seq = append(*seq, node)
+	fb.cur = nil
+}
+
+func (fb *fnBuilder) buildTry(s *ast.TryStmt, seq *[]*core.CSTNode) {
+	c := fb.cur
+	entryScope := len(fb.scope)
+	scopeAtEntry := append([]*sema.Local(nil), fb.scope...)
+
+	ctx := &tryCtx{finallyAST: s.Finally, routing: true}
+	fb.tries = append(fb.tries, ctx)
+
+	bodyEntry := fb.newBlock(c)
+	bodyEntry.Preds = []core.Pred{{From: c}}
+	var bodySeq []*core.CSTNode
+	fb.enter(bodyEntry, &bodySeq)
+	fb.buildStmts(s.Body.Stmts, &bodySeq)
+	fb.popScope(entryScope)
+	ctx.routing = false
+	// Normal-path finally.
+	if fb.cur != nil && s.Finally != nil {
+		fb.inFinally++
+		fb.buildStmts(s.Finally.Stmts, &bodySeq)
+		fb.popScope(entryScope)
+		fb.inFinally--
+	}
+	var bodyEnd *core.Block
+	var bodyVars snapshot
+	if fb.cur != nil {
+		bodyEnd, bodyVars = fb.cur, fb.snapshotVars()
+	}
+
+	if len(ctx.sites) == 0 {
+		// Nothing inside the body can throw: no handler is needed and
+		// the whole statement reduces to its body.
+		fb.tries = fb.tries[:len(fb.tries)-1]
+		*seq = append(*seq, &core.CSTNode{Kind: core.CSeq, Kids: bodySeq})
+		fb.cur = bodyEnd
+		if bodyEnd != nil {
+			fb.vars = bodyVars
+		}
+		return
+	}
+
+	// Handler block: exception phis over every potential point of
+	// exception, then the caught value and the catch-type dispatch.
+	h := fb.newBlock(c)
+	for i, site := range ctx.sites {
+		h.Preds = append(h.Preds, core.Pred{From: site.from, Site: site.site})
+		if site.site != nil {
+			fb.f.ExcEdge[site.site] = i
+			fb.f.HandlerOf[site.site] = h
+		} else {
+			fb.f.ThrowEdge[site.throw] = i
+			fb.f.ThrowHandler[site.throw] = h
+		}
+	}
+	hVars := make(snapshot)
+	for _, l := range scopeAtEntry {
+		args := make([]core.ValueID, len(ctx.sites))
+		for k, site := range ctx.sites {
+			args[k] = site.vars[l]
+		}
+		hVars[l] = fb.addPhi(h, fb.localPlane(l), args).ID
+	}
+	fb.vars = hVars
+	handlerSeq := []*core.CSTNode{{Kind: core.CBlock, Block: h}}
+	fb.resume(h, &handlerSeq)
+	caught := fb.emit(&core.Instr{Op: core.OpCatch, Type: fb.tt().Throwable})
+
+	fb.buildCatchChain(s, 0, caught, &handlerSeq)
+	var handlerEnd *core.Block
+	var handlerVars snapshot
+	if fb.cur != nil {
+		handlerEnd, handlerVars = fb.cur, fb.snapshotVars()
+	}
+	fb.tries = fb.tries[:len(fb.tries)-1]
+
+	node := &core.CSTNode{Kind: core.CTry, Handler: h}
+	node.Kids = []*core.CSTNode{
+		{Kind: core.CSeq, Kids: bodySeq},
+		{Kind: core.CSeq, Kids: handlerSeq},
+	}
+	*seq = append(*seq, node)
+
+	var snaps []edgeSnap
+	if bodyEnd != nil {
+		snaps = append(snaps, edgeSnap{bodyEnd, bodyVars})
+	}
+	if handlerEnd != nil {
+		snaps = append(snaps, edgeSnap{handlerEnd, handlerVars})
+	}
+	fb.join(snaps, c, seq)
+}
+
+// buildCatchChain lowers the catch clauses into an instanceof dispatch
+// chain; the final arm inlines the finally block and rethrows, giving
+// the "default, possibly empty, catch block" of section 7.
+func (fb *fnBuilder) buildCatchChain(s *ast.TryStmt, i int, caught core.ValueID, seq *[]*core.CSTNode) {
+	tt := fb.tt()
+	if i == len(s.Catches) {
+		if s.Finally != nil {
+			fb.inFinally++
+			mark := len(fb.scope)
+			fb.buildStmts(s.Finally.Stmts, seq)
+			fb.popScope(mark)
+			fb.inFinally--
+		}
+		if fb.cur != nil {
+			fb.throwValue(caught, seq)
+		}
+		return
+	}
+	cc := s.Catches[i]
+	ccLocal := fb.b.prog.CatchLocal[cc]
+	declType := fb.b.typeOf(ccLocal.Type)
+
+	condV := fb.emit(&core.Instr{
+		Op: core.OpInstanceOf, Type: tt.Boolean,
+		ArgType: tt.Throwable, TypeArg: declType,
+		Args: []core.ValueID{caught},
+	})
+	c := fb.cur
+	node := &core.CSTNode{Kind: core.CIf, At: c, Cond: condV}
+	entryVars := fb.snapshotVars()
+
+	armEntry := fb.newBlock(c)
+	armEntry.Preds = []core.Pred{{From: c}}
+	var armSeq []*core.CSTNode
+	fb.enter(armEntry, &armSeq)
+	bind := fb.emit(&core.Instr{
+		Op: core.OpUpcast, Type: declType,
+		ArgType: tt.Throwable, TypeArg: declType,
+		Args: []core.ValueID{caught},
+	})
+	mark := len(fb.scope)
+	fb.vars[ccLocal] = bind
+	fb.scope = append(fb.scope, ccLocal)
+	fb.buildStmts(cc.Body.Stmts, &armSeq)
+	fb.popScope(mark)
+	if fb.cur != nil && s.Finally != nil {
+		fb.inFinally++
+		fb.buildStmts(s.Finally.Stmts, &armSeq)
+		fb.popScope(mark)
+		fb.inFinally--
+	}
+	node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: armSeq})
+
+	var snaps []edgeSnap
+	if fb.cur != nil {
+		snaps = append(snaps, edgeSnap{fb.cur, fb.snapshotVars()})
+	}
+
+	fb.vars = entryVars.clone()
+	elseEntry := fb.newBlock(c)
+	elseEntry.Preds = []core.Pred{{From: c}}
+	var elseSeq []*core.CSTNode
+	fb.enter(elseEntry, &elseSeq)
+	fb.buildCatchChain(s, i+1, caught, &elseSeq)
+	if fb.cur != nil {
+		snaps = append(snaps, edgeSnap{fb.cur, fb.snapshotVars()})
+	}
+	node.Kids = append(node.Kids, &core.CSTNode{Kind: core.CSeq, Kids: elseSeq})
+
+	*seq = append(*seq, node)
+	fb.join(snaps, c, seq)
+}

@@ -1,0 +1,232 @@
+// Package wire implements the SafeTSA externalization of section 7: a
+// program is a sequence of symbols, each drawn from a finite alphabet
+// fully determined by the preceding context, emitted with a simple
+// fixed-probability prefix code (truncated binary — the code Huffman's
+// algorithm produces for equiprobable symbols). The encoder transmits the
+// Control Structure Tree first, then the basic blocks in the CST-derived
+// dominator pre-order, and the phi operands last. Because every operand
+// is decoded against the register planes actually in scope, a decoded
+// module is referentially secure by construction: a malicious byte stream
+// either fails to decode or denotes some well-formed program.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrMalformed is wrapped by all decode failures.
+var ErrMalformed = errors.New("wire: malformed SafeTSA stream")
+
+func malformedf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// bitWriter accumulates a bit stream, most significant bit of each byte
+// first.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | byte((v>>uint(i))&1)
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// bytes flushes (padding the final byte with zeros) and returns the
+// stream.
+func (w *bitWriter) bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitLen reports the current length in bits.
+func (w *bitWriter) bitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// symbol emits one symbol v from an alphabet of size n using the
+// truncated binary code. n must be >= 1 and v < n; n == 1 emits nothing
+// (the symbol is forced).
+func (w *bitWriter) symbol(v, n int) {
+	if n <= 0 || v < 0 || v >= n {
+		panic(fmt.Sprintf("wire: symbol %d outside alphabet of size %d", v, n))
+	}
+	if n == 1 {
+		return
+	}
+	k := uint(bits.Len(uint(n - 1)))
+	u := (1 << k) - n // number of short (k-1 bit) codewords
+	if v < u {
+		w.writeBits(uint64(v), k-1)
+	} else {
+		w.writeBits(uint64(v+u), k)
+	}
+}
+
+// uvarint emits an unbounded non-negative integer as 4-bit groups, each
+// preceded by a continuation bit.
+func (w *bitWriter) uvarint(v uint64) {
+	for {
+		if v < 16 {
+			w.writeBits(0, 1)
+			w.writeBits(v, 4)
+			return
+		}
+		w.writeBits(1, 1)
+		w.writeBits(v&15, 4)
+		v >>= 4
+	}
+}
+
+// svarint emits a signed integer with zigzag coding.
+func (w *bitWriter) svarint(v int64) {
+	w.uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func (w *bitWriter) float64bits(f float64) {
+	w.writeBits(math.Float64bits(f), 64)
+}
+
+func (w *bitWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		w.writeBits(uint64(s[i]), 8)
+	}
+}
+
+func (w *bitWriter) bit(b bool) {
+	if b {
+		w.writeBits(1, 1)
+	} else {
+		w.writeBits(0, 1)
+	}
+}
+
+// bitReader mirrors bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, malformedf("stream truncated")
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := uint(7 - r.pos&7)
+		v = v<<1 | uint64(r.buf[byteIdx]>>bitIdx&1)
+		r.pos++
+	}
+	return v, nil
+}
+
+// symbol reads one truncated-binary symbol from an alphabet of size n.
+func (r *bitReader) symbol(n int) (int, error) {
+	if n <= 0 {
+		return 0, malformedf("empty alphabet (no value of the required kind is in scope)")
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	k := uint(bits.Len(uint(n - 1)))
+	u := (1 << k) - n
+	v, err := r.readBits(k - 1)
+	if err != nil {
+		return 0, err
+	}
+	if int(v) < u {
+		return int(v), nil
+	}
+	b, err := r.readBits(1)
+	if err != nil {
+		return 0, err
+	}
+	return int(v)<<1 + int(b) - u, nil
+}
+
+func (r *bitReader) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		c, err := r.readBits(1)
+		if err != nil {
+			return 0, err
+		}
+		g, err := r.readBits(4)
+		if err != nil {
+			return 0, err
+		}
+		if shift > 60 {
+			return 0, malformedf("varint overflow")
+		}
+		v |= g << shift
+		if c == 0 {
+			// The final group carries the most significant bits for
+			// the c==0 short path; mirror the writer exactly.
+			if shift == 0 {
+				return g, nil
+			}
+			return v, nil
+		}
+		shift += 4
+	}
+}
+
+func (r *bitReader) svarint() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (r *bitReader) float64bits() (float64, error) {
+	v, err := r.readBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(v), nil
+}
+
+const maxStringLen = 1 << 20
+
+func (r *bitReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", malformedf("string too long")
+	}
+	b := make([]byte, n)
+	for i := range b {
+		v, err := r.readBits(8)
+		if err != nil {
+			return "", err
+		}
+		b[i] = byte(v)
+	}
+	return string(b), nil
+}
+
+func (r *bitReader) bit() (bool, error) {
+	v, err := r.readBits(1)
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSymbolRoundTrip: every (value, alphabet) pair encodes and decodes
+// identically under the truncated-binary code.
+func TestSymbolRoundTrip(t *testing.T) {
+	prop := func(vRaw, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		v := int(vRaw) % n
+		w := &bitWriter{}
+		w.symbol(v, n)
+		w.symbol(n-1, n) // a second symbol to catch bit misalignment
+		r := &bitReader{buf: w.bytes()}
+		got, err := r.symbol(n)
+		if err != nil || got != v {
+			return false
+		}
+		got2, err := r.symbol(n)
+		return err == nil && got2 == n-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymbolCodeLength: the truncated-binary code uses floor(log2 n) or
+// ceil(log2 n) bits — never more.
+func TestSymbolCodeLength(t *testing.T) {
+	for n := 2; n < 300; n++ {
+		for _, v := range []int{0, n / 2, n - 1} {
+			w := &bitWriter{}
+			w.symbol(v, n)
+			bits := w.bitLen()
+			ceil := 0
+			for 1<<ceil < n {
+				ceil++
+			}
+			if bits > ceil || bits < ceil-1 {
+				t.Fatalf("symbol(%d,%d) used %d bits, want %d or %d", v, n, bits, ceil-1, ceil)
+			}
+		}
+	}
+}
+
+func TestForcedSymbolIsFree(t *testing.T) {
+	w := &bitWriter{}
+	w.symbol(0, 1)
+	if w.bitLen() != 0 {
+		t.Fatalf("alphabet of size 1 must cost zero bits, used %d", w.bitLen())
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	prop := func(v uint64) bool {
+		v %= 1 << 60
+		w := &bitWriter{}
+		w.uvarint(v)
+		w.uvarint(0)
+		r := &bitReader{buf: w.bytes()}
+		got, err := r.uvarint()
+		if err != nil || got != v {
+			return false
+		}
+		z, err := r.uvarint()
+		return err == nil && z == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSvarintRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), math.MaxInt32, math.MinInt32} {
+		w := &bitWriter{}
+		w.svarint(v)
+		r := &bitReader{buf: w.bytes()}
+		got, err := r.svarint()
+		if err != nil || got != v {
+			t.Fatalf("svarint(%d) -> %d, %v", v, got, err)
+		}
+	}
+	prop := func(v int64) bool {
+		v %= 1 << 58
+		w := &bitWriter{}
+		w.svarint(v)
+		r := &bitReader{buf: w.bytes()}
+		got, err := r.svarint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatAndStringRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64} {
+		w := &bitWriter{}
+		w.float64bits(f)
+		r := &bitReader{buf: w.bytes()}
+		got, err := r.float64bits()
+		if err != nil || got != f {
+			t.Fatalf("float %v -> %v, %v", f, got, err)
+		}
+	}
+	// NaN round-trips by bit pattern.
+	w := &bitWriter{}
+	w.float64bits(math.NaN())
+	r := &bitReader{buf: w.bytes()}
+	got, err := r.float64bits()
+	if err != nil || !math.IsNaN(got) {
+		t.Fatalf("NaN lost: %v %v", got, err)
+	}
+
+	for _, s := range []string{"", "a", "hello", "snowman ☃", string([]byte{0, 255, 128})} {
+		w := &bitWriter{}
+		w.str(s)
+		w.bit(true)
+		r := &bitReader{buf: w.bytes()}
+		gs, err := r.str()
+		if err != nil || gs != s {
+			t.Fatalf("str %q -> %q, %v", s, gs, err)
+		}
+		bv, err := r.bit()
+		if err != nil || !bv {
+			t.Fatalf("trailing bit lost after %q", s)
+		}
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := &bitWriter{}
+	w.uvarint(1 << 40)
+	data := w.bytes()
+	for cut := 0; cut < len(data); cut++ {
+		r := &bitReader{buf: data[:cut]}
+		if _, err := r.uvarint(); err == nil && cut < len(data)-1 {
+			// Short prefixes may decode a smaller value; the final
+			// byte boundary is the only guaranteed success.
+			continue
+		}
+	}
+	r := &bitReader{buf: nil}
+	if _, err := r.readBits(1); err == nil {
+		t.Fatal("read from empty stream succeeded")
+	}
+}

@@ -1,0 +1,474 @@
+package wire
+
+import (
+	"safetsa/internal/core"
+)
+
+// funcDecoder decodes the instruction phases of one function.
+type funcDecoder struct {
+	d   *decoder
+	f   *core.Func
+	rf  *regFile
+	pos map[*core.Instr]int
+	// handler stack for exception-edge registration during the phase-2
+	// walk (sites register in program order, as on the producer side).
+	handlers []*core.Block
+}
+
+func (fd *funcDecoder) innermostHandler() *core.Block {
+	if len(fd.handlers) == 0 {
+		return nil
+	}
+	return fd.handlers[len(fd.handlers)-1]
+}
+
+// decodeBlocks walks the CST in transmission order decoding each block's
+// phi types and instructions, maintaining the try context so that
+// potentially-throwing instructions and throw nodes register their
+// implicit exception edges exactly as the producer did.
+func (fd *funcDecoder) decodeBlocks(n *core.CSTNode) error {
+	if n == nil {
+		return nil
+	}
+	switch n.Kind {
+	case core.CBlock:
+		return fd.decodeBlock(n.Block)
+	case core.CThrow:
+		if h := fd.innermostHandler(); h != nil {
+			edge := len(h.Preds)
+			h.Preds = append(h.Preds, core.Pred{From: n.At})
+			fd.f.ThrowEdge[n] = edge
+			fd.f.ThrowHandler[n] = h
+		}
+		return nil
+	case core.CTry:
+		fd.handlers = append(fd.handlers, n.Handler)
+		if err := fd.decodeBlocks(n.Kids[0]); err != nil {
+			return err
+		}
+		fd.handlers = fd.handlers[:len(fd.handlers)-1]
+		return fd.decodeBlocks(n.Kids[1])
+	default:
+		for _, k := range n.Kids {
+			if err := fd.decodeBlocks(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func (fd *funcDecoder) decodeBlock(b *core.Block) error {
+	d := fd.d
+	tt := d.m.Types
+	nPhis, err := d.count("phi")
+	if err != nil {
+		return err
+	}
+	if b == fd.f.Entry {
+		// Re-create the untransmitted parameter pre-loads from the
+		// signature.
+		for i, pt := range fd.f.Params {
+			in := &core.Instr{Op: core.OpParam, Type: pt, Aux: int32(i), Blk: b}
+			fd.f.Define(in)
+			b.Code = append(b.Code, in)
+			fd.rf.add(b, in, i+1)
+			fd.pos[in] = i + 1
+		}
+	}
+	for i := 0; i < nPhis; i++ {
+		t, err := d.typeRef()
+		if err != nil {
+			return err
+		}
+		pt := tt.MustGet(t)
+		if pt.Kind == core.TVoid || pt.Kind == core.TMem || pt.Kind == core.TSafeIndex {
+			return malformedf("phi on plane %s", tt.Describe(t))
+		}
+		phi := &core.Instr{Op: core.OpPhi, Type: t, Blk: b}
+		fd.f.Define(phi)
+		b.Phis = append(b.Phis, phi)
+		fd.rf.add(b, phi, 0)
+		fd.pos[phi] = 0
+	}
+	nCode, err := d.count("instruction")
+	if err != nil {
+		return err
+	}
+	base := len(b.Code) // parameter pre-loads already in place for entry
+	for i := 0; i < nCode; i++ {
+		p := base + i + 1
+		in, err := fd.decodeInstr(b, p)
+		if err != nil {
+			return err
+		}
+		in.Blk = b
+		if in.Type != tt.Void {
+			fd.f.Define(in)
+		}
+		b.Code = append(b.Code, in)
+		fd.rf.add(b, in, p)
+		fd.pos[in] = p
+		if in.Op.CanThrow() {
+			if h := fd.innermostHandler(); h != nil {
+				edge := len(h.Preds)
+				h.Preds = append(h.Preds, core.Pred{From: b, Site: in})
+				fd.f.ExcEdge[in] = edge
+				fd.f.HandlerOf[in] = h
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRef reads an (l, r) reference used from block b at intra-block
+// position p. The alphabets are derived from the register file, so any
+// successfully decoded reference names a value that structurally
+// dominates the use — referential integrity without verification.
+func (fd *funcDecoder) decodeRef(b *core.Block, plane core.PlaneKey) (core.ValueID, error) {
+	l, err := fd.d.r.symbol(b.Depth + 1)
+	if err != nil {
+		return core.NoValue, err
+	}
+	def := b
+	for i := 0; i < l; i++ {
+		def = def.IDom
+	}
+	n := fd.rf.countBefore(def, plane, -1)
+	r, err := fd.d.r.symbol(n)
+	if err != nil {
+		return core.NoValue, err
+	}
+	v := fd.rf.at(def, plane, r, -1)
+	if v == core.NoValue {
+		return core.NoValue, malformedf("register %d-%d empty", l, r)
+	}
+	return v, nil
+}
+
+// decodeEdgeRef reads a phi operand relative to an edge source, windowed
+// to the registers before the throwing site on exception edges.
+func (fd *funcDecoder) decodeEdgeRef(edge core.Pred, plane core.PlaneKey) (core.ValueID, error) {
+	from := edge.From
+	l, err := fd.d.r.symbol(from.Depth + 1)
+	if err != nil {
+		return core.NoValue, err
+	}
+	def := from
+	for i := 0; i < l; i++ {
+		def = def.IDom
+	}
+	limit := -1
+	if l == 0 && edge.Site != nil {
+		limit = fd.pos[edge.Site]
+	}
+	n := fd.rf.countBefore(def, plane, limit)
+	r, err := fd.d.r.symbol(n)
+	if err != nil {
+		return core.NoValue, err
+	}
+	v := fd.rf.at(def, plane, r, limit)
+	if v == core.NoValue {
+		return core.NoValue, malformedf("phi operand register %d-%d empty", l, r)
+	}
+	return v, nil
+}
+
+func (fd *funcDecoder) decodeCSTRefs(n *core.CSTNode) error {
+	if n == nil {
+		return nil
+	}
+	tt := fd.d.m.Types
+	var err error
+	switch n.Kind {
+	case core.CIf, core.CWhile, core.CDoWhile:
+		n.Cond, err = fd.decodeRef(n.At, core.PlaneKey{Type: tt.Boolean})
+	case core.CReturn:
+		if n.Val != core.NoValue { // placeholder set during phase 1
+			n.Val, err = fd.decodeRef(n.At, core.PlaneKey{Type: fd.f.Result})
+		}
+	case core.CThrow:
+		n.Val, err = fd.decodeRef(n.At, core.PlaneKey{Type: tt.Throwable})
+	}
+	if err != nil {
+		return err
+	}
+	for _, k := range n.Kids {
+		if err := fd.decodeCSTRefs(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeInstr mirrors encoder.encodeInstr; every operand is read against
+// the plane the opcode and type arguments imply.
+func (fd *funcDecoder) decodeInstr(b *core.Block, p int) (*core.Instr, error) {
+	d := fd.d
+	r := d.r
+	tt := d.m.Types
+	opv, err := r.symbol(core.NumOps)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instr{Op: core.Op(opv)}
+	ref := func(plane core.PlaneKey) error {
+		v, err := fd.decodeRef(b, plane)
+		if err != nil {
+			return err
+		}
+		in.Args = append(in.Args, v)
+		return nil
+	}
+	plainRef := func(t core.TypeID) error { return ref(core.PlaneKey{Type: t}) }
+
+	switch in.Op {
+	case core.OpParam:
+		aux, err := d.count("parameter index")
+		if err != nil {
+			return nil, err
+		}
+		if aux >= len(fd.f.Params) {
+			return nil, malformedf("parameter %d out of range", aux)
+		}
+		in.Aux = int32(aux)
+		in.Type = fd.f.Params[aux]
+	case core.OpConst:
+		kv, err := r.symbol(7)
+		if err != nil {
+			return nil, err
+		}
+		in.Const.Kind = core.ConstKind(kv + 1)
+		switch in.Const.Kind {
+		case core.KInt, core.KChar:
+			if in.Const.I, err = r.svarint(); err != nil {
+				return nil, err
+			}
+			if in.Const.Kind == core.KInt {
+				in.Const.I = int64(int32(in.Const.I))
+				in.Type = tt.Int
+			} else {
+				in.Const.I = int64(uint16(in.Const.I))
+				in.Type = tt.Char
+			}
+		case core.KLong:
+			if in.Const.I, err = r.svarint(); err != nil {
+				return nil, err
+			}
+			in.Type = tt.Long
+		case core.KBool:
+			if in.Const.I, err = r.svarint(); err != nil {
+				return nil, err
+			}
+			in.Const.I &= 1
+			in.Type = tt.Boolean
+		case core.KDouble:
+			if in.Const.D, err = r.float64bits(); err != nil {
+				return nil, err
+			}
+			in.Type = tt.Double
+		case core.KString:
+			if in.Const.S, err = r.str(); err != nil {
+				return nil, err
+			}
+			in.Type = tt.String
+		case core.KNull:
+			t, err := d.refTypeRef()
+			if err != nil {
+				return nil, err
+			}
+			in.Type = t
+		}
+	case core.OpPrim, core.OpXPrim:
+		pv, err := r.symbol(core.NumPrimOps)
+		if err != nil {
+			return nil, err
+		}
+		in.Prim = core.PrimOp(pv)
+		if !in.Prim.Valid() {
+			return nil, malformedf("unknown primitive %d", pv)
+		}
+		sig := in.Prim.Sig()
+		if sig.Throws != (in.Op == core.OpXPrim) {
+			return nil, malformedf("%s used with the wrong primitive instruction", sig.Name)
+		}
+		for _, pc := range sig.Params {
+			if err := plainRef(core.PlaneType(tt, pc)); err != nil {
+				return nil, err
+			}
+		}
+		in.Type = core.PlaneType(tt, sig.Result)
+	case core.OpNullCheck:
+		t, err := d.refTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		in.ArgType = t
+		if err := plainRef(t); err != nil {
+			return nil, err
+		}
+		in.Type = tt.SafeRefOf(t)
+	case core.OpIndexCheck:
+		t, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		if tt.MustGet(t).Kind != core.TArray {
+			return nil, malformedf("indexcheck of a non-array type")
+		}
+		in.TypeArg = t
+		if err := plainRef(tt.SafeRefOf(t)); err != nil {
+			return nil, err
+		}
+		if err := plainRef(tt.Int); err != nil {
+			return nil, err
+		}
+		in.Bind = in.Args[0]
+		in.Type = tt.SafeIndexOf(t)
+	case core.OpUpcast, core.OpDowncast, core.OpInstanceOf:
+		at, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		ta, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		in.ArgType, in.TypeArg = at, ta
+		argt := tt.MustGet(at)
+		switch in.Op {
+		case core.OpUpcast, core.OpInstanceOf:
+			if !tt.IsRefType(at) || !tt.IsRefType(ta) {
+				return nil, malformedf("%s between non-reference types", in.Op)
+			}
+		case core.OpDowncast:
+			dstt := tt.MustGet(ta)
+			if dstt.Kind == core.TSafeRef && argt.Kind != core.TSafeRef {
+				return nil, malformedf("downcast cannot add safety")
+			}
+			if !tt.IsSubclass(tt.BaseRef(at), tt.BaseRef(ta)) {
+				return nil, malformedf("downcast is not statically safe")
+			}
+		}
+		if err := plainRef(at); err != nil {
+			return nil, err
+		}
+		if in.Op == core.OpInstanceOf {
+			in.Type = tt.Boolean
+		} else {
+			in.Type = ta
+		}
+	case core.OpGetField, core.OpSetField:
+		fi, err := r.symbol(len(d.m.Fields))
+		if err != nil {
+			return nil, err
+		}
+		in.Field = int32(fi)
+		fr := d.m.Fields[fi]
+		if !fr.Static {
+			if err := plainRef(tt.SafeRefOf(fr.Owner)); err != nil {
+				return nil, err
+			}
+		}
+		if in.Op == core.OpSetField {
+			if err := plainRef(fr.Type); err != nil {
+				return nil, err
+			}
+			in.Type = tt.Void
+		} else {
+			in.Type = fr.Type
+		}
+	case core.OpGetElt, core.OpSetElt:
+		t, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		at := tt.MustGet(t)
+		if at.Kind != core.TArray {
+			return nil, malformedf("element access on a non-array type")
+		}
+		in.TypeArg = t
+		if err := plainRef(tt.SafeRefOf(t)); err != nil {
+			return nil, err
+		}
+		// The index plane is bound to the array value decoded above —
+		// only indices checked against this very array are expressible.
+		if err := ref(core.PlaneKey{Type: tt.SafeIndexOf(t), Bind: in.Args[0]}); err != nil {
+			return nil, err
+		}
+		if in.Op == core.OpSetElt {
+			if err := plainRef(at.Elem); err != nil {
+				return nil, err
+			}
+			in.Type = tt.Void
+		} else {
+			in.Type = at.Elem
+		}
+	case core.OpArrayLen:
+		t, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		if tt.MustGet(t).Kind != core.TArray {
+			return nil, malformedf("arraylen of a non-array type")
+		}
+		in.TypeArg = t
+		if err := plainRef(tt.SafeRefOf(t)); err != nil {
+			return nil, err
+		}
+		in.Type = tt.Int
+	case core.OpXCall, core.OpXDispatch:
+		mi, err := r.symbol(len(d.m.Methods))
+		if err != nil {
+			return nil, err
+		}
+		in.Method = int32(mi)
+		mr := d.m.Methods[mi]
+		if in.Op == core.OpXDispatch && mr.VSlot < 0 {
+			return nil, malformedf("xdispatch of a non-virtual method")
+		}
+		if !mr.Static {
+			if err := plainRef(tt.SafeRefOf(mr.Owner)); err != nil {
+				return nil, err
+			}
+		}
+		for _, pt := range mr.Params {
+			if err := plainRef(pt); err != nil {
+				return nil, err
+			}
+		}
+		if mr.Result == tt.Void {
+			in.Type = tt.Void
+		} else {
+			in.Type = mr.Result
+		}
+	case core.OpNew:
+		t, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		if tt.MustGet(t).Kind != core.TClass {
+			return nil, malformedf("new of a non-class type")
+		}
+		in.TypeArg = t
+		in.Type = tt.SafeRefOf(t)
+	case core.OpNewArray:
+		t, err := d.typeRef()
+		if err != nil {
+			return nil, err
+		}
+		if tt.MustGet(t).Kind != core.TArray {
+			return nil, malformedf("newarray of a non-array type")
+		}
+		in.TypeArg = t
+		if err := plainRef(tt.Int); err != nil {
+			return nil, err
+		}
+		in.Type = tt.SafeRefOf(t)
+	case core.OpCatch:
+		in.Type = tt.Throwable
+	default:
+		return nil, malformedf("opcode %d is not valid in a code section", opv)
+	}
+	return in, nil
+}

@@ -1,0 +1,431 @@
+package wire
+
+import (
+	"fmt"
+
+	"safetsa/internal/core"
+)
+
+// DecodeModule reads a SafeTSA distribution unit. Every symbol is decoded
+// against the alphabet the preceding context allows, so the result is
+// always a well-formed module (or an error) — in particular, no operand
+// can name a register that is not in scope on the required plane. The
+// residual checks are the trivial counter comparisons of the paper.
+func DecodeModule(data []byte) (m *core.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Structural panics during decoding indicate a malformed
+			// stream, never a crash we want to propagate.
+			m, err = nil, malformedf("invalid structure: %v", r)
+		}
+	}()
+	r := &bitReader{buf: data}
+	for _, want := range magic {
+		b, err := r.readBits(8)
+		if err != nil {
+			return nil, err
+		}
+		if byte(b) != want {
+			return nil, malformedf("bad magic")
+		}
+	}
+	d := &decoder{r: r, m: &core.Module{Types: core.NewTypeTable()}}
+	nFuncs, err := d.decodeTables()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nFuncs; i++ {
+		f, err := d.decodeFunc()
+		if err != nil {
+			return nil, fmt.Errorf("function %d: %w", i, err)
+		}
+		d.m.Funcs = append(d.m.Funcs, f)
+	}
+	return d.m, nil
+}
+
+type decoder struct {
+	r *bitReader
+	m *core.Module
+}
+
+func (d *decoder) typeRef() (core.TypeID, error) {
+	n := len(d.m.Types.ByID) - 1
+	v, err := d.r.symbol(n)
+	if err != nil {
+		return core.NoType, err
+	}
+	return core.TypeID(v + 1), nil
+}
+
+func (d *decoder) refTypeRef() (core.TypeID, error) {
+	t, err := d.typeRef()
+	if err != nil {
+		return t, err
+	}
+	if !d.m.Types.IsRefType(t) {
+		return t, malformedf("expected a reference type, got %s", d.m.Types.Describe(t))
+	}
+	return t, nil
+}
+
+const maxCount = 1 << 22 // defensive bound on table and list sizes
+
+func (d *decoder) count(what string) (int, error) {
+	v, err := d.r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxCount {
+		return 0, malformedf("%s count too large", what)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) decodeTables() (int, error) {
+	tt := d.m.Types
+	r := d.r
+
+	nTypes, err := d.count("type")
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nTypes; i++ {
+		isArray, err := r.bit()
+		if err != nil {
+			return 0, err
+		}
+		if isArray {
+			elem, err := d.typeRef()
+			if err != nil {
+				return 0, err
+			}
+			et := tt.MustGet(elem)
+			if et.Kind == core.TSafeRef || et.Kind == core.TSafeIndex ||
+				et.Kind == core.TVoid || et.Kind == core.TMem {
+				return 0, malformedf("array of non-value type")
+			}
+			tt.ArrayOf(elem)
+			continue
+		}
+		name, err := r.str()
+		if err != nil {
+			return 0, err
+		}
+		super, err := d.typeRef()
+		if err != nil {
+			return 0, err
+		}
+		st := tt.MustGet(super)
+		if st.Kind != core.TClass {
+			return 0, malformedf("class %s extends a non-class type", name)
+		}
+		if tt.Class(name) != core.NoType {
+			return 0, malformedf("class %s redeclared", name)
+		}
+		tt.AddClass(name, super)
+	}
+
+	nFields, err := d.count("field")
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nFields; i++ {
+		var fr core.FieldRef
+		if fr.Owner, err = d.refTypeRef(); err != nil {
+			return 0, err
+		}
+		if fr.Name, err = r.str(); err != nil {
+			return 0, err
+		}
+		if fr.Type, err = d.typeRef(); err != nil {
+			return 0, err
+		}
+		ft := tt.MustGet(fr.Type)
+		if ft.Kind == core.TSafeRef || ft.Kind == core.TSafeIndex ||
+			ft.Kind == core.TVoid || ft.Kind == core.TMem {
+			return 0, malformedf("field %s has a non-value type", fr.Name)
+		}
+		if fr.Static, err = r.bit(); err != nil {
+			return 0, err
+		}
+		slot, err := d.count("slot")
+		if err != nil {
+			return 0, err
+		}
+		fr.Slot = int32(slot)
+		d.m.Fields = append(d.m.Fields, fr)
+	}
+
+	nMethods, err := d.count("method")
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nMethods; i++ {
+		var mr core.MethodRef
+		if mr.Owner, err = d.refTypeRef(); err != nil {
+			return 0, err
+		}
+		if mr.Name, err = r.str(); err != nil {
+			return 0, err
+		}
+		np, err := d.count("parameter")
+		if err != nil {
+			return 0, err
+		}
+		for j := 0; j < np; j++ {
+			p, err := d.typeRef()
+			if err != nil {
+				return 0, err
+			}
+			mr.Params = append(mr.Params, p)
+		}
+		if mr.Result, err = d.typeRef(); err != nil {
+			return 0, err
+		}
+		if mr.Static, err = r.bit(); err != nil {
+			return 0, err
+		}
+		if mr.IsCtor, err = r.bit(); err != nil {
+			return 0, err
+		}
+		vs, err := r.svarint()
+		if err != nil {
+			return 0, err
+		}
+		mr.VSlot = int32(vs)
+		bi, err := r.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		mr.Builtin = core.BuiltinID(bi)
+		fi, err := r.svarint()
+		if err != nil {
+			return 0, err
+		}
+		mr.FuncIdx = int32(fi)
+		d.m.Methods = append(d.m.Methods, mr)
+	}
+
+	nClasses, err := d.count("class")
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nClasses; i++ {
+		cd := &core.ClassDef{}
+		if cd.Type, err = d.refTypeRef(); err != nil {
+			return 0, err
+		}
+		ct := tt.MustGet(cd.Type)
+		if ct.Kind != core.TClass || ct.Imported {
+			return 0, malformedf("class definition for a non-unit type")
+		}
+		cd.Super = ct.Super
+		nf, err := d.count("class field")
+		if err != nil {
+			return 0, err
+		}
+		for j := 0; j < nf; j++ {
+			v, err := r.symbol(len(d.m.Fields))
+			if err != nil {
+				return 0, err
+			}
+			cd.Fields = append(cd.Fields, int32(v))
+		}
+		nm, err := d.count("class method")
+		if err != nil {
+			return 0, err
+		}
+		for j := 0; j < nm; j++ {
+			v, err := r.symbol(len(d.m.Methods))
+			if err != nil {
+				return 0, err
+			}
+			cd.Methods = append(cd.Methods, int32(v))
+		}
+		ns, err := d.count("slot")
+		if err != nil {
+			return 0, err
+		}
+		cd.NumSlots = int32(ns)
+		nst, err := d.count("static slot")
+		if err != nil {
+			return 0, err
+		}
+		cd.NumStatics = int32(nst)
+		nv, err := d.count("vtable")
+		if err != nil {
+			return 0, err
+		}
+		for j := 0; j < nv; j++ {
+			v, err := r.symbol(len(d.m.Methods))
+			if err != nil {
+				return 0, err
+			}
+			cd.VTable = append(cd.VTable, int32(v))
+		}
+		d.m.Classes = append(d.m.Classes, cd)
+	}
+
+	entry, err := r.svarint()
+	if err != nil {
+		return 0, err
+	}
+	d.m.Entry = int32(entry)
+	nsi, err := d.count("static initializer")
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < nsi; i++ {
+		v, err := r.svarint()
+		if err != nil {
+			return 0, err
+		}
+		d.m.StaticInit = append(d.m.StaticInit, int32(v))
+	}
+	return d.count("function")
+}
+
+// decodeFunc reads one function in three phases and reconstructs its
+// structure.
+func (d *decoder) decodeFunc() (*core.Func, error) {
+	r := d.r
+	tt := d.m.Types
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	f := core.NewFunc(name)
+	mi, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	f.Method = int32(mi)
+	if f.Method >= 0 {
+		if int(f.Method) >= len(d.m.Methods) {
+			return nil, malformedf("function names method %d outside the table", f.Method)
+		}
+		mr := d.m.Methods[f.Method]
+		if !mr.Static {
+			f.Params = append(f.Params, tt.SafeRefOf(mr.Owner))
+		}
+		f.Params = append(f.Params, mr.Params...)
+		f.Result = mr.Result
+	} else {
+		np, err := d.count("parameter")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < np; i++ {
+			p, err := d.typeRef()
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, p)
+		}
+		if f.Result, err = d.typeRef(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: CST productions; blocks materialize in order.
+	f.Body, err = d.decodeCST(f, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Structural replay: edges, dominators, reference blocks.
+	if err := linkShape(f); err != nil {
+		return nil, err
+	}
+	f.Finish()
+
+	// Phase 2: block contents in the canonical CST order.
+	fd := &funcDecoder{d: d, f: f, rf: newRegFile(), pos: make(map[*core.Instr]int)}
+	if err := fd.decodeBlocks(f.Body); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: phi operands, then CST value references.
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			phi.Args = make([]core.ValueID, len(b.Preds))
+			for k := range phi.Args {
+				v, err := fd.decodeEdgeRef(b.Preds[k], phi.Plane())
+				if err != nil {
+					return nil, err
+				}
+				phi.Args[k] = v
+			}
+		}
+	}
+	if err := fd.decodeCSTRefs(f.Body); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+const maxCSTDepth = 512
+
+func (d *decoder) decodeCST(f *core.Func, depth int) (*core.CSTNode, error) {
+	if depth > maxCSTDepth {
+		return nil, malformedf("control structure tree too deep")
+	}
+	kind, err := d.r.symbol(core.NumCSTKinds)
+	if err != nil {
+		return nil, err
+	}
+	n := &core.CSTNode{Kind: core.CSTKind(kind)}
+	switch n.Kind {
+	case core.CSeq:
+		nk, err := d.count("CST child")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nk; i++ {
+			k, err := d.decodeCST(f, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, k)
+		}
+	case core.CBlock:
+		n.Block = f.NewBlock()
+	case core.CBreak, core.CContinue, core.CThrow:
+	case core.CIf:
+		hasElse, err := d.r.bit()
+		if err != nil {
+			return nil, err
+		}
+		k0, err := d.decodeCST(f, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, k0)
+		if hasElse {
+			k1, err := d.decodeCST(f, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, k1)
+		}
+	case core.CWhile, core.CDoWhile, core.CTry:
+		for i := 0; i < 2; i++ {
+			k, err := d.decodeCST(f, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, k)
+		}
+	case core.CReturn:
+		hasVal, err := d.r.bit()
+		if err != nil {
+			return nil, err
+		}
+		if hasVal {
+			n.Val = core.ValueID(-1) // placeholder until phase 3
+		}
+	default:
+		return nil, malformedf("unknown CST production %d", kind)
+	}
+	return n, nil
+}

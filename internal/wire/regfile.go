@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"safetsa/internal/core"
+)
+
+// regEntry is one filled register: the value and its intra-block position
+// (phis share position 0; code instructions are 1-based).
+type regEntry struct {
+	id  core.ValueID
+	pos int
+}
+
+// regFile models the paper's implied machine: for every basic block, one
+// register plane per type (plus the per-array-value safe-index planes),
+// filled in ascending order. Both the encoder and the decoder fill it
+// incrementally while walking the blocks in transmission order, so the
+// alphabet of every (l, r) reference — and therefore the set of
+// expressible operands — is identical on both sides.
+type regFile struct {
+	regs map[*core.Block]map[core.PlaneKey][]regEntry
+}
+
+func newRegFile() *regFile {
+	return &regFile{regs: make(map[*core.Block]map[core.PlaneKey][]regEntry)}
+}
+
+// add fills the next register of the instruction's plane.
+func (rf *regFile) add(b *core.Block, in *core.Instr, pos int) {
+	if !in.HasResult() {
+		return
+	}
+	m := rf.regs[b]
+	if m == nil {
+		m = make(map[core.PlaneKey][]regEntry)
+		rf.regs[b] = m
+	}
+	k := in.Plane()
+	m[k] = append(m[k], regEntry{id: in.ID, pos: pos})
+}
+
+// countBefore returns how many registers of the plane exist in b before
+// the given position (use limit < 0 for "all").
+func (rf *regFile) countBefore(b *core.Block, plane core.PlaneKey, limit int) int {
+	rs := rf.regs[b][plane]
+	if limit < 0 {
+		return len(rs)
+	}
+	n := 0
+	for _, e := range rs {
+		if e.pos < limit {
+			n++
+		}
+	}
+	return n
+}
+
+// at returns register r of the plane in b (respecting the limit), or 0.
+func (rf *regFile) at(b *core.Block, plane core.PlaneKey, r, limit int) core.ValueID {
+	rs := rf.regs[b][plane]
+	if limit >= 0 {
+		n := 0
+		for _, e := range rs {
+			if e.pos >= limit {
+				break
+			}
+			n = n + 1
+		}
+		rs = rs[:n]
+	}
+	if r < 0 || r >= len(rs) {
+		return core.NoValue
+	}
+	return rs[r].id
+}
+
+// indexOf finds the register number of a value on its plane in its block
+// (respecting the limit); -1 when absent.
+func (rf *regFile) indexOf(b *core.Block, plane core.PlaneKey, id core.ValueID, limit int) int {
+	for i, e := range rf.regs[b][plane] {
+		if limit >= 0 && e.pos >= limit {
+			break
+		}
+		if e.id == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,262 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/driver"
+	"safetsa/internal/interp"
+	"safetsa/internal/rt"
+	"safetsa/internal/wire"
+)
+
+// testPrograms exercise every CST production and instruction kind through
+// the wire format.
+var testPrograms = map[string]string{
+	"arith": `
+class Main {
+    static void main() {
+        int a = 6; long b = 7L; double c = 0.5;
+        System.out.println(a * 7);
+        System.out.println(b * 6L);
+        System.out.println(c * 84.0);
+        System.out.println((char) 65);
+        System.out.println(1 < 2 == true);
+    }
+}`,
+	"control": `
+class Main {
+    static void main() {
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+            if (i == 2) continue;
+            if (i == 8) break;
+            s += i;
+        }
+        int k = 3;
+        do { s += k; k--; } while (k > 0);
+        while (s > 30) { s -= 7; }
+        System.out.println(s);
+    }
+}`,
+	"objects": `
+class A { int x; A(int v) { x = v; } int get() { return x; } }
+class B extends A { B(int v) { super(v * 2); } int get() { return x + 1; } }
+class Main {
+    static void main() {
+        A a = new B(10);
+        System.out.println(a.get());
+        System.out.println(a instanceof B);
+        B b = (B) a;
+        System.out.println(b.x);
+    }
+}`,
+	"arrays": `
+class Main {
+    static void main() {
+        double[][] m = new double[2][3];
+        m[1][2] = 6.5;
+        System.out.println(m[1][2]);
+        System.out.println(m.length);
+        System.out.println(m[0].length);
+        int[] v = new int[4];
+        for (int i = 0; i < v.length; i++) v[i] = i;
+        System.out.println(v[3]);
+    }
+}`,
+	"exceptions": `
+class Main {
+    static int f(int d) {
+        try {
+            int x = 10 / d;
+            if (x > 3) throw new Exception("big " + x);
+            return x;
+        } catch (ArithmeticException e) {
+            return -1;
+        } catch (Exception e) {
+            System.out.println(e.getMessage());
+            return -2;
+        } finally {
+            System.out.println("fin");
+        }
+    }
+    static void main() {
+        System.out.println(f(5));
+        System.out.println(f(0));
+        System.out.println(f(1));
+    }
+}`,
+	"statics": `
+class Counter {
+    static int n = 100;
+    static int bump() { n += 5; return n; }
+}
+class Main {
+    static void main() {
+        System.out.println(Counter.bump());
+        System.out.println(Counter.bump());
+        System.out.println(Counter.n);
+    }
+}`,
+	"strings": `
+class Main {
+    static void main() {
+        String s = "safe" + "tsa" + 2001;
+        System.out.println(s);
+        System.out.println(s.substring(4, 7));
+        System.out.println(s.length());
+    }
+}`,
+}
+
+func compileAll(t *testing.T, src string, optimize bool) *core.Module {
+	t.Helper()
+	files := map[string]string{"Main.tj": src}
+	if optimize {
+		mod, _, err := driver.CompileTSASourceOpt(files)
+		if err != nil {
+			t.Fatalf("compile -O: %v", err)
+		}
+		return mod
+	}
+	mod, err := driver.CompileTSASource(files)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+func runMod(t *testing.T, mod *core.Module) string {
+	t.Helper()
+	out, err := driver.RunModule(mod, 20_000_000)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, src := range testPrograms {
+		for _, optimized := range []bool{false, true} {
+			label := name
+			if optimized {
+				label += "-opt"
+			}
+			t.Run(label, func(t *testing.T) {
+				mod := compileAll(t, src, optimized)
+				want := runMod(t, mod)
+				data := wire.EncodeModule(mod)
+				dec, err := wire.DecodeModule(data)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if err := dec.Verify(core.VerifyOptions{}); err != nil {
+					t.Fatalf("decoded module fails verification: %v", err)
+				}
+				got := runMod(t, dec)
+				if got != want {
+					t.Fatalf("decoded module diverges:\nwant %q\ngot  %q", want, got)
+				}
+				// The decoded module must re-encode to the identical
+				// byte stream (canonical form).
+				data2 := wire.EncodeModule(dec)
+				if !bytes.Equal(data, data2) {
+					t.Fatalf("re-encoding is not canonical: %d vs %d bytes", len(data), len(data2))
+				}
+				// The textual dumps must agree structurally.
+				if mod.Dump() != dec.Dump() {
+					t.Fatalf("dump mismatch after round trip")
+				}
+			})
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := wire.DecodeModule([]byte("not a module")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := wire.DecodeModule(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestDecodeTruncations: every byte-level prefix of a valid unit must be
+// rejected cleanly (no panic, no acceptance of a partial module).
+func TestDecodeTruncations(t *testing.T) {
+	mod := compileAll(t, testPrograms["objects"], true)
+	data := wire.EncodeModule(mod)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := wire.DecodeModule(data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(data))
+		}
+	}
+}
+
+// TestDecodeAppendedGarbageIgnored: trailing bytes after the final
+// function are padding from the consumer's perspective.
+func TestDecodeAppendedGarbage(t *testing.T) {
+	mod := compileAll(t, testPrograms["arith"], false)
+	data := append(wire.EncodeModule(mod), 0xFF, 0x00, 0xAB)
+	dec, err := wire.DecodeModule(data)
+	if err != nil {
+		t.Fatalf("trailing bytes broke decoding: %v", err)
+	}
+	if err := dec.Verify(core.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTamperResistance is the paper's section 2 security argument made
+// executable: flipping any single bit of a distribution unit must yield
+// either a clean decode error or a module that still passes the verifier
+// (i.e. is well-formed, if different). It must never produce an
+// ill-formed reference or type-confused instruction, and executing the
+// mutant must never corrupt the host (Go-level panic).
+func TestTamperResistance(t *testing.T) {
+	mod := compileAll(t, testPrograms["exceptions"], true)
+	data := wire.EncodeModule(mod)
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	rejected, accepted := 0, 0
+	for i := 0; i < len(data)*8; i += step {
+		mut := bytes.Clone(data)
+		mut[i/8] ^= 1 << (7 - i%8)
+		dec, err := wire.DecodeModule(mut)
+		if err != nil {
+			rejected++
+			continue
+		}
+		// The consumer's residual check is the cheap table/link
+		// verification; a mutant may also fail there and be rejected.
+		// What must NEVER happen is an accepted module corrupting the
+		// host below.
+		if err := dec.Verify(core.VerifyOptions{}); err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		// A well-formed mutant must also be safely executable: the
+		// consumer may observe different behaviour but never host
+		// corruption.
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != rt.ErrStepLimit {
+					t.Fatalf("bit %d: executing mutant crashed the host: %v", i, r)
+				}
+			}()
+			var out bytes.Buffer
+			env := &rt.Env{Out: &out, MaxSteps: 200_000}
+			if l, err := interp.Load(dec, env); err == nil {
+				_ = l.RunMain()
+			}
+		}()
+	}
+	t.Logf("tamper: %d bit flips rejected, %d decoded to well-formed modules", rejected, accepted)
+	if rejected == 0 {
+		t.Fatal("no flips rejected — the decoder is not validating")
+	}
+}

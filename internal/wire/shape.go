@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"safetsa/internal/core"
+)
+
+// linkShape reconstructs, from the bare Control Structure Tree, all the
+// structural function state the builder produced on the producer side:
+// normal predecessor edges (in the canonical per-construct order), the
+// structural immediate dominators, each node's reference block (At), and
+// the loop/handler block pointers. Exception edges are added afterwards,
+// while instructions are decoded, in program order.
+//
+// This is the consumer half of the paper's claim that control flow and
+// dominance are integrated in the transmitted structure: nothing about
+// edges or dominators appears in the byte stream.
+func linkShape(f *core.Func) error {
+	s := &shaper{f: f}
+	if err := s.walk(f.Body); err != nil {
+		return err
+	}
+	if f.Entry == nil {
+		return malformedf("function %s has no entry block", f.Name)
+	}
+	return nil
+}
+
+type loopShape struct {
+	header       *core.Block
+	contToHeader bool
+	contEdges    []core.Pred
+	breakEdges   []core.Pred
+}
+
+type shaper struct {
+	f   *core.Func
+	cur *core.Block
+	// pending carries the edges and structural dominator for the next
+	// CBlock leaf.
+	pending     []core.Pred
+	pendingIDom *core.Block
+	loops       []*loopShape
+}
+
+// terminated reports whether the active path has ended.
+type walkResult bool
+
+const (
+	flows      walkResult = false
+	terminated walkResult = true
+)
+
+func (s *shaper) walk(n *core.CSTNode) error {
+	_, err := s.walkNode(n)
+	return err
+}
+
+func (s *shaper) walkNode(n *core.CSTNode) (walkResult, error) {
+	if n == nil {
+		return flows, nil
+	}
+	switch n.Kind {
+	case core.CSeq:
+		for i, k := range n.Kids {
+			t, err := s.walkNode(k)
+			if err != nil {
+				return t, err
+			}
+			if t == terminated {
+				if i != len(n.Kids)-1 {
+					return t, malformedf("code after a terminator in a sequence")
+				}
+				return terminated, nil
+			}
+		}
+		return flows, nil
+
+	case core.CBlock:
+		b := n.Block
+		if s.f.Entry == nil {
+			s.f.Entry = b
+		} else {
+			b.Preds = s.pending
+			b.IDom = s.pendingIDom
+			if b.IDom == nil {
+				return flows, malformedf("non-entry block without a dominator context")
+			}
+		}
+		s.pending, s.pendingIDom = nil, nil
+		s.cur = b
+		return flows, nil
+
+	case core.CIf:
+		c := s.cur
+		if c == nil {
+			return flows, malformedf("if without a current block")
+		}
+		n.At = c
+		thenTerm, thenEnd, err := s.walkRegion(n.Kids[0], []core.Pred{{From: c}}, c)
+		if err != nil {
+			return flows, err
+		}
+		var pend []core.Pred
+		if thenTerm == flows {
+			pend = append(pend, core.Pred{From: thenEnd})
+		}
+		if len(n.Kids) > 1 {
+			elseTerm, elseEnd, err := s.walkRegion(n.Kids[1], []core.Pred{{From: c}}, c)
+			if err != nil {
+				return flows, err
+			}
+			if elseTerm == flows {
+				pend = append(pend, core.Pred{From: elseEnd})
+			}
+		} else {
+			pend = append(pend, core.Pred{From: c})
+		}
+		if len(pend) == 0 {
+			s.cur = nil
+			return terminated, nil
+		}
+		s.pending, s.pendingIDom = pend, c
+		return flows, nil
+
+	case core.CWhile:
+		c := s.cur
+		if c == nil {
+			return flows, malformedf("while without a current block")
+		}
+		// Condition region: its first leaf is the loop header, whose
+		// back and continue edges are appended below.
+		condTerm, condEnd, err := s.walkRegion(n.Kids[0], []core.Pred{{From: c}}, c)
+		if err != nil {
+			return flows, err
+		}
+		if condTerm == terminated {
+			return flows, malformedf("loop condition region terminates")
+		}
+		header := firstBlock(n.Kids[0])
+		if header == nil {
+			return flows, malformedf("loop without a header block")
+		}
+		n.Block = header
+		n.At = condEnd
+
+		ls := &loopShape{header: header, contToHeader: true}
+		s.loops = append(s.loops, ls)
+		bodyTerm, bodyEnd, err := s.walkRegion(n.Kids[1], []core.Pred{{From: condEnd}}, condEnd)
+		if err != nil {
+			return flows, err
+		}
+		s.loops = s.loops[:len(s.loops)-1]
+		if bodyTerm == flows {
+			header.Preds = append(header.Preds, core.Pred{From: bodyEnd})
+		}
+		pend := append([]core.Pred{{From: condEnd}}, ls.breakEdges...)
+		s.pending, s.pendingIDom = pend, condEnd
+		return flows, nil
+
+	case core.CDoWhile:
+		c := s.cur
+		if c == nil {
+			return flows, malformedf("do-while without a current block")
+		}
+		bodyEntry := firstBlock(n.Kids[0])
+		if bodyEntry == nil {
+			return flows, malformedf("do-while without a body block")
+		}
+		n.Block = bodyEntry
+		ls := &loopShape{header: bodyEntry}
+		s.loops = append(s.loops, ls)
+		bodyTerm, bodyEnd, err := s.walkRegion(n.Kids[0], []core.Pred{{From: c}}, c)
+		if err != nil {
+			return flows, err
+		}
+		s.loops = s.loops[:len(s.loops)-1]
+
+		latchPreds := append([]core.Pred(nil), ls.contEdges...)
+		if bodyTerm == flows {
+			latchPreds = append(latchPreds, core.Pred{From: bodyEnd})
+		}
+		if len(latchPreds) == 0 {
+			return flows, malformedf("do-while latch is unreachable")
+		}
+		latchTerm, condEnd, err := s.walkRegion(n.Kids[1], latchPreds, bodyEntry)
+		if err != nil {
+			return flows, err
+		}
+		if latchTerm == terminated {
+			return flows, malformedf("do-while latch region terminates")
+		}
+		n.At = condEnd
+		bodyEntry.Preds = append(bodyEntry.Preds, core.Pred{From: condEnd})
+
+		pend := append([]core.Pred{{From: condEnd}}, ls.breakEdges...)
+		s.pending, s.pendingIDom = pend, bodyEntry
+		return flows, nil
+
+	case core.CReturn, core.CThrow:
+		if s.cur == nil {
+			return flows, malformedf("%v without a current block", n.Kind)
+		}
+		n.At = s.cur
+		s.cur = nil
+		return terminated, nil
+
+	case core.CBreak:
+		if len(s.loops) == 0 || s.cur == nil {
+			return flows, malformedf("break outside a loop")
+		}
+		ls := s.loops[len(s.loops)-1]
+		ls.breakEdges = append(ls.breakEdges, core.Pred{From: s.cur})
+		s.cur = nil
+		return terminated, nil
+
+	case core.CContinue:
+		if len(s.loops) == 0 || s.cur == nil {
+			return flows, malformedf("continue outside a loop")
+		}
+		ls := s.loops[len(s.loops)-1]
+		if ls.contToHeader {
+			ls.header.Preds = append(ls.header.Preds, core.Pred{From: s.cur})
+		} else {
+			ls.contEdges = append(ls.contEdges, core.Pred{From: s.cur})
+		}
+		s.cur = nil
+		return terminated, nil
+
+	case core.CTry:
+		c := s.cur
+		if c == nil {
+			return flows, malformedf("try without a current block")
+		}
+		bodyTerm, bodyEnd, err := s.walkRegion(n.Kids[0], []core.Pred{{From: c}}, c)
+		if err != nil {
+			return flows, err
+		}
+		handler := firstBlock(n.Kids[1])
+		if handler == nil {
+			return flows, malformedf("try without a handler block")
+		}
+		n.Handler = handler
+		// Exception edges are appended during instruction decoding; the
+		// handler region starts with no predecessors.
+		handlerTerm, handlerEnd, err := s.walkRegion(n.Kids[1], nil, c)
+		if err != nil {
+			return flows, err
+		}
+		var pend []core.Pred
+		if bodyTerm == flows {
+			pend = append(pend, core.Pred{From: bodyEnd})
+		}
+		if handlerTerm == flows {
+			pend = append(pend, core.Pred{From: handlerEnd})
+		}
+		if len(pend) == 0 {
+			s.cur = nil
+			return terminated, nil
+		}
+		s.pending, s.pendingIDom = pend, c
+		return flows, nil
+	}
+	return flows, malformedf("unknown CST production %d", n.Kind)
+}
+
+// walkRegion enters a sub-region whose first leaf takes the given edges
+// and dominator, then returns whether it terminated and its final block.
+func (s *shaper) walkRegion(n *core.CSTNode, preds []core.Pred, idom *core.Block) (walkResult, *core.Block, error) {
+	savedCur := s.cur
+	savedPend, savedIDom := s.pending, s.pendingIDom
+	s.pending, s.pendingIDom = preds, idom
+	t, err := s.walkNode(n)
+	end := s.cur
+	s.cur = savedCur
+	s.pending, s.pendingIDom = savedPend, savedIDom
+	if err != nil {
+		return t, end, err
+	}
+	if t == flows && end == nil {
+		return t, end, malformedf("region flowed off without a block")
+	}
+	// An empty region (no leaf consumed the pending edges) behaves as a
+	// direct fall-through; the builder never emits one, so reject.
+	if t == flows && len(preds) > 0 && end != nil && end == savedCur {
+		return t, end, malformedf("region with no blocks")
+	}
+	return t, end, nil
+}
+
+// firstBlock finds the first CBlock leaf of a subtree.
+func firstBlock(n *core.CSTNode) *core.Block {
+	if n == nil {
+		return nil
+	}
+	if n.Kind == core.CBlock {
+		return n.Block
+	}
+	for _, k := range n.Kids {
+		if b := firstBlock(k); b != nil {
+			return b
+		}
+	}
+	return nil
+}
