@@ -4,6 +4,7 @@
 //	benchtables -table fig6    # Figure 6: checks before/after optimization
 //	benchtables -claims        # section 7/8 prose claims, paper vs measured
 //	benchtables -all           # everything
+//	benchtables -json out.json # every table cell + claims as JSON ("-" = stdout)
 package main
 
 import (
@@ -19,12 +20,28 @@ func main() {
 	claims := flag.Bool("claims", false, "check the prose claims")
 	all := flag.Bool("all", false, "print every table and the claims")
 	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md body (Markdown)")
+	jsonOut := flag.String("json", "", "write the tables and claims as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	rows, err := bench.MeasureAll()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := bench.FormatJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *experiments {
 		fmt.Print(bench.FormatExperiments(rows))

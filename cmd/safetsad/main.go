@@ -1,0 +1,77 @@
+// Command safetsad is the mobile-code distribution daemon: it serves the
+// codeserver HTTP API, compiling TJ source sets into content-addressed
+// SafeTSA distribution units (compiled once per key, cached in memory and
+// optionally on disk) and executing them in isolated interpreter
+// sessions.
+//
+//	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
+//	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
+//
+// API:
+//
+//	POST /compile       {"files": {"Main.tj": "..."}, "optimize": true}
+//	GET  /unit/{hash}   download the encoded distribution unit
+//	POST /run/{hash}    {"max_steps": 1000000}
+//	GET  /stats         cache and latency metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8743", "listen address")
+	cacheDir := flag.String("cachedir", "", "on-disk unit store (empty = memory only)")
+	workers := flag.Int("workers", 0, "concurrent producer pipelines (0 = GOMAXPROCS)")
+	units := flag.Int("units", 1024, "max encoded units cached in memory")
+	modules := flag.Int("modules", 256, "max decoded modules cached")
+	maxSteps := flag.Int64("maxsteps", 0, "hard per-run step budget (0 = unlimited)")
+	stageTimeout := flag.Duration("stagetimeout", 30*time.Second, "per-stage compile timeout (0 = none)")
+	flag.Parse()
+
+	srv, err := codeserver.New(codeserver.Config{
+		CacheDir:     *cacheDir,
+		Workers:      *workers,
+		StageTimeout: *stageTimeout,
+		MaxUnits:     *units,
+		MaxModules:   *modules,
+		MaxSteps:     *maxSteps,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safetsad:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		log.Print("safetsad: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+	}()
+
+	log.Printf("safetsad: serving on %s (cachedir=%q)", *addr, *cacheDir)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "safetsad:", err)
+		os.Exit(1)
+	}
+}

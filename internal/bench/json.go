@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+)
+
+// JSONRow is the machine-readable form of one measured corpus row: every
+// Figure 5 and Figure 6 cell, measured and paper-reported (-1 marks cells
+// the paper leaves out).
+type JSONRow struct {
+	Name      string `json:"name"`
+	Group     string `json:"group"`
+	Generated bool   `json:"generated"`
+
+	Measured JSONCells `json:"measured"`
+	Paper    JSONCells `json:"paper"`
+}
+
+// JSONCells holds the table cells for one source (measured or paper).
+type JSONCells struct {
+	BytecodeSize   int `json:"bytecode_size"`
+	TSASize        int `json:"tsa_size"`
+	TSAOptSize     int `json:"tsa_opt_size"`
+	BytecodeInstrs int `json:"bytecode_instrs"`
+	TSAInstrs      int `json:"tsa_instrs"`
+	TSAOptInstrs   int `json:"tsa_opt_instrs"`
+
+	PhiBefore   int `json:"phi_before"`
+	PhiAfter    int `json:"phi_after"`
+	NullBefore  int `json:"null_before"`
+	NullAfter   int `json:"null_after"`
+	ArrayBefore int `json:"array_before"`
+	ArrayAfter  int `json:"array_after"`
+}
+
+// JSONClaim is the machine-readable form of one checked §7/§8 claim.
+type JSONClaim struct {
+	Claim    string `json:"claim"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+	Holds    bool   `json:"holds"`
+}
+
+// JSONReport is the full benchtables output as data: the Figure 5/6
+// tables and the prose-claim checks, for recording BENCH_*.json
+// perf-trajectory snapshots across PRs.
+type JSONReport struct {
+	Schema string      `json:"schema"`
+	Rows   []JSONRow   `json:"rows"`
+	Claims []JSONClaim `json:"claims"`
+}
+
+// jsonSchema is bumped whenever the report layout changes, so trajectory
+// tooling can detect incompatible snapshots.
+const jsonSchema = "safetsa-bench-v1"
+
+// Report assembles the machine-readable report from measured rows.
+func Report(rows []Row) JSONReport {
+	rep := JSONReport{Schema: jsonSchema}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, JSONRow{
+			Name:      r.Name,
+			Group:     r.Group,
+			Generated: r.Generated,
+			Measured: JSONCells{
+				BytecodeSize:   r.BCSize,
+				TSASize:        r.TSASize,
+				TSAOptSize:     r.TSAOptSize,
+				BytecodeInstrs: r.BCInstrs,
+				TSAInstrs:      r.TSAInstrs,
+				TSAOptInstrs:   r.TSAOptInstrs,
+				PhiBefore:      r.PhiBefore,
+				PhiAfter:       r.PhiAfter,
+				NullBefore:     r.NullBefore,
+				NullAfter:      r.NullAfter,
+				ArrayBefore:    r.ArrayBefore,
+				ArrayAfter:     r.ArrayAfter,
+			},
+			Paper: JSONCells{
+				BytecodeSize:   r.Paper.BytecodeSize,
+				TSASize:        r.Paper.TSASize,
+				TSAOptSize:     r.Paper.TSAOptSize,
+				BytecodeInstrs: r.Paper.BytecodeInstrs,
+				TSAInstrs:      r.Paper.TSAInstrs,
+				TSAOptInstrs:   r.Paper.TSAOptInstrs,
+				PhiBefore:      r.Paper.PhiBefore,
+				PhiAfter:       r.Paper.PhiAfter,
+				NullBefore:     r.Paper.NullBefore,
+				NullAfter:      r.Paper.NullAfter,
+				ArrayBefore:    r.Paper.ArrayBefore,
+				ArrayAfter:     r.Paper.ArrayAfter,
+			},
+		})
+	}
+	for _, c := range CheckClaims(rows) {
+		rep.Claims = append(rep.Claims, JSONClaim{
+			Claim: c.Claim, Paper: c.Paper, Measured: c.Measured, Holds: c.Holds,
+		})
+	}
+	return rep
+}
+
+// FormatJSON renders the report as indented JSON.
+func FormatJSON(rows []Row) ([]byte, error) {
+	return json.MarshalIndent(Report(rows), "", "  ")
+}

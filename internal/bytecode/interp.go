@@ -147,7 +147,7 @@ func (vm *VM) catchTopLevel(err *error) {
 	switch t := r.(type) {
 	case nil:
 	case error:
-		if t == rt.ErrStepLimit {
+		if rt.IsExecError(t) {
 			*err = t
 			return
 		}

@@ -1,0 +1,73 @@
+package codeserver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Options selects the producer pipeline variant a unit was built with.
+// The options participate in the content hash: the same sources compiled
+// with and without optimization are distinct units.
+type Options struct {
+	Optimize bool `json:"optimize"`
+}
+
+// pipelineVersion is folded into every key so that a pipeline change
+// (new optimizer, new wire format) invalidates previously stored units
+// instead of serving stale code.
+const pipelineVersion = "safetsa-pipeline-v1"
+
+// Key is the content address of a distribution unit: the SHA-256 of the
+// pipeline version, the options, and the full, order-independent source
+// set (names and contents, length-delimited so concatenation cannot
+// collide).
+type Key [sha256.Size]byte
+
+// KeyFor computes the content address of a compile request.
+func KeyFor(files map[string]string, opts Options) Key {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	writeStr := func(s string) {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:n])
+		h.Write([]byte(s))
+	}
+	writeStr(pipelineVersion)
+	if opts.Optimize {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	for _, n := range names {
+		writeStr(n)
+		writeStr(files[n])
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// String renders the key as lowercase hex — the {hash} path segment of
+// the HTTP API.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return k, fmt.Errorf("codeserver: bad unit hash %q", s)
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("codeserver: bad unit hash %q: %v", s, err)
+	}
+	return k, nil
+}

@@ -1,0 +1,83 @@
+package codeserver
+
+import "sync/atomic"
+
+// Metrics is the server-wide instrumentation, updated with atomics on
+// every request path so it is safe under full concurrency. Stats()
+// returns a consistent-enough snapshot for monitoring and tests.
+type Metrics struct {
+	compileRequests  atomic.Uint64
+	cacheHits        atomic.Uint64
+	diskHits         atomic.Uint64
+	compiles         atomic.Uint64
+	coalesced        atomic.Uint64
+	compileErrors    atomic.Uint64
+	compilesInFlight atomic.Int64
+	evictions        atomic.Uint64
+
+	loads       atomic.Uint64
+	loaderHits  atomic.Uint64
+	loadErrors  atomic.Uint64
+	loaderEvict atomic.Uint64
+
+	runs      atomic.Uint64
+	runErrors atomic.Uint64
+
+	compileNanos atomic.Int64
+	decodeNanos  atomic.Int64
+	verifyNanos  atomic.Int64
+	runNanos     atomic.Int64
+}
+
+// Stats is the exported snapshot of Metrics, plus the cache sizes filled
+// in by the component that owns them. It is what GET /stats serves.
+type Stats struct {
+	// Producer side (content-addressed store + compile pool).
+	CompileRequests  uint64 `json:"compile_requests"`
+	CacheHits        uint64 `json:"cache_hits"`
+	DiskHits         uint64 `json:"disk_hits"`
+	Compiles         uint64 `json:"compiles"`
+	Coalesced        uint64 `json:"coalesced"`
+	CompileErrors    uint64 `json:"compile_errors"`
+	CompilesInFlight int64  `json:"compiles_in_flight"`
+	Evictions        uint64 `json:"evictions"`
+	UnitsCached      int    `json:"units_cached"`
+
+	// Consumer side (loader cache + execution sessions).
+	Loads          uint64 `json:"loads"`
+	LoaderHits     uint64 `json:"loader_hits"`
+	LoadErrors     uint64 `json:"load_errors"`
+	LoaderEvicted  uint64 `json:"loader_evicted"`
+	ModulesLoaded  int    `json:"modules_loaded"`
+	Runs           uint64 `json:"runs"`
+	RunErrors      uint64 `json:"run_errors"`
+
+	// Cumulative latencies (nanoseconds) over all requests.
+	CompileNanos int64 `json:"compile_nanos"`
+	DecodeNanos  int64 `json:"decode_nanos"`
+	VerifyNanos  int64 `json:"verify_nanos"`
+	RunNanos     int64 `json:"run_nanos"`
+}
+
+func (m *Metrics) snapshot() Stats {
+	return Stats{
+		CompileRequests:  m.compileRequests.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		DiskHits:         m.diskHits.Load(),
+		Compiles:         m.compiles.Load(),
+		Coalesced:        m.coalesced.Load(),
+		CompileErrors:    m.compileErrors.Load(),
+		CompilesInFlight: m.compilesInFlight.Load(),
+		Evictions:        m.evictions.Load(),
+		Loads:            m.loads.Load(),
+		LoaderHits:       m.loaderHits.Load(),
+		LoadErrors:       m.loadErrors.Load(),
+		LoaderEvicted:    m.loaderEvict.Load(),
+		Runs:             m.runs.Load(),
+		RunErrors:        m.runErrors.Load(),
+		CompileNanos:     m.compileNanos.Load(),
+		DecodeNanos:      m.decodeNanos.Load(),
+		VerifyNanos:      m.verifyNanos.Load(),
+		RunNanos:         m.runNanos.Load(),
+	}
+}

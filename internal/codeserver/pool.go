@@ -1,0 +1,120 @@
+package codeserver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"safetsa/internal/core"
+	"safetsa/internal/driver"
+	"safetsa/internal/lang/sema"
+	"safetsa/internal/wire"
+)
+
+// Pool is the parallel producer: a bounded worker pool running the
+// parse → sema → ssabuild → verify → optimize → wire-encode pipeline for
+// many requests concurrently, with per-stage timeouts and context
+// cancellation. The store's singleflight sits in front of it, so the
+// pool only ever sees distinct keys.
+type Pool struct {
+	sem          chan struct{}
+	stageTimeout time.Duration
+	m            *Metrics
+}
+
+// NewPool creates a pool with the given concurrency (<=0 means
+// GOMAXPROCS) and per-stage timeout (<=0 disables stage deadlines;
+// request contexts still cancel).
+func NewPool(workers int, stageTimeout time.Duration, m *Metrics) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		sem:          make(chan struct{}, workers),
+		stageTimeout: stageTimeout,
+		m:            m,
+	}
+}
+
+// Compile runs the full producer pipeline for one source set, blocking
+// until a worker slot is free (or ctx is cancelled while waiting).
+func (p *Pool) Compile(ctx context.Context, files map[string]string, opts Options) (*Unit, error) {
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	p.m.compilesInFlight.Add(1)
+	defer p.m.compilesInFlight.Add(-1)
+	start := time.Now()
+
+	var prog *sema.Program
+	err := p.stage(ctx, "frontend", func(ctx context.Context) (err error) {
+		prog, err = driver.FrontendContext(ctx, files)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mod *core.Module
+	err = p.stage(ctx, "ssabuild", func(ctx context.Context) (err error) {
+		mod, err = driver.CompileTSAContext(ctx, prog)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Optimized: opts.Optimize}
+	if opts.Optimize {
+		err = p.stage(ctx, "optimize", func(ctx context.Context) (err error) {
+			u.OptStats, err = driver.OptimizeModuleContext(ctx, mod)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	err = p.stage(ctx, "encode", func(context.Context) error {
+		u.Wire = wire.EncodeModule(mod)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	u.Size = len(u.Wire)
+	u.Instrs = mod.NumInstrs()
+	p.m.compiles.Add(1)
+	p.m.compileNanos.Add(time.Since(start).Nanoseconds())
+	return u, nil
+}
+
+// stage runs one pipeline stage under the stage deadline. A stage that
+// overruns its deadline is abandoned (its goroutine finishes in the
+// background and the result is dropped) and reported as an internal
+// pipeline failure; the worker slot stays held until the whole Compile
+// returns, so abandoned stages cannot multiply past the pool bound per
+// key thanks to the store's singleflight.
+func (p *Pool) stage(ctx context.Context, name string, fn func(context.Context) error) error {
+	sctx := ctx
+	if p.stageTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, p.stageTimeout)
+		defer cancel()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn(sctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("stage %s: %w", name, err)
+		}
+		return nil
+	case <-sctx.Done():
+		return &driver.Error{
+			Kind: driver.KindInternal,
+			Err:  fmt.Errorf("stage %s: %w", name, sctx.Err()),
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package codeserver is the concurrent mobile-code distribution service:
+// a content-addressed store of compiled SafeTSA distribution units (with
+// singleflight fills and an optional on-disk tier), a bounded parallel
+// producer pool, a consumer-side loader cache that decodes and verifies
+// each unit once, and an HTTP API over all three. It turns the one-shot
+// safetsac/safetsarun pipeline into a service that amortizes producer
+// work across clients and serves verified, immutable modules to
+// concurrent interpreter sessions.
+package codeserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"safetsa/internal/driver"
+	"safetsa/internal/interp"
+	"safetsa/internal/rt"
+)
+
+// Config tunes the server. The zero value is usable: in-memory only,
+// GOMAXPROCS compile workers, no step budget.
+type Config struct {
+	// CacheDir enables the on-disk unit store when non-empty.
+	CacheDir string
+	// Workers bounds concurrent producer pipelines (<=0: GOMAXPROCS).
+	Workers int
+	// StageTimeout bounds each producer stage (<=0: no stage deadline).
+	StageTimeout time.Duration
+	// MaxUnits bounds the in-memory encoded-unit cache (<=0: 1024).
+	MaxUnits int
+	// MaxModules bounds the decoded-module loader cache (<=0: 256).
+	MaxModules int
+	// MaxSteps caps the per-run step budget; requests may ask for less
+	// but never more (0: unlimited).
+	MaxSteps int64
+	// MaxSourceBytes bounds the /compile request body (<=0: 8 MiB).
+	MaxSourceBytes int64
+}
+
+// Server ties the store, pool, and loader cache together and exposes
+// both a programmatic API (used by tests and embedding daemons) and an
+// http.Handler.
+type Server struct {
+	cfg    Config
+	m      *Metrics
+	store  *Store
+	pool   *Pool
+	loader *LoaderCache
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 8 << 20
+	}
+	m := &Metrics{}
+	store, err := NewStore(cfg.CacheDir, cfg.MaxUnits, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		m:      m,
+		store:  store,
+		pool:   NewPool(cfg.Workers, cfg.StageTimeout, m),
+		loader: NewLoaderCache(cfg.MaxModules, m),
+	}, nil
+}
+
+// Stats snapshots the server metrics plus the cache occupancies.
+func (s *Server) Stats() Stats {
+	st := s.m.snapshot()
+	st.UnitsCached = s.store.Len()
+	st.ModulesLoaded = s.loader.Len()
+	return st
+}
+
+// CompileUnit compiles (or fetches) the unit for a source set. The bool
+// reports whether the unit was served from cache.
+func (s *Server) CompileUnit(ctx context.Context, files map[string]string, opts Options) (*Unit, bool, error) {
+	if len(files) == 0 {
+		return nil, false, &driver.Error{Kind: driver.KindParse,
+			Err: errors.New("codeserver: empty source set")}
+	}
+	s.m.compileRequests.Add(1)
+	k := KeyFor(files, opts)
+	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
+		return s.pool.Compile(ctx, files, opts)
+	})
+}
+
+// Unit returns the encoded distribution unit for a key, if present in
+// the store (memory or disk).
+func (s *Server) Unit(k Key) (*Unit, bool) { return s.store.Get(k) }
+
+// RunResult is the outcome of one execution session.
+type RunResult struct {
+	OK     bool   `json:"ok"`
+	Output string `json:"output"`
+	Error  string `json:"error,omitempty"`
+	Steps  int64  `json:"steps"`
+}
+
+// ErrUnitNotFound is returned by RunUnit for a hash the store does not
+// hold.
+var ErrUnitNotFound = errors.New("codeserver: unit not found")
+
+// RunUnit executes the unit's main in a fresh, isolated session: the
+// decoded module comes from the loader cache (shared read-only), while
+// the class metadata, statics, and heap are rebuilt per call, so
+// concurrent sessions cannot observe each other. Guest failures (uncaught
+// exceptions, step limit) are reported inside RunResult, not as an error.
+func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult, error) {
+	lu, err := s.loader.GetOrLoad(ctx, k, func() ([]byte, error) {
+		u, ok := s.store.Get(k)
+		if !ok {
+			return nil, ErrUnitNotFound
+		}
+		return u.Wire, nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	if s.cfg.MaxSteps > 0 && (maxSteps <= 0 || maxSteps > s.cfg.MaxSteps) {
+		maxSteps = s.cfg.MaxSteps
+	}
+	s.m.runs.Add(1)
+	start := time.Now()
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
+	res := RunResult{OK: true}
+	l, err := interp.LoadTrusted(lu.Mod, env)
+	if err == nil {
+		err = l.RunMain()
+	}
+	s.m.runNanos.Add(time.Since(start).Nanoseconds())
+	res.Output = out.String()
+	res.Steps = env.Steps
+	if err != nil {
+		s.m.runErrors.Add(1)
+		res.OK = false
+		res.Error = err.Error()
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// HTTP API
+
+type compileRequest struct {
+	Files    map[string]string `json:"files"`
+	Optimize bool              `json:"optimize"`
+}
+
+type compileResponse struct {
+	Hash         string `json:"hash"`
+	Size         int    `json:"size"`
+	Instructions int    `json:"instructions"`
+	Optimized    bool   `json:"optimized"`
+	Cached       bool   `json:"cached"`
+}
+
+type runRequest struct {
+	MaxSteps int64 `json:"max_steps"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /compile       {"files": {...}, "optimize": bool} → unit summary
+//	GET  /unit/{hash}   raw distribution-unit bytes
+//	POST /run/{hash}    {"max_steps": n} → execution result
+//	GET  /stats         metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("GET /unit/{hash}", s.handleUnit)
+	mux.HandleFunc("POST /run/{hash}", s.handleRun)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps a pipeline error onto an HTTP status: user-program
+// faults are 4xx, pipeline faults and timeouts are 5xx.
+func writeError(w http.ResponseWriter, err error) {
+	kindStr := driver.KindOf(err).String()
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnitNotFound):
+		status = http.StatusNotFound
+		kindStr = "not_found"
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request
+	case driver.IsUserError(err):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kindStr})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxSourceBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("source set exceeds %d bytes", s.cfg.MaxSourceBytes),
+			Kind:  "parse",
+		})
+		return
+	}
+	var req compileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "bad request body: " + err.Error(), Kind: "parse"})
+		return
+	}
+	u, cached, err := s.CompileUnit(r.Context(), req.Files, Options{Optimize: req.Optimize})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		Hash:         u.Key.String(),
+		Size:         u.Size,
+		Instructions: u.Instrs,
+		Optimized:    u.Optimized,
+		Cached:       cached,
+	})
+}
+
+func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseKey(r.PathValue("hash"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Kind: "parse"})
+		return
+	}
+	u, ok := s.store.Get(k)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: ErrUnitNotFound.Error(), Kind: "not_found"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(u.Wire)))
+	_, _ = w.Write(u.Wire)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseKey(r.PathValue("hash"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Kind: "parse"})
+		return
+	}
+	var req runRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "bad request body: " + err.Error(), Kind: "parse"})
+			return
+		}
+	}
+	res, err := s.RunUnit(r.Context(), k, req.MaxSteps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,243 @@
+package codeserver
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"safetsa/internal/opt"
+	"safetsa/internal/wire"
+)
+
+// Unit is one compiled distribution unit: the producer pipeline's output
+// for a content key. Units are immutable once published.
+type Unit struct {
+	Key       Key       `json:"-"`
+	Wire      []byte    `json:"-"`
+	Size      int       `json:"size"`
+	Instrs    int       `json:"instructions"`
+	Optimized bool      `json:"optimized"`
+	OptStats  opt.Stats `json:"opt_stats"`
+}
+
+const numShards = 16
+
+// Store is the content-addressed unit store: a sharded in-memory LRU in
+// front of an optional on-disk store, with singleflight on fills so that
+// concurrent requests for the same key run the producer pipeline exactly
+// once.
+type Store struct {
+	dir         string // "" disables the disk tier
+	maxPerShard int
+	m           *Metrics
+	shards      [numShards]storeShard
+}
+
+type storeShard struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element // values are *Unit inside list elements
+	order    *list.List            // front = most recently used
+	inflight map[Key]*inflightCall
+}
+
+type inflightCall struct {
+	done     chan struct{} // closed after unit/err are set
+	unit     *Unit
+	err      error
+	fromDisk bool // fill satisfied by the disk tier, not a compile
+}
+
+// NewStore creates a store holding at most maxUnits encoded units in
+// memory (rounded up to a per-shard capacity, minimum one per shard).
+// dir, when non-empty, enables the on-disk tier; it is created if absent.
+func NewStore(dir string, maxUnits int, m *Metrics) (*Store, error) {
+	if maxUnits <= 0 {
+		maxUnits = 1024
+	}
+	per := (maxUnits + numShards - 1) / numShards
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("codeserver: cache dir: %w", err)
+		}
+	}
+	s := &Store{dir: dir, maxPerShard: per, m: m}
+	for i := range s.shards {
+		s.shards[i] = storeShard{
+			entries:  make(map[Key]*list.Element),
+			order:    list.New(),
+			inflight: make(map[Key]*inflightCall),
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) shardOf(k Key) *storeShard { return &s.shards[k[0]%numShards] }
+
+// Len reports the number of units resident in memory.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Get returns a unit from the memory or disk tier without compiling.
+// Lookups on this path (unit downloads, loader-cache fills) are not
+// counted as compile-path cache hits.
+func (s *Store) Get(k Key) (*Unit, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.order.MoveToFront(el)
+		sh.mu.Unlock()
+		return el.Value.(*Unit), true
+	}
+	sh.mu.Unlock()
+	if u, ok := s.loadDisk(k); ok {
+		s.insert(sh, u)
+		return u, true
+	}
+	return nil, false
+}
+
+// GetOrFill returns the unit for k, running fill (under singleflight) on
+// a miss. The second result reports whether the unit was served without
+// running fill in this call (memory/disk hit); callers that coalesced
+// onto another caller's in-flight fill see cached=false. Fill errors are
+// not cached: every waiter gets the error and the next request retries.
+func (s *Store) GetOrFill(ctx context.Context, k Key, fill func(context.Context) (*Unit, error)) (u *Unit, cached bool, err error) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.order.MoveToFront(el)
+		sh.mu.Unlock()
+		s.m.cacheHits.Add(1)
+		return el.Value.(*Unit), true, nil
+	}
+	if fl, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		s.m.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			return fl.unit, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &inflightCall{done: make(chan struct{})}
+	sh.inflight[k] = fl
+	sh.mu.Unlock()
+
+	u, err = s.runFill(ctx, sh, k, fl, fill)
+	return u, err == nil && fl.fromDisk, err
+}
+
+func (s *Store) runFill(ctx context.Context, sh *storeShard, k Key, fl *inflightCall, fill func(context.Context) (*Unit, error)) (*Unit, error) {
+	var u *Unit
+	var err error
+	defer func() {
+		fl.unit, fl.err = u, err
+		sh.mu.Lock()
+		delete(sh.inflight, k)
+		sh.mu.Unlock()
+		close(fl.done)
+	}()
+
+	if du, ok := s.loadDisk(k); ok {
+		s.m.diskHits.Add(1)
+		fl.fromDisk = true
+		u = du
+		s.insert(sh, u)
+		return u, nil
+	}
+	u, err = fill(ctx)
+	if err != nil {
+		s.m.compileErrors.Add(1)
+		return nil, err
+	}
+	u.Key = k
+	s.insert(sh, u)
+	s.writeDisk(u)
+	return u, nil
+}
+
+// insert publishes a unit into the memory tier and evicts past capacity.
+func (s *Store) insert(sh *storeShard, u *Unit) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[u.Key]; ok {
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[u.Key] = sh.order.PushFront(u)
+	for sh.order.Len() > s.maxPerShard {
+		back := sh.order.Back()
+		old := back.Value.(*Unit)
+		sh.order.Remove(back)
+		delete(sh.entries, old.Key)
+		s.m.evictions.Add(1)
+	}
+}
+
+// unitMeta is the sidecar the disk tier keeps next to the raw wire bytes,
+// so a disk hit does not need to re-decode the unit to answer /compile.
+type unitMeta struct {
+	Instrs    int       `json:"instructions"`
+	Optimized bool      `json:"optimized"`
+	OptStats  opt.Stats `json:"opt_stats"`
+}
+
+func (s *Store) wirePath(k Key) string { return filepath.Join(s.dir, k.String()+".tsa") }
+func (s *Store) metaPath(k Key) string { return filepath.Join(s.dir, k.String()+".json") }
+
+func (s *Store) loadDisk(k Key) (*Unit, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.wirePath(k))
+	if err != nil {
+		return nil, false
+	}
+	u := &Unit{Key: k, Wire: data, Size: len(data)}
+	if mb, err := os.ReadFile(s.metaPath(k)); err == nil {
+		var meta unitMeta
+		if json.Unmarshal(mb, &meta) == nil {
+			u.Instrs, u.Optimized, u.OptStats = meta.Instrs, meta.Optimized, meta.OptStats
+			return u, true
+		}
+	}
+	// Meta sidecar missing or unreadable: recover the instruction count
+	// from the unit itself; a corrupt unit is treated as a miss.
+	mod, err := wire.DecodeModule(data)
+	if err != nil {
+		return nil, false
+	}
+	u.Instrs = mod.NumInstrs()
+	return u, true
+}
+
+func (s *Store) writeDisk(u *Unit) {
+	if s.dir == "" {
+		return
+	}
+	// Best-effort persistence: the disk tier is an optimization, so I/O
+	// errors degrade to recompilation rather than failing the request.
+	tmp := s.wirePath(u.Key) + ".tmp"
+	if err := os.WriteFile(tmp, u.Wire, 0o644); err == nil {
+		_ = os.Rename(tmp, s.wirePath(u.Key))
+	}
+	if mb, err := json.Marshal(unitMeta{Instrs: u.Instrs, Optimized: u.Optimized, OptStats: u.OptStats}); err == nil {
+		_ = os.WriteFile(s.metaPath(u.Key), mb, 0o644)
+	}
+}

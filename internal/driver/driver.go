@@ -1,11 +1,19 @@
 // Package driver wires the compilation pipeline together: TJ source →
 // parse → sema → SafeTSA build (→ optimize) → wire encode, plus the
 // consumer side (decode → verify → execute). The cmd tools, the bench
-// harness, and the tests all go through these helpers.
+// harness, the codeserver pool, and the tests all go through these
+// helpers.
+//
+// Every stage has a context-aware form (FrontendContext, …) used by the
+// concurrent codeserver; the plain forms are shorthands bound to
+// context.Background(). Errors are tagged with an ErrorKind so servers
+// can map user-program faults and pipeline faults to different failure
+// classes.
 package driver
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -23,6 +31,12 @@ import (
 
 // Frontend parses and checks a set of named TJ sources.
 func Frontend(files map[string]string) (*sema.Program, error) {
+	return FrontendContext(context.Background(), files)
+}
+
+// FrontendContext parses and checks a set of named TJ sources, honoring
+// cancellation between files.
+func FrontendContext(ctx context.Context, files map[string]string) (*sema.Program, error) {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
@@ -31,47 +45,78 @@ func Frontend(files map[string]string) (*sema.Program, error) {
 	var asts []*ast.File
 	var errs []error
 	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f, ferrs := parser.ParseFile(n, files[n])
 		errs = append(errs, ferrs...)
 		asts = append(asts, f)
 	}
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("parse: %w", errors.Join(errs...))
+		return nil, wrapKind(KindParse, fmt.Errorf("parse: %w", errors.Join(errs...)))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	prog, serrs := sema.Check(asts...)
 	if len(serrs) > 0 {
-		return nil, fmt.Errorf("sema: %w", errors.Join(serrs...))
+		return nil, wrapKind(KindSema, fmt.Errorf("sema: %w", errors.Join(serrs...)))
 	}
 	return prog, nil
 }
 
 // CompileTSA builds the (unoptimized) SafeTSA module for a program.
 func CompileTSA(prog *sema.Program) (*core.Module, error) {
+	return CompileTSAContext(context.Background(), prog)
+}
+
+// CompileTSAContext builds and verifies the SafeTSA module for a checked
+// program. A verifier rejection here is a producer bug, not a user error.
+func CompileTSAContext(ctx context.Context, prog *sema.Program) (*core.Module, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mod, err := ssabuild.Build(prog)
 	if err != nil {
+		return nil, wrapKind(KindInternal, err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := mod.Verify(core.VerifyOptions{}); err != nil {
-		return nil, fmt.Errorf("safetsa verifier: %w", err)
+		return nil, wrapKind(KindInternal, fmt.Errorf("safetsa verifier: %w", err))
 	}
 	return mod, nil
 }
 
 // CompileTSASource is the one-call helper: source text → verified module.
 func CompileTSASource(files map[string]string) (*core.Module, error) {
-	prog, err := Frontend(files)
+	return CompileTSASourceContext(context.Background(), files)
+}
+
+// CompileTSASourceContext is the context-aware form of CompileTSASource.
+func CompileTSASourceContext(ctx context.Context, files map[string]string) (*core.Module, error) {
+	prog, err := FrontendContext(ctx, files)
 	if err != nil {
 		return nil, err
 	}
-	return CompileTSA(prog)
+	return CompileTSAContext(ctx, prog)
 }
 
 // OptimizeModule runs the producer-side optimizer and re-verifies the
 // module, returning the optimization statistics.
 func OptimizeModule(mod *core.Module) (opt.Stats, error) {
+	return OptimizeModuleContext(context.Background(), mod)
+}
+
+// OptimizeModuleContext is the context-aware form of OptimizeModule.
+func OptimizeModuleContext(ctx context.Context, mod *core.Module) (opt.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return opt.Stats{}, err
+	}
 	st := opt.Optimize(mod)
 	if err := mod.Verify(core.VerifyOptions{}); err != nil {
-		return st, fmt.Errorf("safetsa verifier after optimization: %w", err)
+		return st, wrapKind(KindInternal, fmt.Errorf("safetsa verifier after optimization: %w", err))
 	}
 	return st, nil
 }
@@ -107,12 +152,22 @@ func RunBytecode(p *bytecode.Program, maxSteps int64) (string, error) {
 // RunModule loads and executes a module's main method, returning its
 // printed output. maxSteps bounds execution (0 = unlimited).
 func RunModule(mod *core.Module, maxSteps int64) (string, error) {
+	return RunModuleContext(context.Background(), mod, maxSteps)
+}
+
+// RunModuleContext is the context-aware form of RunModule: cancelling ctx
+// interrupts the guest program at the next step-budget check. Load/link
+// failures are tagged KindVerify (the unit is at fault); execution
+// failures are tagged KindRuntime.
+func RunModuleContext(ctx context.Context, mod *core.Module, maxSteps int64) (string, error) {
 	var out bytes.Buffer
-	env := &rt.Env{Out: &out, MaxSteps: maxSteps}
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
 	l, err := interp.Load(mod, env)
 	if err != nil {
-		return out.String(), err
+		return out.String(), wrapKind(KindVerify, err)
 	}
-	err = l.RunMain()
-	return out.String(), err
+	if err := l.RunMain(); err != nil {
+		return out.String(), wrapKind(KindRuntime, err)
+	}
+	return out.String(), nil
 }

@@ -1,0 +1,84 @@
+package driver
+
+import "errors"
+
+// ErrorKind classifies pipeline failures so that callers (in particular
+// the codeserver HTTP layer) can distinguish faults in the submitted
+// program from faults in the pipeline itself.
+type ErrorKind int
+
+const (
+	// KindInternal is the zero kind: a pipeline bug or resource failure
+	// (ssabuild inconsistency, post-build verifier rejection, stage
+	// timeout). Maps to HTTP 5xx.
+	KindInternal ErrorKind = iota
+	// KindParse is a syntax error in the submitted TJ source.
+	KindParse
+	// KindSema is a type/semantic error in the submitted TJ source.
+	KindSema
+	// KindVerify is a distribution unit rejected on the consumer side
+	// (wire decode failure, module verifier, or link check).
+	KindVerify
+	// KindRuntime is a guest-program execution failure (uncaught TJ
+	// exception, step limit, interrupt).
+	KindRuntime
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case KindParse:
+		return "parse"
+	case KindSema:
+		return "sema"
+	case KindVerify:
+		return "verify"
+	case KindRuntime:
+		return "runtime"
+	default:
+		return "internal"
+	}
+}
+
+// Error attaches an ErrorKind to a pipeline error. Error() returns the
+// wrapped message unchanged, so existing text-matching callers are
+// unaffected.
+type Error struct {
+	Kind ErrorKind
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+// wrapKind tags err with a kind (nil-safe). An already-tagged error keeps
+// its original kind.
+func wrapKind(kind ErrorKind, err error) error {
+	if err == nil {
+		return nil
+	}
+	var de *Error
+	if errors.As(err, &de) {
+		return err
+	}
+	return &Error{Kind: kind, Err: err}
+}
+
+// KindOf reports the kind of a pipeline error; untagged errors are
+// internal.
+func KindOf(err error) ErrorKind {
+	var de *Error
+	if errors.As(err, &de) {
+		return de.Kind
+	}
+	return KindInternal
+}
+
+// IsUserError reports whether the failure was caused by the submitted
+// program (source or distribution unit) rather than by the pipeline.
+func IsUserError(err error) bool {
+	switch KindOf(err) {
+	case KindParse, KindSema, KindVerify, KindRuntime:
+		return true
+	}
+	return false
+}

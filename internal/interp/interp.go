@@ -28,6 +28,23 @@ func Load(mod *core.Module, env *rt.Env) (*Loader, error) {
 	if err := mod.Verify(core.VerifyOptions{}); err != nil {
 		return nil, fmt.Errorf("interp: module rejected by verifier: %w", err)
 	}
+	return LoadTrusted(mod, env)
+}
+
+// LoadTrusted prepares an already-verified module for execution, skipping
+// the structural verifier but still running the link checks and the
+// static initializers. It is the entry point for loader caches that
+// verify a decoded module once and then start many execution sessions
+// from it.
+//
+// Shared-module invariant: the evaluator treats mod as strictly read-only
+// — all mutable execution state (SSA value slots, operand stacks, static
+// field storage, the heap) lives in the per-session Loader/frame/rt.Env.
+// A single *core.Module may therefore back any number of concurrent
+// LoadTrusted sessions, provided each session gets its own rt.Env and no
+// one mutates the module (e.g. runs opt.Optimize on it) after it is
+// shared.
+func LoadTrusted(mod *core.Module, env *rt.Env) (*Loader, error) {
 	// Every host-implemented method must map to a builtin this consumer
 	// actually provides; a module referencing an unknown import is
 	// rejected at link time.
@@ -114,7 +131,7 @@ func (l *Loader) catchTopLevel(err *error) {
 	case rt.Thrown:
 		*err = fmt.Errorf("uncaught exception: %s", l.describeExc(t.Val))
 	case error:
-		if t == rt.ErrStepLimit {
+		if rt.IsExecError(t) {
 			*err = t
 			return
 		}
@@ -248,6 +265,11 @@ func (l *Loader) execNode(fr *frame, n *core.CSTNode) ctrl {
 		return ctrlNext
 	case core.CWhile:
 		for {
+			// Charge one step per iteration so a loop whose blocks
+			// carry no instructions (e.g. `while (true) { }` with a
+			// hoisted condition) still consumes step budget and stays
+			// interruptible.
+			l.Env.Step()
 			if c := l.execNode(fr, n.Kids[0]); c != ctrlNext {
 				return c
 			}
@@ -263,6 +285,7 @@ func (l *Loader) execNode(fr *frame, n *core.CSTNode) ctrl {
 		}
 	case core.CDoWhile:
 		for {
+			l.Env.Step()
 			switch c := l.execNode(fr, n.Kids[0]); c {
 			case ctrlReturn:
 				return ctrlReturn

@@ -2,6 +2,7 @@ package interp_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -167,7 +168,7 @@ class Main {
 		t.Fatal(err)
 	}
 	_, err = driver.RunModule(mod, 10_000)
-	if err != rt.ErrStepLimit {
+	if !errors.Is(err, rt.ErrStepLimit) {
 		t.Fatalf("want step-limit error, got %v", err)
 	}
 }

@@ -154,6 +154,22 @@ func (s *Scanner) scanIdent(pos token.Pos) token.Token {
 		}
 		s.advance()
 	}
+	if s.off == start {
+		// The byte looked like an identifier start (>= utf8.RuneSelf) but
+		// does not decode to a letter or digit; consume the whole rune so
+		// the scanner always makes progress.
+		r, size := utf8.DecodeRuneInString(s.src[s.off:])
+		lit := s.src[s.off : s.off+size]
+		for i := 0; i < size; i++ {
+			s.advance()
+		}
+		if r == utf8.RuneError && size == 1 {
+			s.errorf(pos, "illegal byte %#x", lit[0])
+		} else {
+			s.errorf(pos, "illegal character %q", r)
+		}
+		return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+	}
 	lit := s.src[start:s.off]
 	kind := token.Lookup(lit)
 	if kind != token.IDENT {

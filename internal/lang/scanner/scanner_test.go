@@ -137,3 +137,18 @@ func TestUnicodeIdentifiers(t *testing.T) {
 		t.Errorf("got %v %q", toks[0].Kind, toks[0].Lit)
 	}
 }
+
+// Non-ASCII bytes that are not letters (invalid UTF-8, control runes like
+// U+0080, symbols) must not stall the scanner: every Next call has to
+// consume at least one byte, or ScanAll and the parser loop forever.
+func TestNonLetterHighBytesMakeProgress(t *testing.T) {
+	for _, src := range []string{"\x80", "\xff\xfe", "", "÷", "x \x80 y"} {
+		toks, errs := ScanAll("t", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: no error reported", src)
+		}
+		if len(toks) > len(src)+1 {
+			t.Errorf("%q: %d tokens for %d bytes", src, len(toks), len(src))
+		}
+	}
+}

@@ -95,13 +95,19 @@ func (c *ClassInfo) IsSubclassOf(d *ClassInfo) bool {
 // Thrown carries a TJ exception through the Go stack via panic/recover.
 type Thrown struct{ Val Value }
 
-// Env is the execution environment shared by the interpreters.
+// Env is the execution environment shared by the interpreters. An Env
+// (and everything it allocates) belongs to exactly one execution session;
+// it must never be shared between concurrently running programs.
 type Env struct {
 	Out io.Writer
 	// Steps counts executed instructions; execution aborts with
 	// ErrStepLimit once MaxSteps is exceeded (0 = unlimited).
 	Steps    int64
 	MaxSteps int64
+	// Interrupt, when non-nil, is polled every few thousand steps;
+	// once it is closed (e.g. a context.Done channel) execution aborts
+	// with ErrInterrupted. This is how servers cancel guest programs.
+	Interrupt <-chan struct{}
 
 	nextID int64
 }
@@ -110,11 +116,29 @@ type Env struct {
 // step budget is exhausted.
 var ErrStepLimit = fmt.Errorf("rt: step limit exceeded")
 
+// ErrInterrupted is panicked (as a plain Go panic, not a Thrown) when the
+// Interrupt channel is closed mid-execution.
+var ErrInterrupted = fmt.Errorf("rt: execution interrupted")
+
+// IsExecError reports whether err is one of the abnormal-termination
+// sentinels an interpreter's top-level recover must convert to a plain
+// error instead of re-panicking.
+func IsExecError(err error) bool {
+	return err == ErrStepLimit || err == ErrInterrupted
+}
+
 // Step consumes one step of budget.
 func (e *Env) Step() {
 	e.Steps++
 	if e.MaxSteps > 0 && e.Steps > e.MaxSteps {
 		panic(ErrStepLimit)
+	}
+	if e.Interrupt != nil && e.Steps&0x0FFF == 0 {
+		select {
+		case <-e.Interrupt:
+			panic(ErrInterrupted)
+		default:
+		}
 	}
 }
 

@@ -44,6 +44,21 @@ func DecodeModule(data []byte) (m *core.Module, err error) {
 	return d.m, nil
 }
 
+// DecodeVerified decodes a distribution unit and runs the module verifier
+// over the result — the full consumer-side admission check. Loader caches
+// call this exactly once per unit; the returned module is safe to share
+// read-only between concurrent execution sessions (see interp.LoadTrusted).
+func DecodeVerified(data []byte) (*core.Module, error) {
+	m, err := DecodeModule(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(core.VerifyOptions{}); err != nil {
+		return nil, fmt.Errorf("wire: decoded module rejected by verifier: %w", err)
+	}
+	return m, nil
+}
+
 type decoder struct {
 	r *bitReader
 	m *core.Module
