@@ -186,7 +186,7 @@ func (vm *VM) nativeVirtual(class, name, desc string, args []rt.Value) rt.Value 
 			default:
 				add = rt.RefString(args[1].R)
 			}
-			obj.Fields[0] = rt.RefValue(&rt.Str{S: cur + add})
+			obj.Fields[0] = rt.RefValue(env.NewStr(cur + add))
 			return recv
 		case "toString":
 			return rt.RefValue(&rt.Str{S: cur})

@@ -233,11 +233,37 @@ func (s *Store) writeDisk(u *Unit) {
 	}
 	// Best-effort persistence: the disk tier is an optimization, so I/O
 	// errors degrade to recompilation rather than failing the request.
-	tmp := s.wirePath(u.Key) + ".tmp"
-	if err := os.WriteFile(tmp, u.Wire, 0o644); err == nil {
-		_ = os.Rename(tmp, s.wirePath(u.Key))
-	}
+	// Both files are published by writing a fresh CreateTemp file and
+	// renaming it into place: a fixed ".tmp" name let concurrent writers
+	// for the same key truncate each other's half-written file and then
+	// rename the torn result over the cache entry, which loadDisk would
+	// serve as a (corrupt) unit. The wire file lands before the sidecar,
+	// so a reader between the two renames at worst re-decodes the unit.
+	// There is deliberately no fsync: the cache is regenerable from
+	// source, so a crash costs at most a recompile, and loadDisk treats
+	// undecodable units as misses.
+	atomicWrite(s.wirePath(u.Key), u.Wire)
 	if mb, err := json.Marshal(unitMeta{Instrs: u.Instrs, Optimized: u.Optimized, OptStats: u.OptStats}); err == nil {
-		_ = os.WriteFile(s.metaPath(u.Key), mb, 0o644)
+		atomicWrite(s.metaPath(u.Key), mb)
+	}
+}
+
+// atomicWrite publishes data at path via a unique temp file and rename,
+// so readers observe either the previous complete file or the new
+// complete file, never a prefix. Errors are swallowed (best-effort tier);
+// the temp file is removed on any failure so the cache dir stays clean.
+func atomicWrite(path string, data []byte) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(data)
+	cerr := f.Chmod(0o644)
+	if err := f.Close(); werr != nil || cerr != nil || err != nil {
+		_ = os.Remove(f.Name())
+		return
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		_ = os.Remove(f.Name())
 	}
 }

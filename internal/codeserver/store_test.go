@@ -1,0 +1,88 @@
+package codeserver
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteDiskTornWriteRace is the regression test for a torn-write
+// race in the disk tier: writeDisk used one fixed "<key>.tmp" scratch
+// name, so two concurrent writers for the same key could truncate each
+// other's half-written file and rename the torn result into the cache,
+// after which loadDisk served a corrupt unit as a hit. With unique temp
+// files plus rename, every published file is complete, so a reader may
+// see a hit or a miss but never wrong bytes.
+func TestWriteDiskTornWriteRace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 8, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var key Key
+	key[0] = 7
+	wireBytes := make([]byte, 1<<20)
+	for i := range wireBytes {
+		wireBytes[i] = byte(i*31 + 7)
+	}
+	u := &Unit{Key: key, Wire: wireBytes, Size: len(wireBytes), Instrs: 1}
+	// Publish once up front so the meta sidecar exists and loadDisk
+	// serves the raw wire bytes without a validating decode.
+	s.writeDisk(u)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.writeDisk(u)
+				}
+			}
+		}()
+	}
+
+	var readers sync.WaitGroup
+	var mu sync.Mutex
+	var torn int
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				got, ok := s.loadDisk(key)
+				if ok && !bytes.Equal(got.Wire, wireBytes) {
+					mu.Lock()
+					torn++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	if torn > 0 {
+		t.Fatalf("loadDisk served torn wire bytes %d times", torn)
+	}
+
+	// Failed or abandoned publishes must not strand scratch files.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -30,6 +30,15 @@ func (m *Module) Verify(opts VerifyOptions) error {
 	return errors.Join(errs...)
 }
 
+// VerifyTables runs only the symbol-table consistency checks — the
+// paper's residual "trivial counter comparisons". The wire decoder runs
+// this as its final admission step so that DecodeModule can never hand
+// out a module with inconsistent linking metadata; the full Verify
+// additionally checks every function body.
+func (m *Module) VerifyTables() error {
+	return errors.Join(m.verifyTables()...)
+}
+
 // verifyTables checks the linking consistency of the symbol tables: field
 // slots within their class's storage, dispatch tables that agree with the
 // superclass layout, and method/function cross references. These are the
@@ -234,14 +243,21 @@ func (m *Module) verifyFunc(f *Func, opts VerifyOptions) error {
 	pos := blockPositions(f)
 
 	// available reports whether value v may be used by instruction user
-	// (at position userPos in block userBlk).
+	// (at position userPos in block userBlk). A definition that has been
+	// unlinked from the instruction stream (a stale values-table entry —
+	// the signature of a broken optimization pass) is as unavailable as
+	// one that never existed.
 	available := func(v ValueID, userBlk *Block, userPos int) error {
 		def := f.Value(v)
 		if def == nil {
 			return fmt.Errorf("use of undefined value v%d", v)
 		}
+		defPos, present := pos[def]
+		if !present {
+			return fmt.Errorf("v%d was removed from the instruction stream but is still used", v)
+		}
 		if def.Blk == userBlk {
-			if pos[def] >= userPos {
+			if defPos >= userPos {
 				return fmt.Errorf("v%d used before its definition in block %d", v, userBlk.Index)
 			}
 			return nil
@@ -261,8 +277,12 @@ func (m *Module) verifyFunc(f *Func, opts VerifyOptions) error {
 		if def == nil {
 			return fmt.Errorf("phi uses undefined value v%d", v)
 		}
+		defPos, present := pos[def]
+		if !present {
+			return fmt.Errorf("phi operand v%d was removed from the instruction stream but is still used", v)
+		}
 		if def.Blk == e.From {
-			if e.Site != nil && pos[def] >= pos[e.Site] {
+			if e.Site != nil && defPos >= pos[e.Site] {
 				return fmt.Errorf("phi operand v%d defined after exception site in block %d",
 					v, e.From.Index)
 			}

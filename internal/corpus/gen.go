@@ -348,6 +348,16 @@ func generate(name string, p profile) string {
 			recv, target, r.intn(20), r.intn(20))
 	}
 	sb.WriteString("        System.out.println(acc);\n")
+	// Route the checksum through double arithmetic as well, so every
+	// generated program also exercises Double.toString fidelity across
+	// the decimal/scientific regime boundaries (1e-3 and 1e7) and the
+	// signed-zero case — the formatting paths the int checksum never
+	// touches.
+	sb.WriteString("        double dacc = acc;\n")
+	sb.WriteString("        System.out.println(dacc / 3.0);\n")
+	sb.WriteString("        System.out.println(dacc * 1.0e7);\n")
+	sb.WriteString("        System.out.println(dacc / 1.0e5);\n")
+	sb.WriteString("        System.out.println(-0.0 * dacc);\n")
 	sb.WriteString("    }\n}\n")
 	return sb.String()
 }

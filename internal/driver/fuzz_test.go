@@ -1,73 +1,86 @@
-package driver
+package driver_test
 
 import (
 	"fmt"
+	"hash/fnv"
 	"testing"
 
-	"safetsa/internal/core"
 	"safetsa/internal/corpus"
-	"safetsa/internal/wire"
+	"safetsa/internal/oracle"
 )
 
 // TestRandomProgramDifferential generates random (deterministic) TJ
-// programs and pushes each through all four pipelines — bytecode VM,
-// SafeTSA evaluator, optimized SafeTSA, and the wire round trip — which
-// must all print the same checksum. This is the broad-spectrum bug net
-// over the whole system.
+// programs and pushes each through the shared four-pipeline oracle —
+// bytecode VM, SafeTSA evaluator, per-pass-verified optimized SafeTSA,
+// and the wire round trip — which must all print the same checksum.
+// This is the broad-spectrum bug net over the whole system; the same
+// oracle backs FuzzDifferential below, so every seed here is also a
+// replayable fuzz baseline.
 func TestRandomProgramDifferential(t *testing.T) {
-	n := 40
+	n := 48
 	if testing.Short() {
 		n = 8
 	}
+	budgets := oracle.Budgets{MaxSteps: 50_000_000, MaxAlloc: 1 << 26}
 	for i := 0; i < n; i++ {
 		seed := fmt.Sprintf("%d", i)
 		t.Run("seed"+seed, func(t *testing.T) {
 			files := corpus.GenerateFuzz(seed, 4+i%5, 3+i%4)
-			prog, err := Frontend(files)
-			if err != nil {
-				t.Fatalf("frontend: %v", err)
-			}
-			bc, err := CompileBytecode(prog)
-			if err != nil {
-				t.Fatalf("bytecode: %v", err)
-			}
-			if err := bc.Verify(); err != nil {
-				t.Fatalf("bytecode verify: %v", err)
-			}
-			want, err := RunBytecode(bc, 50_000_000)
-			if err != nil {
-				t.Fatalf("bytecode run: %v", err)
-			}
-
-			mod, err := CompileTSA(prog)
-			if err != nil {
-				t.Fatalf("safetsa: %v", err)
-			}
-			got, err := RunModule(mod, 50_000_000)
-			if err != nil || got != want {
-				t.Fatalf("plain SafeTSA: %q %v, want %q", got, err, want)
-			}
-
-			if _, err := OptimizeModule(mod); err != nil {
-				t.Fatalf("optimize: %v", err)
-			}
-			got, err = RunModule(mod, 50_000_000)
-			if err != nil || got != want {
-				t.Fatalf("optimized SafeTSA: %q %v, want %q", got, err, want)
-			}
-
-			data := wire.EncodeModule(mod)
-			dec, err := wire.DecodeModule(data)
-			if err != nil {
-				t.Fatalf("decode: %v", err)
-			}
-			if err := dec.Verify(core.VerifyOptions{}); err != nil {
-				t.Fatalf("decoded verify: %v", err)
-			}
-			got, err = RunModule(dec, 50_000_000)
-			if err != nil || got != want {
-				t.Fatalf("wire round trip: %q %v, want %q", got, err, want)
+			if _, err := oracle.Differential(files, budgets); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}
+}
+
+// FuzzFrontend feeds arbitrary source bytes to the scanner, parser, and
+// semantic checker. Diagnostics are the specified behaviour; panics and
+// runaways are the bugs. Inputs are size-capped so recursive-descent
+// depth stays within the goroutine stack.
+func FuzzFrontend(f *testing.F) {
+	for _, src := range []string{
+		"",
+		"class Main { static void main() { System.out.println(1); } }",
+		"class A extends A {}",
+		"class Main { static void main() { int x = 2147483648; } }",
+		"class Main { static void main() { double d = 1e; } }",
+		"/* unterminated",
+		"class Main { static void main() { String s = \"\\u0041\"; } }",
+		"class \x80 {}",
+	} {
+		f.Add([]byte(src))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		if err := oracle.CheckFrontend(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDifferential lets the fuzzer steer the corpus generator: the input
+// bytes pick the generator seed and program shape, and the resulting
+// program must satisfy the full four-pipeline differential oracle.
+// Unlike FuzzFrontend this never sees invalid programs — every failure
+// is a genuine cross-pipeline fidelity bug.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte("0"))
+	f.Add([]byte("differential"))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	budgets := oracle.Budgets{MaxSteps: 50_000_000, MaxAlloc: 1 << 26}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := fnv.New64a()
+		h.Write(data)
+		sum := h.Sum64()
+		// Class names are "Fz"+seed, so the seed must be identifier-safe.
+		seed := fmt.Sprintf("x%x", sum)
+		methods := 2 + int(sum>>8&0xff)%6
+		stmts := 2 + int(sum>>16&0xff)%5
+		files := corpus.GenerateFuzz(seed, methods, stmts)
+		if _, err := oracle.Differential(files, budgets); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

@@ -157,7 +157,12 @@ class Main { static void main() {
     System.out.println(2.5e10);
     System.out.println(-0.5);
     System.out.println(100.0);
-} }`, "0.3333333333333333\n2.5e+10\n-0.5\n100.0\n"},
+    System.out.println(10000000.0);
+    System.out.println(9999999.0);
+    System.out.println(0.001);
+    System.out.println(0.0001);
+    System.out.println(-0.0);
+} }`, "0.3333333333333333\n2.5E10\n-0.5\n100.0\n1.0E7\n9999999.0\n0.001\n1.0E-4\n-0.0\n"},
 
 	{"instanceof-null", `
 class A {}

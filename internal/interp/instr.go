@@ -467,7 +467,7 @@ func (l *Loader) execPrim(fr *frame, in *core.Instr) rt.Value {
 		return rt.BoolValue(!sameRef(a(0).R, a(1).R))
 
 	case core.PSConcat:
-		return rt.RefValue(rt.Concat(a(0).R, a(1).R))
+		return rt.RefValue(l.Env.Concat(a(0).R, a(1).R))
 	case core.PSOfInt:
 		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'i')})
 	case core.PSOfLong:

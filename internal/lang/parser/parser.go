@@ -517,6 +517,17 @@ func (p *parser) parseUnary() ast.Expr {
 	switch p.tok().Kind {
 	case token.SUB, token.ADD, token.NOT, token.TILDE:
 		op := p.next().Kind
+		// JLS §3.10.1: the literals 2147483648 and 9223372036854775808L
+		// are legal only as the immediate operand of unary minus, so the
+		// minus must be folded into the literal before range checking.
+		if op == token.SUB && p.at(token.INTLIT) {
+			t := p.next()
+			return p.parsePostfix(&ast.IntLit{Value: p.intLitValue(t, true), P: pos})
+		}
+		if op == token.SUB && p.at(token.LONGLIT) {
+			t := p.next()
+			return p.parsePostfix(&ast.LongLit{Value: p.longLitValue(t, true), P: pos})
+		}
 		x := p.parseUnary()
 		return &ast.Unary{Op: op, X: x, P: pos}
 	case token.INC, token.DEC:
@@ -591,18 +602,10 @@ func (p *parser) parsePrimary() ast.Expr {
 	switch p.tok().Kind {
 	case token.INTLIT:
 		t := p.next()
-		v, err := parseIntLit(t.Lit)
-		if err != nil {
-			p.errorf(pos, "invalid int literal %q: %v", t.Lit, err)
-		}
-		return &ast.IntLit{Value: int32(v), P: pos}
+		return &ast.IntLit{Value: p.intLitValue(t, false), P: pos}
 	case token.LONGLIT:
 		t := p.next()
-		v, err := parseIntLit(t.Lit)
-		if err != nil {
-			p.errorf(pos, "invalid long literal %q: %v", t.Lit, err)
-		}
-		return &ast.LongLit{Value: v, P: pos}
+		return &ast.LongLit{Value: p.longLitValue(t, false), P: pos}
 	case token.DOUBLELIT:
 		t := p.next()
 		v, err := strconv.ParseFloat(t.Lit, 64)
@@ -666,12 +669,91 @@ func (p *parser) parsePrimary() ast.Expr {
 	return &ast.IntLit{Value: 0, P: pos}
 }
 
-func parseIntLit(lit string) (int64, error) {
-	if len(lit) > 2 && (lit[1] == 'x' || lit[1] == 'X') {
-		u, err := strconv.ParseUint(lit[2:], 16, 64)
-		return int64(u), err
+// parseIntDigits parses the digit string of an integer literal into its
+// magnitude. Range policing per JLS §3.10.1 happens at the use sites
+// below, where the literal's type and any folded unary minus are known.
+func parseIntDigits(lit string) (u uint64, hex bool, err error) {
+	if len(lit) > 2 && lit[0] == '0' && (lit[1] == 'x' || lit[1] == 'X') {
+		u, err = strconv.ParseUint(lit[2:], 16, 64)
+		return u, true, err
 	}
-	return strconv.ParseInt(lit, 10, 64)
+	u, err = strconv.ParseUint(lit, 10, 64)
+	return u, false, err
+}
+
+// intLitValue enforces the JLS §3.10.1 ranges for an int literal: a
+// decimal literal may not exceed 2147483647 (2147483648 only under a
+// folded unary minus), and a hex literal must fit in 32 bits — its value
+// is the two's-complement reinterpretation, so 0xFFFFFFFF is -1.
+func (p *parser) intLitValue(t token.Token, neg bool) int32 {
+	u, hex, err := parseIntDigits(t.Lit)
+	if err != nil {
+		p.errorf(t.Pos, "invalid int literal %q: %v", t.Lit, err)
+		return 0
+	}
+	if hex {
+		if u > 0xFFFFFFFF {
+			p.errorf(t.Pos, "hex int literal %s does not fit in 32 bits (JLS 3.10.1)", t.Lit)
+			return 0
+		}
+		v := int32(uint32(u))
+		if neg {
+			v = -v
+		}
+		return v
+	}
+	max := uint64(2147483647)
+	if neg {
+		max = 2147483648
+	}
+	if u > max {
+		if neg {
+			p.errorf(t.Pos, "int literal -%s out of range (JLS 3.10.1: minimum is -2147483648)", t.Lit)
+		} else {
+			p.errorf(t.Pos, "int literal %s out of range (JLS 3.10.1: 2147483648 is legal only as the operand of unary minus)", t.Lit)
+		}
+		return 0
+	}
+	v := int64(u)
+	if neg {
+		v = -v
+	}
+	return int32(v)
+}
+
+// longLitValue enforces the JLS §3.10.1 ranges for a long literal: a
+// decimal literal may not exceed 9223372036854775807 (…808 only under a
+// folded unary minus); a hex literal may use all 64 bits.
+func (p *parser) longLitValue(t token.Token, neg bool) int64 {
+	u, hex, err := parseIntDigits(t.Lit)
+	if err != nil {
+		p.errorf(t.Pos, "invalid long literal %q: %v", t.Lit, err)
+		return 0
+	}
+	if hex {
+		v := int64(u)
+		if neg {
+			v = -v
+		}
+		return v
+	}
+	max := uint64(1)<<63 - 1
+	if neg {
+		max = 1 << 63
+	}
+	if u > max {
+		if neg {
+			p.errorf(t.Pos, "long literal -%sL out of range (JLS 3.10.1: minimum is -9223372036854775808)", t.Lit)
+		} else {
+			p.errorf(t.Pos, "long literal %sL out of range (JLS 3.10.1: 9223372036854775808L is legal only as the operand of unary minus)", t.Lit)
+		}
+		return 0
+	}
+	v := int64(u)
+	if neg {
+		v = -v
+	}
+	return v
 }
 
 func (p *parser) parseNew() ast.Expr {

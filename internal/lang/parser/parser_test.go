@@ -231,3 +231,72 @@ func TestAssignTargetsValidated(t *testing.T) {
 		t.Error("increment of a call accepted")
 	}
 }
+
+// TestIntLiteralRanges pins the JLS §3.10.1 rules: decimal int literals
+// cap at 2147483647 (2147483648 legal only under unary minus), hex int
+// literals are 32-bit two's-complement patterns, and the long
+// equivalents scale the same rules to 64 bits. The out-of-range cases
+// are regression tests — they used to parse silently with wrapped
+// values.
+func TestIntLiteralRanges(t *testing.T) {
+	intVal := func(src string) int32 {
+		t.Helper()
+		switch e := firstExpr(t, src).(type) {
+		case *ast.IntLit:
+			return e.Value
+		default:
+			t.Fatalf("%s parsed to %T, want IntLit", src, e)
+			return 0
+		}
+	}
+	longVal := func(src string) int64 {
+		t.Helper()
+		switch e := firstExpr(t, src).(type) {
+		case *ast.LongLit:
+			return e.Value
+		default:
+			t.Fatalf("%s parsed to %T, want LongLit", src, e)
+			return 0
+		}
+	}
+
+	if got := intVal("2147483647"); got != 2147483647 {
+		t.Errorf("max int literal = %d", got)
+	}
+	if got := intVal("-2147483648"); got != -2147483648 {
+		t.Errorf("min int literal = %d", got)
+	}
+	if got := intVal("0xFFFFFFFF"); got != -1 {
+		t.Errorf("0xFFFFFFFF = %d, want -1 (two's complement)", got)
+	}
+	if got := intVal("0x80000000"); got != -2147483648 {
+		t.Errorf("0x80000000 = %d, want MinInt32", got)
+	}
+	if got := intVal("-0x80000000"); got != -2147483648 {
+		t.Errorf("-0x80000000 = %d, want MinInt32 (negation wraps)", got)
+	}
+	if got := longVal("9223372036854775807L"); got != 9223372036854775807 {
+		t.Errorf("max long literal = %d", got)
+	}
+	if got := longVal("-9223372036854775808L"); got != -9223372036854775808 {
+		t.Errorf("min long literal = %d", got)
+	}
+	if got := longVal("0xFFFFFFFFFFFFFFFFL"); got != -1 {
+		t.Errorf("0xFFFF...L = %d, want -1", got)
+	}
+
+	for _, bad := range []string{
+		"2147483648",           // only legal under unary minus
+		"-2147483649",          // below MinInt32
+		"4999999999",           // wraps if truncated blindly
+		"0x100000000",          // 33 bits
+		"9223372036854775808L", // only legal under unary minus
+		"-9223372036854775809L",
+		"0x10000000000000000L", // 65 bits
+	} {
+		src := "class C { void m() { x = " + bad + "; } }"
+		if _, errs := ParseFile("t.tj", src); len(errs) == 0 {
+			t.Errorf("%s: out-of-range literal accepted", bad)
+		}
+	}
+}

@@ -73,23 +73,62 @@ func Optimize(m *core.Module) Stats {
 // OptimizeWithOptions runs the producer-side pipeline with variant
 // selection.
 func OptimizeWithOptions(m *core.Module, o Options) Stats {
-	var st Stats
-	st.InstrsBefore, st.PhisBefore, st.NullChecksBefore, st.ArrayChecksBefore = Count(m)
-	for _, f := range m.Funcs {
-		optimizeFunc(m, f, o, &st)
-	}
-	st.InstrsAfter, st.PhisAfter, st.NullChecksAfter, st.ArrayChecksAfter = Count(m)
+	st, _ := RunPasses(m, o, Pipeline(), nil)
 	return st
 }
 
-func optimizeFunc(m *core.Module, f *core.Func, o Options, st *Stats) {
-	// Two rounds: CSE exposes new constants and copies; DCE after each
-	// round keeps the tables small.
-	for round := 0; round < 2; round++ {
+// Pass is one named step of the producer-side pipeline. Run transforms a
+// single function in place and accounts its effect in st. Passes must be
+// per-function independent: RunPasses applies each pass to every function
+// before moving to the next pass, so that a whole-module invariant (in
+// particular, the consumer verifier) can be checked between passes.
+type Pass struct {
+	Name string
+	Run  func(m *core.Module, f *core.Func, o Options, st *Stats)
+}
+
+// Pipeline returns the paper's measured pass sequence. Two
+// constprop+CSE rounds (CSE exposes new constants and copies), then one
+// liveness DCE that prunes the pessimistically placed phis.
+func Pipeline() []Pass {
+	cp := func(m *core.Module, f *core.Func, o Options, st *Stats) {
 		st.ConstFolded += constProp(m, f)
+	}
+	cs := func(m *core.Module, f *core.Func, o Options, st *Stats) {
 		st.CSERemoved += cse(m, f, o)
 	}
-	st.DCERemoved += dce(m, f)
+	dc := func(m *core.Module, f *core.Func, o Options, st *Stats) {
+		st.DCERemoved += dce(m, f)
+	}
+	return []Pass{
+		{Name: "constprop", Run: cp},
+		{Name: "cse", Run: cs},
+		{Name: "constprop2", Run: cp},
+		{Name: "cse2", Run: cs},
+		{Name: "dce", Run: dc},
+	}
+}
+
+// RunPasses applies each pass to every function of the module, calling
+// after(pass.Name) once a pass has finished with the whole module. A
+// non-nil error from after aborts the pipeline — the module is left in
+// its mid-pipeline state for inspection, so callers that care must treat
+// the module as scrap on error. after may be nil.
+func RunPasses(m *core.Module, o Options, passes []Pass, after func(pass string) error) (Stats, error) {
+	var st Stats
+	st.InstrsBefore, st.PhisBefore, st.NullChecksBefore, st.ArrayChecksBefore = Count(m)
+	for _, p := range passes {
+		for _, f := range m.Funcs {
+			p.Run(m, f, o, &st)
+		}
+		if after != nil {
+			if err := after(p.Name); err != nil {
+				return st, err
+			}
+		}
+	}
+	st.InstrsAfter, st.PhisAfter, st.NullChecksAfter, st.ArrayChecksAfter = Count(m)
+	return st, nil
 }
 
 // replaceUses rewrites every operand (instruction arguments, safe-index

@@ -1,0 +1,169 @@
+package oracle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/opt"
+	"safetsa/internal/rt"
+	"safetsa/internal/wire"
+)
+
+const oracleProbe = `
+class Main {
+    static int f(int a, int b) {
+        int c = a * b + 7;
+        int d = c - a;
+        return c + d;
+    }
+    static void main() {
+        int acc = 0;
+        for (int i = 1; i < 10; i++) {
+            acc += f(i, i + 2);
+        }
+        System.out.println(acc);
+    }
+}`
+
+func compileProbe(t *testing.T) *core.Module {
+	t.Helper()
+	mod, err := driver.CompileTSASource(map[string]string{"Main.tj": oracleProbe})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+// corruptFunc emulates an optimizer bug: it deletes the first
+// instruction whose SSA result is still consumed by a later instruction
+// in the same block, leaving a dangling operand reference.
+func corruptFunc(f *core.Func) bool {
+	for _, b := range f.Blocks {
+		used := map[core.ValueID]bool{}
+		for _, in := range b.Code {
+			for _, a := range in.Args {
+				used[a] = true
+			}
+		}
+		for i, in := range b.Code {
+			if in.HasResult() && used[in.ID] {
+				b.Code = append(b.Code[:i], b.Code[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPerPassOracleCatchesMisoptimization injects a deliberately broken
+// pass into the middle of the pipeline and asserts the per-pass verifier
+// oracle rejects the module and names the guilty pass — the module-level
+// (-O end-to-end) check alone could attribute the damage to a later
+// pass, or miss it entirely if a subsequent pass deleted the evidence.
+func TestPerPassOracleCatchesMisoptimization(t *testing.T) {
+	mod := compileProbe(t)
+	if _, err := OptimizePerPass(mod); err != nil {
+		t.Fatalf("honest pipeline must verify after every pass: %v", err)
+	}
+
+	mod = compileProbe(t)
+	corrupted := false
+	evil := opt.Pass{Name: "evil-dce", Run: func(m *core.Module, f *core.Func, o opt.Options, st *opt.Stats) {
+		if !corrupted {
+			corrupted = corruptFunc(f)
+		}
+	}}
+	passes := opt.Pipeline()
+	// Splice the broken pass after the first honest pass.
+	passes = append(passes[:1], append([]opt.Pass{evil}, passes[1:]...)...)
+	_, err := RunPassesVerified(mod, passes)
+	if !corrupted {
+		t.Fatal("probe program left nothing for the evil pass to corrupt")
+	}
+	if err == nil {
+		t.Fatal("per-pass oracle accepted a mis-optimized module")
+	}
+	if !strings.Contains(err.Error(), `after pass "evil-dce"`) {
+		t.Fatalf("oracle blamed the wrong pass: %v", err)
+	}
+}
+
+func TestCanonicalWireOnCorpus(t *testing.T) {
+	for _, seed := range []string{"0", "1", "2", "canon"} {
+		files := corpus.GenerateFuzz(seed, 5, 4)
+		mod, err := driver.CompileTSASource(files)
+		if err != nil {
+			t.Fatalf("seed %s: %v", seed, err)
+		}
+		if err := CheckCanonicalWire(mod); err != nil {
+			t.Errorf("seed %s unoptimized: %v", seed, err)
+		}
+		if _, err := OptimizePerPass(mod); err != nil {
+			t.Fatalf("seed %s: %v", seed, err)
+		}
+		if err := CheckCanonicalWire(mod); err != nil {
+			t.Errorf("seed %s optimized: %v", seed, err)
+		}
+	}
+}
+
+// TestCheckWireTamper drives the CheckWire oracle over systematically
+// tampered encodings of a real unit: every outcome must be a clean
+// rejection or a verifier-clean, budget-bounded execution — CheckWire
+// returning an error (or panicking) is the bug the fuzz target hunts.
+func TestCheckWireTamper(t *testing.T) {
+	mod := compileProbe(t)
+	data := wire.EncodeModule(mod)
+	b := Budgets{MaxSteps: 1 << 16, MaxAlloc: 1 << 18}
+	if err := CheckWire(data, b); err != nil {
+		t.Fatalf("pristine unit: %v", err)
+	}
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit += 3 {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if err := CheckWire(mut, b); err != nil {
+				t.Fatalf("tampered byte %d bit %d: %v", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestAllocBudgetStopsHostileGrowth checks the defense CheckWire relies
+// on: a guest that doubles a string every iteration (2^60 bytes' worth)
+// must die on the allocation budget, not take the host down with it.
+func TestAllocBudgetStopsHostileGrowth(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        String s = "xxxxxxxxxxxxxxxx";
+        for (int i = 0; i < 60; i++) {
+            s = s + s;
+        }
+        System.out.println(s.length());
+    }
+}`
+	mod, err := driver.CompileTSASource(map[string]string{"Main.tj": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runBounded(mod, Budgets{MaxSteps: 1 << 20, MaxAlloc: 1 << 20})
+	if !errors.Is(err, rt.ErrAllocLimit) {
+		t.Fatalf("hostile growth ended with %v, want ErrAllocLimit", err)
+	}
+}
+
+func TestCheckFrontendOnGarbage(t *testing.T) {
+	for _, src := range []string{
+		"", "class", "class Main { static void main() { int x = ; } }",
+		"\x80\x80\x80", "/* unterminated", `class A { A a = new A(`,
+	} {
+		if err := CheckFrontend([]byte(src)); err != nil {
+			t.Errorf("CheckFrontend(%q) = %v", src, err)
+		}
+	}
+}

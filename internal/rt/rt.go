@@ -12,6 +12,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Value is a runtime value: exactly one of the payload fields is
@@ -104,6 +105,14 @@ type Env struct {
 	// ErrStepLimit once MaxSteps is exceeded (0 = unlimited).
 	Steps    int64
 	MaxSteps int64
+	// Allocs counts abstract allocation units (object field slots, array
+	// elements, string bytes); execution aborts with ErrAllocLimit once
+	// MaxAlloc is exceeded (0 = unlimited). Sandboxed consumers — the
+	// fuzzing oracle in particular — set this so that a hostile module
+	// cannot exhaust host memory within its step budget (e.g. by
+	// repeatedly doubling a string or allocating huge arrays).
+	Allocs   int64
+	MaxAlloc int64
 	// Interrupt, when non-nil, is polled every few thousand steps;
 	// once it is closed (e.g. a context.Done channel) execution aborts
 	// with ErrInterrupted. This is how servers cancel guest programs.
@@ -116,6 +125,10 @@ type Env struct {
 // step budget is exhausted.
 var ErrStepLimit = fmt.Errorf("rt: step limit exceeded")
 
+// ErrAllocLimit is panicked (as a plain Go panic, not a Thrown) when the
+// allocation budget is exhausted.
+var ErrAllocLimit = fmt.Errorf("rt: allocation limit exceeded")
+
 // ErrInterrupted is panicked (as a plain Go panic, not a Thrown) when the
 // Interrupt channel is closed mid-execution.
 var ErrInterrupted = fmt.Errorf("rt: execution interrupted")
@@ -124,7 +137,15 @@ var ErrInterrupted = fmt.Errorf("rt: execution interrupted")
 // sentinels an interpreter's top-level recover must convert to a plain
 // error instead of re-panicking.
 func IsExecError(err error) bool {
-	return err == ErrStepLimit || err == ErrInterrupted
+	return err == ErrStepLimit || err == ErrAllocLimit || err == ErrInterrupted
+}
+
+// Charge consumes n units of allocation budget.
+func (e *Env) Charge(n int64) {
+	e.Allocs += n
+	if e.MaxAlloc > 0 && e.Allocs > e.MaxAlloc {
+		panic(ErrAllocLimit)
+	}
 }
 
 // Step consumes one step of budget.
@@ -144,6 +165,7 @@ func (e *Env) Step() {
 
 // NewObject allocates an instance with zeroed fields.
 func (e *Env) NewObject(c *ClassInfo) *Object {
+	e.Charge(int64(c.NumSlots) + 1)
 	e.nextID++
 	return &Object{Class: c, Fields: make([]Value, c.NumSlots), id: e.nextID}
 }
@@ -151,7 +173,15 @@ func (e *Env) NewObject(c *ClassInfo) *Object {
 // NewArray allocates an array of n zero values; n must already have been
 // checked non-negative.
 func (e *Env) NewArray(n int32, typeID int32) *Array {
+	e.Charge(int64(n) + 1)
 	return &Array{Elems: make([]Value, n), TypeID: typeID}
+}
+
+// NewStr allocates a string instance, charging its length against the
+// allocation budget.
+func (e *Env) NewStr(s string) *Str {
+	e.Charge(int64(len(s)) + 1)
+	return &Str{S: s}
 }
 
 // Identity returns the identity hash of a reference.
@@ -255,8 +285,12 @@ func DRem(a, b float64) float64 { return math.Mod(a, b) }
 // ---------------------------------------------------------------------
 // String operations of the imported String type
 
-// FormatDouble renders a double like Java's Double.toString for the
-// common cases (sufficient for reproducible benchmark output).
+// FormatDouble renders a double exactly like Java's Double.toString
+// (JLS / java.lang.Double, with the JDK 19+ shortest-round-trip digit
+// selection, which is also what strconv produces): plain decimal
+// notation when 1e-3 <= |d| < 1e7, computerized scientific notation
+// ("1.0E7", "1.0E-4" — no '+', no zero-padded exponent) otherwise, and
+// always at least one digit after the decimal point.
 func FormatDouble(d float64) string {
 	switch {
 	case math.IsNaN(d):
@@ -265,10 +299,30 @@ func FormatDouble(d float64) string {
 		return "Infinity"
 	case math.IsInf(d, -1):
 		return "-Infinity"
-	case d == math.Trunc(d) && math.Abs(d) < 1e7:
-		return strconv.FormatFloat(d, 'f', 1, 64)
+	case d == 0:
+		if math.Signbit(d) {
+			return "-0.0"
+		}
+		return "0.0"
 	}
-	return strconv.FormatFloat(d, 'g', -1, 64)
+	if abs := math.Abs(d); abs >= 1e-3 && abs < 1e7 {
+		s := strconv.FormatFloat(d, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	}
+	s := strconv.FormatFloat(d, 'E', -1, 64)
+	mant, exp, _ := strings.Cut(s, "E")
+	if !strings.Contains(mant, ".") {
+		mant += ".0"
+	}
+	neg := strings.HasPrefix(exp, "-")
+	exp = strings.TrimLeft(strings.TrimPrefix(exp, "+"), "-0")
+	if neg {
+		exp = "-" + exp
+	}
+	return mant + "E" + exp
 }
 
 // StringOf renders any value in Java string-conversion style; kind is a
@@ -287,7 +341,11 @@ func StringOf(v Value, kind byte) string {
 		}
 		return "false"
 	case 'c':
-		return string(rune(uint16(v.I)))
+		// Through the UTF-16-aware path: an unpaired surrogate code unit
+		// must survive (as WTF-8) rather than collapse to U+FFFD, so that
+		// both pipelines print and re-consume what Java's string model
+		// holds.
+		return stringFromUnits([]uint16{uint16(v.I)})
 	case 'r':
 		return RefString(v.R)
 	}
@@ -318,17 +376,51 @@ func StringHash(s string) int32 {
 	return h
 }
 
+// utf16Units converts the runtime string encoding (WTF-8: UTF-8 plus
+// three-byte sequences for unpaired surrogate code units) to the UTF-16
+// code-unit sequence of the equivalent Java string.
 func utf16Units(s string) []uint16 {
 	out := make([]uint16, 0, len(s))
-	for _, r := range s {
+	for i := 0; i < len(s); {
+		if u, ok := decodeSurrogateWTF8(s[i:]); ok {
+			out = append(out, u)
+			i += 3
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
 		if r > 0xFFFF {
 			r -= 0x10000
 			out = append(out, uint16(0xD800+(r>>10)), uint16(0xDC00+(r&0x3FF)))
 		} else {
 			out = append(out, uint16(r))
 		}
+		i += size
 	}
 	return out
+}
+
+// decodeSurrogateWTF8 reads the WTF-8 encoding of one surrogate code
+// unit (0xED 0xA0..0xBF 0x80..0xBF ⇒ U+D800..U+DFFF), which strict
+// UTF-8 decoders reject.
+func decodeSurrogateWTF8(s string) (uint16, bool) {
+	if len(s) >= 3 && s[0] == 0xED &&
+		s[1] >= 0xA0 && s[1] <= 0xBF && s[2] >= 0x80 && s[2] <= 0xBF {
+		return 0xD000 | uint16(s[1]&0x3F)<<6 | uint16(s[2]&0x3F), true
+	}
+	return 0, false
+}
+
+// appendUnitWTF8 appends one UTF-16 code unit; surrogates (necessarily
+// unpaired here) are written in WTF-8 so they round-trip through
+// utf16Units instead of degrading to U+FFFD.
+func appendUnitWTF8(sb *strings.Builder, u uint16) {
+	if u >= 0xD800 && u <= 0xDFFF {
+		sb.WriteByte(0xE0 | byte(u>>12))
+		sb.WriteByte(0x80 | byte(u>>6)&0x3F)
+		sb.WriteByte(0x80 | byte(u)&0x3F)
+		return
+	}
+	sb.WriteRune(rune(u))
 }
 
 // GetStr extracts a Go string from a string reference; ok is false on
@@ -342,8 +434,11 @@ func GetStr(r Ref) (string, bool) {
 }
 
 // Concat implements the String.concat primitive: null renders "null".
-func Concat(a, b Ref) Ref {
-	return &Str{S: RefString(a) + RefString(b)}
+// It is an Env method so the result is charged against the allocation
+// budget — unbounded string growth (s = s + s) is the cheapest way for a
+// hostile module to exhaust host memory.
+func (e *Env) Concat(a, b Ref) Ref {
+	return e.NewStr(RefString(a) + RefString(b))
 }
 
 // Println/Print write to the environment output.
@@ -428,13 +523,13 @@ func CompareStr(a, b string) int32 {
 func stringFromUnits(u []uint16) string {
 	var sb strings.Builder
 	for i := 0; i < len(u); i++ {
-		r := rune(u[i])
-		if r >= 0xD800 && r <= 0xDBFF && i+1 < len(u) &&
+		if r := rune(u[i]); r >= 0xD800 && r <= 0xDBFF && i+1 < len(u) &&
 			u[i+1] >= 0xDC00 && u[i+1] <= 0xDFFF {
-			r = 0x10000 + (r-0xD800)<<10 + (rune(u[i+1]) - 0xDC00)
+			sb.WriteRune(0x10000 + (r-0xD800)<<10 + (rune(u[i+1]) - 0xDC00))
 			i++
+			continue
 		}
-		sb.WriteRune(r)
+		appendUnitWTF8(&sb, u[i])
 	}
 	return sb.String()
 }

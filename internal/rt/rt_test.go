@@ -3,6 +3,7 @@ package rt
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -73,21 +74,89 @@ func TestD2ISaturation(t *testing.T) {
 	}
 }
 
+// TestFormatDouble pins FormatDouble to Java's Double.toString contract
+// (JLS / java.lang.Double): decimal notation exactly when
+// 1e-3 <= |d| < 1e7, otherwise "computerized scientific notation" with a
+// mantissa that always carries at least one fractional digit and an
+// exponent with no '+' sign or leading zeros. Every expectation below is
+// the literal JDK output for that value.
 func TestFormatDouble(t *testing.T) {
-	cases := map[float64]string{
-		0:                   "0.0",
-		1:                   "1.0",
-		-2.5:                "-2.5",
-		66:                  "66.0",
-		math.Inf(1):         "Infinity",
-		math.Inf(-1):        "-Infinity",
-		math.NaN():          "NaN",
-		0.30000000000000004: "0.30000000000000004",
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0"},
+		{math.Copysign(0, -1), "-0.0"},
+		{1, "1.0"},
+		{-2.5, "-2.5"},
+		{66, "66.0"},
+		{100.0, "100.0"},
+		{math.Inf(1), "Infinity"},
+		{math.Inf(-1), "-Infinity"},
+		{math.NaN(), "NaN"},
+		{0.30000000000000004, "0.30000000000000004"},
+		{1.0 / 3.0, "0.3333333333333333"},
+		{0.1, "0.1"},
+		{12345.678, "12345.678"},
+
+		// The 1e7 magnitude boundary: decimal below, scientific at and above.
+		{9999999.0, "9999999.0"},
+		{1e7, "1.0E7"},
+		{-1e7, "-1.0E7"},
+		{12345678.0, "1.2345678E7"},
+
+		// The 1e-3 magnitude boundary: decimal at and above, scientific below.
+		{0.001, "0.001"},
+		{0.0001, "1.0E-4"},
+		{0.0009999999999999998, "9.999999999999998E-4"},
+
+		// Exponent spelling: no '+', no padding, mantissa keeps a ".0".
+		{2.5e10, "2.5E10"},
+		{1e100, "1.0E100"},
+		{3.14e-20, "3.14E-20"},
+		{1.7976931348623157e308, "1.7976931348623157E308"}, // Double.MAX_VALUE
 	}
-	for in, want := range cases {
-		if got := FormatDouble(in); got != want {
-			t.Errorf("FormatDouble(%v) = %q, want %q", in, got, want)
+	for _, c := range cases {
+		if got := FormatDouble(c.in); got != c.want {
+			t.Errorf("FormatDouble(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+// TestUnpairedSurrogateFidelity is the regression test for the char
+// channel: Java strings are unrestricted UTF-16, so printing or
+// concatenating a lone surrogate half must preserve the exact code unit
+// instead of decaying to U+FFFD the way a naive rune-based
+// implementation does. Internally lone halves ride in WTF-8 and must
+// round-trip through every UTF-16 string primitive.
+func TestUnpairedSurrogateFidelity(t *testing.T) {
+	for _, u := range []uint16{0xD800, 0xDBFF, 0xDC00, 0xDFFF} {
+		s := StringOf(CharValue(int32(u)), 'c')
+		if strings.Contains(s, "�") {
+			t.Fatalf("StringOf(%#x) degraded to U+FFFD", u)
+		}
+		if got := StrLen(s); got != 1 {
+			t.Fatalf("StrLen(StringOf(%#x)) = %d, want 1", u, got)
+		}
+		c, ok := CharAt(s, 0)
+		if !ok || uint16(c) != u {
+			t.Errorf("CharAt(StringOf(%#x), 0) = %#x, %v; unit not preserved", u, c, ok)
+		}
+	}
+
+	// A lone high surrogate embedded between ordinary chars keeps its
+	// neighbors addressable at the right UTF-16 indices.
+	env := &Env{}
+	mixed, _ := GetStr(env.Concat(&Str{S: "a"}, env.NewStr(StringOf(CharValue(0xD834), 'c'))))
+	mixed = mixed + "z"
+	if got := StrLen(mixed); got != 3 {
+		t.Fatalf("StrLen(mixed) = %d, want 3", got)
+	}
+	if c, ok := CharAt(mixed, 1); !ok || uint16(c) != 0xD834 {
+		t.Errorf("CharAt(mixed, 1) = %#x, %v", c, ok)
+	}
+	if c, ok := CharAt(mixed, 2); !ok || rune(c) != 'z' {
+		t.Errorf("CharAt(mixed, 2) = %#x, %v", c, ok)
 	}
 }
 
@@ -160,7 +229,8 @@ func TestStringOfAndRefString(t *testing.T) {
 	if got := RefString(&Str{S: "ok"}); got != "ok" {
 		t.Errorf("str: %q", got)
 	}
-	if c, ok := GetStr(Concat(&Str{S: "a"}, nil)); !ok || c != "anull" {
+	env := &Env{}
+	if c, ok := GetStr(env.Concat(&Str{S: "a"}, nil)); !ok || c != "anull" {
 		t.Errorf("Concat with null: %q %v", c, ok)
 	}
 }

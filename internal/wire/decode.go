@@ -41,6 +41,14 @@ func DecodeModule(data []byte) (m *core.Module, err error) {
 		}
 		d.m.Funcs = append(d.m.Funcs, f)
 	}
+	// Residual admission checks (the paper's "trivial counter
+	// comparisons"): cross-table linking consistency that the
+	// context-restricted alphabets cannot express structurally. After
+	// this, a successfully decoded module is well-formed by construction
+	// — DecodeModule never returns a module the verifier would reject.
+	if err := d.m.VerifyTables(); err != nil {
+		return nil, malformedf("inconsistent tables: %v", err)
+	}
 	return d.m, nil
 }
 

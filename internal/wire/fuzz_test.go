@@ -1,0 +1,47 @@
+package wire_test
+
+import (
+	"testing"
+
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/oracle"
+	"safetsa/internal/wire"
+)
+
+// FuzzWireDecode is the executable form of the paper's referential-
+// integrity claim (§2/§9): arbitrary bytes pushed through the decoder
+// either fail cleanly or produce a module the verifier accepts, in
+// canonical wire form, that runs to a guest-visible outcome under step
+// and allocation budgets. oracle.CheckWire encodes exactly that
+// contract; any non-nil result is a decoder admission bug.
+//
+// Seeds: a handful of degenerate prefixes plus real encodings of corpus
+// programs, so mutation starts from streams that reach deep decoder
+// states instead of dying on the magic number.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte("SAFETSA\x00"))
+	for _, seed := range []string{"0", "1", "2", "wire"} {
+		files := corpus.GenerateFuzz(seed, 4, 3)
+		mod, err := driver.CompileTSASource(files)
+		if err != nil {
+			f.Fatalf("seed %s: %v", seed, err)
+		}
+		f.Add(wire.EncodeModule(mod))
+		if _, err := driver.OptimizeModule(mod); err != nil {
+			f.Fatalf("seed %s: %v", seed, err)
+		}
+		f.Add(wire.EncodeModule(mod))
+	}
+	budgets := oracle.Budgets{MaxSteps: 1 << 16, MaxAlloc: 1 << 18}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		if err := oracle.CheckWire(data, budgets); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
