@@ -4,7 +4,9 @@
 //	benchtables -table fig6    # Figure 6: checks before/after optimization
 //	benchtables -claims        # section 7/8 prose claims, paper vs measured
 //	benchtables -all           # everything
-//	benchtables -json out.json # every table cell + claims as JSON ("-" = stdout)
+//	benchtables -json out.json # every table cell + claims + per-stage
+//	                           # latency histogram summaries as JSON
+//	                           # ("-" = stdout)
 package main
 
 import (
@@ -23,13 +25,13 @@ func main() {
 	jsonOut := flag.String("json", "", "write the tables and claims as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
-	rows, err := bench.MeasureAll()
+	rows, timings, err := bench.MeasureAllTimed()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		data, err := bench.FormatJSON(rows)
+		data, err := bench.FormatJSONTimed(rows, timings)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

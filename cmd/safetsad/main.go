@@ -6,13 +6,20 @@
 //
 //	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
 //	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
+//	         [-traces N] [-debug-addr ADDR]
 //
 // API:
 //
 //	POST /compile       {"files": {"Main.tj": "..."}, "optimize": true}
 //	GET  /unit/{hash}   download the encoded distribution unit
 //	POST /run/{hash}    {"max_steps": 1000000}
-//	GET  /stats         cache and latency metrics
+//	GET  /stats         cache and latency metrics (JSON)
+//	GET  /metrics       Prometheus text format (per-stage latency histograms)
+//	GET  /debug/traces  recent request traces (JSON ring buffer)
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ on that address only — profiling stays off the public
+// port, so exposing the API does not expose the profiler.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +46,8 @@ func main() {
 	modules := flag.Int("modules", 256, "max decoded modules cached")
 	maxSteps := flag.Int64("maxsteps", 0, "hard per-run step budget (0 = unlimited)")
 	stageTimeout := flag.Duration("stagetimeout", 30*time.Second, "per-stage compile timeout (0 = none)")
+	traces := flag.Int("traces", 64, "request traces retained for /debug/traces")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	srv, err := codeserver.New(codeserver.Config{
@@ -47,6 +57,7 @@ func main() {
 		MaxUnits:     *units,
 		MaxModules:   *modules,
 		MaxSteps:     *maxSteps,
+		Traces:       *traces,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)
@@ -61,6 +72,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		ds := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("safetsad: pprof on %s/debug/pprof/", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("safetsad: debug listener: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = ds.Shutdown(shCtx)
+		}()
+	}
+
 	go func() {
 		<-ctx.Done()
 		log.Print("safetsad: shutting down")
@@ -74,4 +105,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)
 		os.Exit(1)
 	}
+}
+
+// debugMux wires the pprof handlers onto an explicit mux instead of
+// importing net/http/pprof for its DefaultServeMux side effect — the
+// daemon never serves DefaultServeMux, so the explicit wiring is the
+// only way the profiler becomes reachable.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"encoding/json"
+
+	"safetsa/internal/obs"
 )
 
 // JSONRow is the machine-readable form of one measured corpus row: every
@@ -42,17 +44,22 @@ type JSONClaim struct {
 }
 
 // JSONReport is the full benchtables output as data: the Figure 5/6
-// tables and the prose-claim checks, for recording BENCH_*.json
-// perf-trajectory snapshots across PRs.
+// tables, the prose-claim checks, and the per-stage latency summaries,
+// for recording BENCH_*.json perf-trajectory snapshots across PRs.
 type JSONReport struct {
 	Schema string      `json:"schema"`
 	Rows   []JSONRow   `json:"rows"`
 	Claims []JSONClaim `json:"claims"`
+	// Latencies digests the producer/consumer stage histograms measured
+	// over the corpus run (count, total, p50/p90/p99 in nanoseconds),
+	// keyed by stage: frontend, bytecode, ssabuild, optimize, encode,
+	// decode, verify. Absent when the measurement run was untimed.
+	Latencies map[string]obs.LatencySummary `json:"latencies,omitempty"`
 }
 
 // jsonSchema is bumped whenever the report layout changes, so trajectory
-// tooling can detect incompatible snapshots.
-const jsonSchema = "safetsa-bench-v1"
+// tooling can detect incompatible snapshots. v2 added "latencies".
+const jsonSchema = "safetsa-bench-v2"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -103,4 +110,14 @@ func Report(rows []Row) JSONReport {
 // FormatJSON renders the report as indented JSON.
 func FormatJSON(rows []Row) ([]byte, error) {
 	return json.MarshalIndent(Report(rows), "", "  ")
+}
+
+// FormatJSONTimed renders the report including the per-stage latency
+// summaries of a timed measurement run.
+func FormatJSONTimed(rows []Row, tm *StageTimings) ([]byte, error) {
+	rep := Report(rows)
+	if tm != nil {
+		rep.Latencies = tm.Summaries()
+	}
+	return json.MarshalIndent(rep, "", "  ")
 }

@@ -9,6 +9,7 @@ import (
 
 	"safetsa/internal/core"
 	"safetsa/internal/driver"
+	"safetsa/internal/obs"
 	"safetsa/internal/wire"
 )
 
@@ -90,7 +91,7 @@ func (c *LoaderCache) GetOrLoad(ctx context.Context, k Key, fetch func() ([]byte
 	c.inflight[k] = fl
 	c.mu.Unlock()
 
-	u, err := c.load(k, fetch)
+	u, err := c.load(ctx, k, fetch)
 	fl.unit, fl.err = u, err
 	c.mu.Lock()
 	delete(c.inflight, k)
@@ -109,23 +110,27 @@ func (c *LoaderCache) GetOrLoad(ctx context.Context, k Key, fetch func() ([]byte
 	return u, err
 }
 
-func (c *LoaderCache) load(k Key, fetch func() ([]byte, error)) (*LoadedUnit, error) {
+func (c *LoaderCache) load(ctx context.Context, k Key, fetch func() ([]byte, error)) (*LoadedUnit, error) {
 	data, err := fetch()
 	if err != nil {
 		c.m.loadErrors.Add(1)
 		return nil, err
 	}
+	_, dsp := obs.Start(ctx, "decode")
 	start := time.Now()
 	mod, err := wire.DecodeModule(data)
-	c.m.decodeNanos.Add(time.Since(start).Nanoseconds())
+	c.m.decodeHist.Observe(time.Since(start))
+	dsp.End()
 	if err != nil {
 		c.m.loadErrors.Add(1)
 		return nil, &driver.Error{Kind: driver.KindVerify,
 			Err: fmt.Errorf("codeserver: unit %s: %w", k, err)}
 	}
+	_, vsp := obs.Start(ctx, "verify")
 	start = time.Now()
 	err = mod.Verify(core.VerifyOptions{})
-	c.m.verifyNanos.Add(time.Since(start).Nanoseconds())
+	c.m.verifyHist.Observe(time.Since(start))
+	vsp.End()
 	if err != nil {
 		c.m.loadErrors.Add(1)
 		return nil, &driver.Error{Kind: driver.KindVerify,

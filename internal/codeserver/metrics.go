@@ -1,10 +1,18 @@
 package codeserver
 
-import "sync/atomic"
+import (
+	"io"
+	"sync/atomic"
+
+	"safetsa/internal/obs"
+)
 
 // Metrics is the server-wide instrumentation, updated with atomics on
-// every request path so it is safe under full concurrency. Stats()
-// returns a consistent-enough snapshot for monitoring and tests.
+// every request path so it is safe under full concurrency. Per-stage
+// latencies are obs.Histograms (lock-free fixed buckets); the legacy
+// cumulative *Nanos fields of Stats are derived from their sums, so the
+// old JSON keys survive with identical meaning. Stats() returns a
+// consistent-enough snapshot for monitoring and tests.
 type Metrics struct {
 	compileRequests  atomic.Uint64
 	cacheHits        atomic.Uint64
@@ -20,13 +28,28 @@ type Metrics struct {
 	loadErrors  atomic.Uint64
 	loaderEvict atomic.Uint64
 
-	runs      atomic.Uint64
-	runErrors atomic.Uint64
+	runs         atomic.Uint64
+	runErrors    atomic.Uint64
+	runsInFlight atomic.Int64
 
-	compileNanos atomic.Int64
-	decodeNanos  atomic.Int64
-	verifyNanos  atomic.Int64
-	runNanos     atomic.Int64
+	// Run-session budget accounting: cumulative guest work (rt.Env step
+	// and allocation counters drained after every session) and kill
+	// counters by budget, so hostile-guest terminations are visible as
+	// metrics, not just per-request errors.
+	guestSteps      atomic.Int64
+	guestAllocs     atomic.Int64
+	stepLimitKills  atomic.Uint64
+	allocLimitKills atomic.Uint64
+	interruptKills  atomic.Uint64
+
+	// Per-stage latency histograms. compileHist covers the whole
+	// producer pipeline (one sample per actual compile), decodeHist and
+	// verifyHist the consumer loader stages (one sample per load
+	// attempt), runHist one sample per execution session.
+	compileHist obs.Histogram
+	decodeHist  obs.Histogram
+	verifyHist  obs.Histogram
+	runHist     obs.Histogram
 }
 
 // Stats is the exported snapshot of Metrics, plus the cache sizes filled
@@ -44,22 +67,42 @@ type Stats struct {
 	UnitsCached      int    `json:"units_cached"`
 
 	// Consumer side (loader cache + execution sessions).
-	Loads          uint64 `json:"loads"`
-	LoaderHits     uint64 `json:"loader_hits"`
-	LoadErrors     uint64 `json:"load_errors"`
-	LoaderEvicted  uint64 `json:"loader_evicted"`
-	ModulesLoaded  int    `json:"modules_loaded"`
-	Runs           uint64 `json:"runs"`
-	RunErrors      uint64 `json:"run_errors"`
+	Loads         uint64 `json:"loads"`
+	LoaderHits    uint64 `json:"loader_hits"`
+	LoadErrors    uint64 `json:"load_errors"`
+	LoaderEvicted uint64 `json:"loader_evicted"`
+	ModulesLoaded int    `json:"modules_loaded"`
+	Runs          uint64 `json:"runs"`
+	RunErrors     uint64 `json:"run_errors"`
+	RunsInFlight  int64  `json:"runs_in_flight"`
 
-	// Cumulative latencies (nanoseconds) over all requests.
+	// Guest budget accounting (see Metrics).
+	GuestSteps      int64  `json:"guest_steps"`
+	GuestAllocs     int64  `json:"guest_allocs"`
+	StepLimitKills  uint64 `json:"step_limit_kills"`
+	AllocLimitKills uint64 `json:"alloc_limit_kills"`
+	InterruptKills  uint64 `json:"interrupt_kills"`
+
+	// Cumulative latencies (nanoseconds) over all requests. Legacy keys:
+	// derived from the histogram sums so they keep increasing exactly as
+	// before the histograms existed.
 	CompileNanos int64 `json:"compile_nanos"`
 	DecodeNanos  int64 `json:"decode_nanos"`
 	VerifyNanos  int64 `json:"verify_nanos"`
 	RunNanos     int64 `json:"run_nanos"`
+
+	// Per-stage latency distributions (count, sum, p50/p90/p99).
+	CompileLatency obs.LatencySummary `json:"compile_latency"`
+	DecodeLatency  obs.LatencySummary `json:"decode_latency"`
+	VerifyLatency  obs.LatencySummary `json:"verify_latency"`
+	RunLatency     obs.LatencySummary `json:"run_latency"`
 }
 
 func (m *Metrics) snapshot() Stats {
+	compile := m.compileHist.Snapshot()
+	decode := m.decodeHist.Snapshot()
+	verify := m.verifyHist.Snapshot()
+	run := m.runHist.Snapshot()
 	return Stats{
 		CompileRequests:  m.compileRequests.Load(),
 		CacheHits:        m.cacheHits.Load(),
@@ -75,9 +118,74 @@ func (m *Metrics) snapshot() Stats {
 		LoaderEvicted:    m.loaderEvict.Load(),
 		Runs:             m.runs.Load(),
 		RunErrors:        m.runErrors.Load(),
-		CompileNanos:     m.compileNanos.Load(),
-		DecodeNanos:      m.decodeNanos.Load(),
-		VerifyNanos:      m.verifyNanos.Load(),
-		RunNanos:         m.runNanos.Load(),
+		RunsInFlight:     m.runsInFlight.Load(),
+		GuestSteps:       m.guestSteps.Load(),
+		GuestAllocs:      m.guestAllocs.Load(),
+		StepLimitKills:   m.stepLimitKills.Load(),
+		AllocLimitKills:  m.allocLimitKills.Load(),
+		InterruptKills:   m.interruptKills.Load(),
+		CompileNanos:     compile.SumNanos,
+		DecodeNanos:      decode.SumNanos,
+		VerifyNanos:      verify.SumNanos,
+		RunNanos:         run.SumNanos,
+		CompileLatency:   compile.Summary(),
+		DecodeLatency:    decode.Summary(),
+		VerifyLatency:    verify.Summary(),
+		RunLatency:       run.Summary(),
 	}
+}
+
+// recordKill classifies an abnormal guest termination by the exhausted
+// budget (reason as reported by rt.KillReason; "" records nothing).
+func (m *Metrics) recordKill(reason string) {
+	switch reason {
+	case "step_limit":
+		m.stepLimitKills.Add(1)
+	case "alloc_limit":
+		m.allocLimitKills.Add(1)
+	case "interrupt":
+		m.interruptKills.Add(1)
+	}
+}
+
+// WritePrometheus renders the full metric surface in the Prometheus text
+// exposition format. unitsCached and modulesLoaded are the cache
+// occupancies owned by the store and loader.
+func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
+	p := obs.NewPromWriter(w)
+	p.Counter("safetsa_compile_requests_total", "Compile requests received.", m.compileRequests.Load())
+	p.Counter("safetsa_cache_hits_total", "Compile requests served from the in-memory unit store.", m.cacheHits.Load())
+	p.Counter("safetsa_disk_hits_total", "Compile requests served from the on-disk unit store.", m.diskHits.Load())
+	p.Counter("safetsa_compiles_total", "Producer pipelines actually run.", m.compiles.Load())
+	p.Counter("safetsa_coalesced_total", "Compile requests coalesced onto an in-flight compile.", m.coalesced.Load())
+	p.Counter("safetsa_compile_errors_total", "Failed producer pipelines.", m.compileErrors.Load())
+	p.Counter("safetsa_evictions_total", "Units evicted from the in-memory store.", m.evictions.Load())
+	p.Gauge("safetsa_compiles_in_flight", "Producer pipelines currently running.", m.compilesInFlight.Load())
+	p.Gauge("safetsa_units_cached", "Encoded units resident in the in-memory store.", int64(unitsCached))
+
+	p.Counter("safetsa_loads_total", "Units decoded and verified by the loader.", m.loads.Load())
+	p.Counter("safetsa_loader_hits_total", "Run requests served from the decoded-module cache.", m.loaderHits.Load())
+	p.Counter("safetsa_load_errors_total", "Units rejected by decode or the verifier.", m.loadErrors.Load())
+	p.Counter("safetsa_loader_evicted_total", "Decoded modules evicted from the loader cache.", m.loaderEvict.Load())
+	p.Gauge("safetsa_modules_loaded", "Decoded modules resident in the loader cache.", int64(modulesLoaded))
+
+	p.Counter("safetsa_runs_total", "Execution sessions started.", m.runs.Load())
+	p.Counter("safetsa_run_errors_total", "Execution sessions ending in a guest failure.", m.runErrors.Load())
+	p.Gauge("safetsa_runs_in_flight", "Execution sessions currently running.", m.runsInFlight.Load())
+	p.Counter("safetsa_guest_steps_total", "Interpreter steps executed by guest programs.", uint64(m.guestSteps.Load()))
+	p.Counter("safetsa_guest_allocs_total", "Allocation units charged by guest programs.", uint64(m.guestAllocs.Load()))
+	p.CounterVec("safetsa_guest_kills_total", "Guest sessions terminated by an exhausted budget.", "reason",
+		map[string]uint64{
+			"step_limit":  m.stepLimitKills.Load(),
+			"alloc_limit": m.allocLimitKills.Load(),
+			"interrupt":   m.interruptKills.Load(),
+		})
+
+	p.HistogramVec("safetsa_stage_duration_seconds", "Pipeline stage latency.", "stage",
+		map[string]obs.HistogramSnapshot{
+			"compile": m.compileHist.Snapshot(),
+			"decode":  m.decodeHist.Snapshot(),
+			"verify":  m.verifyHist.Snapshot(),
+			"run":     m.runHist.Snapshot(),
+		})
 }

@@ -1,0 +1,413 @@
+package codeserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestPrometheusGolden pins the /metrics wire contract: a hand-populated
+// Metrics renders byte-identically to testdata/metrics.golden, so any
+// change to metric names, label sets, bucket layout, or units shows up
+// as a diff here.
+func TestPrometheusGolden(t *testing.T) {
+	m := &Metrics{}
+	m.compileRequests.Store(100)
+	m.cacheHits.Store(60)
+	m.diskHits.Store(5)
+	m.compiles.Store(20)
+	m.coalesced.Store(14)
+	m.compileErrors.Store(1)
+	m.compilesInFlight.Store(2)
+	m.evictions.Store(3)
+	m.loads.Store(18)
+	m.loaderHits.Store(40)
+	m.loadErrors.Store(1)
+	m.loaderEvict.Store(2)
+	m.runs.Store(58)
+	m.runErrors.Store(4)
+	m.runsInFlight.Store(1)
+	m.guestSteps.Store(123456)
+	m.guestAllocs.Store(7890)
+	m.stepLimitKills.Store(2)
+	m.allocLimitKills.Store(1)
+	m.interruptKills.Store(1)
+	// Deterministic histogram contents: one sample per stage in known
+	// buckets plus one overflow sample for compile.
+	m.compileHist.Observe(3 * time.Millisecond)
+	m.compileHist.Observe(12 * time.Millisecond)
+	m.compileHist.Observe(500 * time.Second) // overflow bucket
+	m.decodeHist.Observe(80 * time.Microsecond)
+	m.verifyHist.Observe(200 * time.Microsecond)
+	m.runHist.Observe(1500 * time.Microsecond)
+	m.runHist.Observe(900 * time.Nanosecond)
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, 7, 4)
+	got := sb.String()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/codeserver -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics rendering drifted from golden file; if intended, "+
+			"regenerate with `go test ./internal/codeserver -update`.\ngot:\n%s", got)
+	}
+}
+
+// promValue extracts the value of one exposition line by exact
+// metric-name-with-labels match.
+func promValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in:\n%s", series, text)
+	return 0
+}
+
+// TestMetricsEndpointMatchesCounters is the acceptance check for the
+// observability layer: after real compile/run traffic, /metrics serves
+// per-stage histograms whose sample counts equal the request counters of
+// /stats.
+func TestMetricsEndpointMatchesCounters(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
+	cr := decodeBody[compileResponse](t, resp)
+	for i := 0; i < 3; i++ {
+		resp = postJSON(t, ts.URL+"/run/"+cr.Hash, runRequest{})
+		decodeBody[RunResult](t, resp)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	st := s.Stats()
+
+	if got := promValue(t, text, `safetsa_stage_duration_seconds_count{stage="compile"}`); got != float64(st.Compiles) {
+		t.Errorf("compile histogram count %v != compiles %d", got, st.Compiles)
+	}
+	if got := promValue(t, text, `safetsa_stage_duration_seconds_count{stage="decode"}`); got != float64(st.Loads) {
+		t.Errorf("decode histogram count %v != loads %d", got, st.Loads)
+	}
+	if got := promValue(t, text, `safetsa_stage_duration_seconds_count{stage="verify"}`); got != float64(st.Loads) {
+		t.Errorf("verify histogram count %v != loads %d", got, st.Loads)
+	}
+	if got := promValue(t, text, `safetsa_stage_duration_seconds_count{stage="run"}`); got != float64(st.Runs) {
+		t.Errorf("run histogram count %v != runs %d", got, st.Runs)
+	}
+	if got := promValue(t, text, "safetsa_compile_requests_total"); got != float64(st.CompileRequests) {
+		t.Errorf("compile_requests %v != %d", got, st.CompileRequests)
+	}
+	if got := promValue(t, text, "safetsa_runs_total"); got != 3 {
+		t.Errorf("runs_total %v, want 3", got)
+	}
+	if got := promValue(t, text, "safetsa_guest_steps_total"); got <= 0 {
+		t.Errorf("guest_steps_total %v, want > 0", got)
+	}
+}
+
+// TestDebugTracesJSONShape pins the wire contract of /debug/traces: a
+// {"traces": [...]} array where a compile trace carries the nested
+// producer stages (store fill → frontend → parse/sema, ...) and a run
+// trace carries load (with decode/verify below it) and exec.
+func TestDebugTracesJSONShape(t *testing.T) {
+	s := newTestServer(t, Config{Traces: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Empty server: still a well-formed (empty) array.
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("traces response is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if raw.Traces == nil {
+		t.Error("empty /debug/traces did not serve an array")
+	}
+
+	resp = postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
+	cr := decodeBody[compileResponse](t, resp)
+	resp = postJSON(t, ts.URL+"/run/"+cr.Hash, runRequest{})
+	decodeBody[RunResult](t, resp)
+
+	resp, err = http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		Name          string `json:"name"`
+		OffsetNanos   *int64 `json:"offset_nanos"`
+		DurationNanos *int64 `json:"duration_nanos"`
+		Children      []span `json:"children"`
+	}
+	type trace struct {
+		ID             uint64 `json:"id"`
+		Name           string `json:"name"`
+		StartUnixNanos int64  `json:"start_unix_nanos"`
+		DurationNanos  int64  `json:"duration_nanos"`
+		Spans          []span `json:"spans"`
+	}
+	var got struct {
+		Traces []trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2 (compile, run)", len(got.Traces))
+	}
+	// Most recent first: run, then compile.
+	if got.Traces[0].Name != "run" || got.Traces[1].Name != "compile" {
+		t.Fatalf("trace order [%s %s], want [run compile]", got.Traces[0].Name, got.Traces[1].Name)
+	}
+	if got.Traces[0].ID <= got.Traces[1].ID {
+		t.Errorf("trace IDs not increasing: %d then %d", got.Traces[1].ID, got.Traces[0].ID)
+	}
+
+	// flatten collects span names at any depth.
+	var flatten func(sps []span, into map[string][]span)
+	flatten = func(sps []span, into map[string][]span) {
+		for _, sp := range sps {
+			into[sp.Name] = append(into[sp.Name], sp)
+			flatten(sp.Children, into)
+		}
+	}
+
+	compile := got.Traces[1]
+	if compile.StartUnixNanos <= 0 || compile.DurationNanos < 0 {
+		t.Errorf("bad compile trace header: %+v", compile)
+	}
+	cspans := map[string][]span{}
+	flatten(compile.Spans, cspans)
+	for _, want := range []string{"fill", "frontend", "parse", "sema", "ssabuild", "build", "verify", "optimize", "passes", "encode"} {
+		if len(cspans[want]) == 0 {
+			t.Errorf("compile trace missing span %q (have %v)", want, keys(cspans))
+		}
+	}
+	// Nesting: parse and sema sit under frontend, not at the top level.
+	var frontend *span
+	var walk func(sps []span)
+	walk = func(sps []span) {
+		for i := range sps {
+			if sps[i].Name == "frontend" {
+				frontend = &sps[i]
+			}
+			walk(sps[i].Children)
+		}
+	}
+	walk(compile.Spans)
+	if frontend == nil {
+		t.Fatal("no frontend span")
+	}
+	names := map[string]bool{}
+	for _, c := range frontend.Children {
+		names[c.Name] = true
+	}
+	if !names["parse"] || !names["sema"] {
+		t.Errorf("frontend children = %v, want parse and sema nested inside", frontend.Children)
+	}
+	for _, sp := range frontend.Children {
+		if sp.OffsetNanos == nil || sp.DurationNanos == nil {
+			t.Errorf("span %s missing offset/duration fields", sp.Name)
+		}
+	}
+
+	run := got.Traces[0]
+	rspans := map[string][]span{}
+	flatten(run.Spans, rspans)
+	for _, want := range []string{"load", "decode", "verify", "exec"} {
+		if len(rspans[want]) == 0 {
+			t.Errorf("run trace missing span %q (have %v)", want, keys(rspans))
+		}
+	}
+	// decode/verify nest under load.
+	for _, top := range run.Spans {
+		if top.Name != "load" {
+			continue
+		}
+		n := map[string]bool{}
+		for _, c := range top.Children {
+			n[c.Name] = true
+		}
+		if !n["decode"] || !n["verify"] {
+			t.Errorf("load children = %+v, want decode and verify", top.Children)
+		}
+	}
+}
+
+func keys[V any](m map[string][]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceRingBounded: the server retains at most Config.Traces traces.
+func TestTraceRingBounded(t *testing.T) {
+	s := newTestServer(t, Config{Traces: 3})
+	ctx := context.Background()
+	for i := 0; i < 9; i++ {
+		files := map[string]string{"A.tj": fmt.Sprintf(`
+class A { static void main() { System.out.println(%d); } }`, i)}
+		if _, _, err := s.CompileUnit(ctx, files, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.tracer.Recent()); got != 3 {
+		t.Errorf("retained %d traces, want 3", got)
+	}
+}
+
+// TestLegacyNanosMonotonic is the compatibility regression test: the
+// legacy cumulative compile_nanos/decode_nanos/verify_nanos/run_nanos
+// keys are now derived from the histograms but must keep behaving as
+// before — nonnegative and monotonically nondecreasing across
+// snapshots, increasing when work actually happens — and must equal the
+// corresponding histogram sums exactly.
+func TestLegacyNanosMonotonic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	legacy := func(st Stats) [4]int64 {
+		return [4]int64{st.CompileNanos, st.DecodeNanos, st.VerifyNanos, st.RunNanos}
+	}
+	prev := legacy(s.Stats())
+	for _, v := range prev {
+		if v != 0 {
+			t.Fatalf("fresh server has nonzero latency totals: %v", prev)
+		}
+	}
+
+	var unitKey Key
+	for i := 0; i < 3; i++ {
+		files := map[string]string{"M.tj": fmt.Sprintf(`
+class M { static void main() { System.out.println(%d); } }`, i)}
+		u, _, err := s.CompileUnit(ctx, files, Options{Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unitKey = u.Key
+		if _, err := s.RunUnit(ctx, unitKey, 0); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		cur := legacy(st)
+		for j, name := range []string{"compile_nanos", "decode_nanos", "verify_nanos", "run_nanos"} {
+			if cur[j] < prev[j] {
+				t.Errorf("iteration %d: %s went backwards: %d -> %d", i, name, prev[j], cur[j])
+			}
+		}
+		prev = cur
+
+		// Derivation contract: legacy totals are exactly the histogram sums.
+		if st.CompileNanos != st.CompileLatency.SumNanos ||
+			st.DecodeNanos != st.DecodeLatency.SumNanos ||
+			st.VerifyNanos != st.VerifyLatency.SumNanos ||
+			st.RunNanos != st.RunLatency.SumNanos {
+			t.Errorf("legacy nanos diverge from histogram sums: %+v", st)
+		}
+	}
+	if prev[0] <= 0 || prev[3] <= 0 {
+		t.Errorf("compile/run totals did not increase after traffic: %v", prev)
+	}
+
+	// A cache hit must not move the compile total (no compile ran).
+	before := s.Stats().CompileNanos
+	files := map[string]string{"M.tj": `
+class M { static void main() { System.out.println(2); } }`}
+	if _, cached, err := s.CompileUnit(ctx, files, Options{Optimize: true}); err != nil || !cached {
+		t.Fatalf("expected cache hit, got cached=%v err=%v", cached, err)
+	}
+	if after := s.Stats().CompileNanos; after != before {
+		t.Errorf("cache hit moved compile_nanos: %d -> %d", before, after)
+	}
+}
+
+// TestBudgetKillMetrics: a guest killed by the step budget shows up in
+// the kill counters and the budget gauges, not only in the RunResult.
+func TestBudgetKillMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	u, _, err := s.CompileUnit(ctx, map[string]string{"Loop.tj": `
+class Loop { static void main() { while (true) { } } }`}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunUnit(ctx, u.Key, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("runaway guest reported OK")
+	}
+	st := s.Stats()
+	if st.StepLimitKills != 1 {
+		t.Errorf("step_limit_kills = %d, want 1", st.StepLimitKills)
+	}
+	if st.GuestSteps < 5_000 {
+		t.Errorf("guest_steps = %d, want >= step budget", st.GuestSteps)
+	}
+	if st.RunErrors != 1 {
+		t.Errorf("run_errors = %d, want 1", st.RunErrors)
+	}
+	if st.RunsInFlight != 0 {
+		t.Errorf("runs_in_flight = %d after drain", st.RunsInFlight)
+	}
+	if st.RunLatency.Count != 1 {
+		t.Errorf("run histogram count = %d, want 1 (killed runs are still measured)", st.RunLatency.Count)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"safetsa/internal/core"
 	"safetsa/internal/driver"
 	"safetsa/internal/lang/sema"
+	"safetsa/internal/obs"
 	"safetsa/internal/wire"
 )
 
@@ -86,7 +87,7 @@ func (p *Pool) Compile(ctx context.Context, files map[string]string, opts Option
 	u.Size = len(u.Wire)
 	u.Instrs = mod.NumInstrs()
 	p.m.compiles.Add(1)
-	p.m.compileNanos.Add(time.Since(start).Nanoseconds())
+	p.m.compileHist.Observe(time.Since(start))
 	return u, nil
 }
 
@@ -103,6 +104,8 @@ func (p *Pool) stage(ctx context.Context, name string, fn func(context.Context) 
 		sctx, cancel = context.WithTimeout(ctx, p.stageTimeout)
 		defer cancel()
 	}
+	sctx, span := obs.Start(sctx, name)
+	defer span.End()
 	done := make(chan error, 1)
 	go func() { done <- fn(sctx) }()
 	select {

@@ -20,6 +20,7 @@ import (
 
 	"safetsa/internal/driver"
 	"safetsa/internal/interp"
+	"safetsa/internal/obs"
 	"safetsa/internal/rt"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	MaxSteps int64
 	// MaxSourceBytes bounds the /compile request body (<=0: 8 MiB).
 	MaxSourceBytes int64
+	// Traces bounds the ring buffer of recent request traces served by
+	// /debug/traces (<=0: 64).
+	Traces int
 }
 
 // Server ties the store, pool, and loader cache together and exposes
@@ -49,6 +53,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	m      *Metrics
+	tracer *obs.Tracer
 	store  *Store
 	pool   *Pool
 	loader *LoaderCache
@@ -67,6 +72,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:    cfg,
 		m:      m,
+		tracer: obs.NewTracer(cfg.Traces),
 		store:  store,
 		pool:   NewPool(cfg.Workers, cfg.StageTimeout, m),
 		loader: NewLoaderCache(cfg.MaxModules, m),
@@ -82,12 +88,16 @@ func (s *Server) Stats() Stats {
 }
 
 // CompileUnit compiles (or fetches) the unit for a source set. The bool
-// reports whether the unit was served from cache.
+// reports whether the unit was served from cache. Each call is recorded
+// as one trace in the server's ring buffer, with the producer stages as
+// nested spans when the pipeline actually runs.
 func (s *Server) CompileUnit(ctx context.Context, files map[string]string, opts Options) (*Unit, bool, error) {
 	if len(files) == 0 {
 		return nil, false, &driver.Error{Kind: driver.KindParse,
 			Err: errors.New("codeserver: empty source set")}
 	}
+	ctx, tr := s.tracer.StartTrace(ctx, "compile")
+	defer tr.Finish()
 	s.m.compileRequests.Add(1)
 	k := KeyFor(files, opts)
 	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
@@ -117,13 +127,17 @@ var ErrUnitNotFound = errors.New("codeserver: unit not found")
 // concurrent sessions cannot observe each other. Guest failures (uncaught
 // exceptions, step limit) are reported inside RunResult, not as an error.
 func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult, error) {
-	lu, err := s.loader.GetOrLoad(ctx, k, func() ([]byte, error) {
+	ctx, tr := s.tracer.StartTrace(ctx, "run")
+	defer tr.Finish()
+	lctx, lsp := obs.Start(ctx, "load")
+	lu, err := s.loader.GetOrLoad(lctx, k, func() ([]byte, error) {
 		u, ok := s.store.Get(k)
 		if !ok {
 			return nil, ErrUnitNotFound
 		}
 		return u.Wire, nil
 	})
+	lsp.End()
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -131,6 +145,8 @@ func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult,
 		maxSteps = s.cfg.MaxSteps
 	}
 	s.m.runs.Add(1)
+	s.m.runsInFlight.Add(1)
+	_, esp := obs.Start(ctx, "exec")
 	start := time.Now()
 	var out bytes.Buffer
 	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
@@ -139,11 +155,16 @@ func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult,
 	if err == nil {
 		err = l.RunMain()
 	}
-	s.m.runNanos.Add(time.Since(start).Nanoseconds())
+	s.m.runHist.Observe(time.Since(start))
+	esp.End()
+	s.m.runsInFlight.Add(-1)
+	s.m.guestSteps.Add(env.Steps)
+	s.m.guestAllocs.Add(env.Allocs)
 	res.Output = out.String()
 	res.Steps = env.Steps
 	if err != nil {
 		s.m.runErrors.Add(1)
+		s.m.recordKill(rt.KillReason(err))
 		res.OK = false
 		res.Error = err.Error()
 	}
@@ -180,13 +201,17 @@ type errorResponse struct {
 //	POST /compile       {"files": {...}, "optimize": bool} → unit summary
 //	GET  /unit/{hash}   raw distribution-unit bytes
 //	POST /run/{hash}    {"max_steps": n} → execution result
-//	GET  /stats         metrics snapshot
+//	GET  /stats         metrics snapshot (JSON)
+//	GET  /metrics       metrics in Prometheus text format
+//	GET  /debug/traces  ring buffer of recent request traces (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("GET /unit/{hash}", s.handleUnit)
 	mux.HandleFunc("POST /run/{hash}", s.handleRun)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return mux
 }
 
@@ -290,4 +315,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.WritePrometheus(w, s.store.Len(), s.loader.Len())
+}
+
+// tracesResponse is the wire shape of /debug/traces.
+type tracesResponse struct {
+	Traces []obs.TraceSnapshot `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ts := s.tracer.Recent()
+	if ts == nil {
+		ts = []obs.TraceSnapshot{} // wire contract: always an array
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Traces: ts})
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"safetsa/internal/obs"
 	"safetsa/internal/opt"
 	"safetsa/internal/wire"
 )
@@ -154,14 +155,19 @@ func (s *Store) runFill(ctx context.Context, sh *storeShard, k Key, fl *inflight
 		close(fl.done)
 	}()
 
-	if du, ok := s.loadDisk(k); ok {
+	_, dsp := obs.Start(ctx, "disk")
+	du, ok := s.loadDisk(k)
+	dsp.End()
+	if ok {
 		s.m.diskHits.Add(1)
 		fl.fromDisk = true
 		u = du
 		s.insert(sh, u)
 		return u, nil
 	}
-	u, err = fill(ctx)
+	fctx, fsp := obs.Start(ctx, "fill")
+	u, err = fill(fctx)
+	fsp.End()
 	if err != nil {
 		s.m.compileErrors.Add(1)
 		return nil, err

@@ -212,4 +212,47 @@ func TestStressMixedTraffic(t *testing.T) {
 	if st.CompileRequests != workers*iters {
 		t.Errorf("compile requests = %d, want %d", st.CompileRequests, workers*iters)
 	}
+
+	// Metrics invariants under load: every compile request is accounted
+	// for by exactly one outcome, no in-flight work survives the drain,
+	// and the latency histograms saw exactly as many samples as the
+	// counters say happened.
+	accounted := st.CacheHits + st.DiskHits + st.Coalesced + st.Compiles + st.CompileErrors
+	if accounted != st.CompileRequests {
+		t.Errorf("request accounting leak: hits %d + disk %d + coalesced %d + compiles %d + errors %d = %d, want %d",
+			st.CacheHits, st.DiskHits, st.Coalesced, st.Compiles, st.CompileErrors,
+			accounted, st.CompileRequests)
+	}
+	if st.CompileErrors != 0 {
+		t.Errorf("compile errors under clean stress: %d", st.CompileErrors)
+	}
+	if st.RunsInFlight != 0 {
+		t.Errorf("runs still in flight after drain: %d", st.RunsInFlight)
+	}
+	if st.CompileLatency.Count != st.Compiles {
+		t.Errorf("compile histogram count %d != compiles %d", st.CompileLatency.Count, st.Compiles)
+	}
+	if st.DecodeLatency.Count != st.Loads {
+		t.Errorf("decode histogram count %d != loads %d", st.DecodeLatency.Count, st.Loads)
+	}
+	if st.VerifyLatency.Count != st.Loads {
+		t.Errorf("verify histogram count %d != loads %d", st.VerifyLatency.Count, st.Loads)
+	}
+	if st.RunLatency.Count != st.Runs {
+		t.Errorf("run histogram count %d != runs %d", st.RunLatency.Count, st.Runs)
+	}
+	// Legacy cumulative keys are the histogram sums, and real work was
+	// measured (guest programs executed steps and allocated).
+	if st.CompileNanos != st.CompileLatency.SumNanos || st.RunNanos != st.RunLatency.SumNanos {
+		t.Errorf("legacy nanos diverge from histogram sums: %+v", st)
+	}
+	if st.CompileNanos <= 0 || st.RunNanos <= 0 {
+		t.Errorf("latency totals did not accumulate: compile %d, run %d", st.CompileNanos, st.RunNanos)
+	}
+	if st.GuestSteps <= 0 || st.GuestAllocs <= 0 {
+		t.Errorf("guest budget accounting empty: steps %d, allocs %d", st.GuestSteps, st.GuestAllocs)
+	}
+	if st.StepLimitKills+st.AllocLimitKills+st.InterruptKills != 0 {
+		t.Errorf("unexpected budget kills under clean stress: %+v", st)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"safetsa/internal/lang/ast"
 	"safetsa/internal/lang/parser"
 	"safetsa/internal/lang/sema"
+	"safetsa/internal/obs"
 	"safetsa/internal/opt"
 	"safetsa/internal/rt"
 	"safetsa/internal/ssabuild"
@@ -44,21 +45,26 @@ func FrontendContext(ctx context.Context, files map[string]string) (*sema.Progra
 	sort.Strings(names)
 	var asts []*ast.File
 	var errs []error
+	_, psp := obs.Start(ctx, "parse")
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
+			psp.End()
 			return nil, err
 		}
 		f, ferrs := parser.ParseFile(n, files[n])
 		errs = append(errs, ferrs...)
 		asts = append(asts, f)
 	}
+	psp.End()
 	if len(errs) > 0 {
 		return nil, wrapKind(KindParse, fmt.Errorf("parse: %w", errors.Join(errs...)))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, ssp := obs.Start(ctx, "sema")
 	prog, serrs := sema.Check(asts...)
+	ssp.End()
 	if len(serrs) > 0 {
 		return nil, wrapKind(KindSema, fmt.Errorf("sema: %w", errors.Join(serrs...)))
 	}
@@ -76,14 +82,19 @@ func CompileTSAContext(ctx context.Context, prog *sema.Program) (*core.Module, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, bsp := obs.Start(ctx, "build")
 	mod, err := ssabuild.Build(prog)
+	bsp.End()
 	if err != nil {
 		return nil, wrapKind(KindInternal, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+	_, vsp := obs.Start(ctx, "verify")
+	err = mod.Verify(core.VerifyOptions{})
+	vsp.End()
+	if err != nil {
 		return nil, wrapKind(KindInternal, fmt.Errorf("safetsa verifier: %w", err))
 	}
 	return mod, nil
@@ -114,8 +125,13 @@ func OptimizeModuleContext(ctx context.Context, mod *core.Module) (opt.Stats, er
 	if err := ctx.Err(); err != nil {
 		return opt.Stats{}, err
 	}
+	_, osp := obs.Start(ctx, "passes")
 	st := opt.Optimize(mod)
-	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+	osp.End()
+	_, vsp := obs.Start(ctx, "verify")
+	err := mod.Verify(core.VerifyOptions{})
+	vsp.End()
+	if err != nil {
 		return st, wrapKind(KindInternal, fmt.Errorf("safetsa verifier after optimization: %w", err))
 	}
 	return st, nil

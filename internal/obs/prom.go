@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4) by hand — no client library, just the few line shapes
+// the format defines. Write errors are deliberately ignored: the writer
+// targets HTTP response bodies where a broken peer surfaces elsewhere.
+type PromWriter struct {
+	w io.Writer
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+func (p *PromWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits one cumulative counter.
+func (p *PromWriter) Counter(name, help string, v uint64) {
+	p.header(name, help, "counter")
+	fmt.Fprintf(p.w, "%s %d\n", name, v)
+}
+
+// CounterVec emits one counter family with a single label dimension,
+// label values in sorted order so the rendering is deterministic.
+func (p *PromWriter) CounterVec(name, help, label string, vals map[string]uint64) {
+	p.header(name, help, "counter")
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(p.w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}
+
+// Gauge emits one gauge.
+func (p *PromWriter) Gauge(name, help string, v int64) {
+	p.header(name, help, "gauge")
+	fmt.Fprintf(p.w, "%s %d\n", name, v)
+}
+
+// seconds renders a nanosecond quantity as Prometheus-conventional
+// seconds with full float precision.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// HistogramVec emits one histogram family keyed by a single label (the
+// pipeline stage), in sorted label order. Buckets are cumulative with
+// upper bounds in seconds, per the Prometheus histogram convention;
+// empty tail buckets below the overflow are still emitted so scrapers
+// see a fixed bucket layout.
+func (p *PromWriter) HistogramVec(name, help, label string, snaps map[string]HistogramSnapshot) {
+	p.header(name, help, "histogram")
+	keys := make([]string, 0, len(snaps))
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := snaps[k]
+		var cum uint64
+		for i := 0; i < NumBuckets; i++ {
+			cum += s.Buckets[i]
+			fmt.Fprintf(p.w, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, label, k, seconds(BucketUpperBound(i)), cum)
+		}
+		cum += s.Buckets[NumBuckets]
+		fmt.Fprintf(p.w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, cum)
+		fmt.Fprintf(p.w, "%s_sum{%s=%q} %s\n", name, label, k, seconds(s.SumNanos))
+		fmt.Fprintf(p.w, "%s_count{%s=%q} %d\n", name, label, k, s.Count)
+	}
+}

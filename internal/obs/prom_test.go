@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromWriterShapes pins the exposition-format line shapes: HELP/TYPE
+// headers, cumulative buckets ending in +Inf, seconds units, sorted
+// label order.
+func TestPromWriterShapes(t *testing.T) {
+	var h Histogram
+	h.ObserveNanos(1500) // bucket 1 (1µs, 2µs]
+	h.ObserveNanos(1500)
+	h.ObserveNanos(900) // bucket 0
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("x_total", "a counter.", 7)
+	p.Gauge("x_now", "a gauge.", -3)
+	p.CounterVec("x_kills_total", "kills.", "reason", map[string]uint64{
+		"step_limit": 2, "alloc_limit": 1,
+	})
+	p.HistogramVec("x_seconds", "latency.", "stage", map[string]HistogramSnapshot{
+		"compile": h.Snapshot(),
+	})
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP x_total a counter.\n# TYPE x_total counter\nx_total 7\n",
+		"# TYPE x_now gauge\nx_now -3\n",
+		// Sorted label order: alloc_limit before step_limit.
+		"x_kills_total{reason=\"alloc_limit\"} 1\nx_kills_total{reason=\"step_limit\"} 2\n",
+		"# TYPE x_seconds histogram\n",
+		"x_seconds_bucket{stage=\"compile\",le=\"1e-06\"} 1\n", // cumulative: bucket 0
+		"x_seconds_bucket{stage=\"compile\",le=\"2e-06\"} 3\n", // + bucket 1
+		"x_seconds_bucket{stage=\"compile\",le=\"+Inf\"} 3\n",
+		"x_seconds_sum{stage=\"compile\"} 3.9e-06\n",
+		"x_seconds_count{stage=\"compile\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Every non-comment line belongs to a declared family.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "x_") {
+			t.Errorf("stray line %q", line)
+		}
+	}
+}

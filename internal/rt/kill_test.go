@@ -1,0 +1,29 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestKillReason pins the metric labels for budget kills, including
+// wrapped sentinels (servers wrap run errors before classifying them).
+func TestKillReason(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{ErrStepLimit, "step_limit"},
+		{ErrAllocLimit, "alloc_limit"},
+		{ErrInterrupted, "interrupt"},
+		{fmt.Errorf("run: %w", ErrStepLimit), "step_limit"},
+		{fmt.Errorf("run: %w", ErrInterrupted), "interrupt"},
+		{errors.New("uncaught exception: NullPointerException"), ""},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := KillReason(c.err); got != c.want {
+			t.Errorf("KillReason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

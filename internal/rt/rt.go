@@ -7,6 +7,7 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -138,6 +139,21 @@ var ErrInterrupted = fmt.Errorf("rt: execution interrupted")
 // error instead of re-panicking.
 func IsExecError(err error) bool {
 	return err == ErrStepLimit || err == ErrAllocLimit || err == ErrInterrupted
+}
+
+// KillReason maps an abnormal-termination sentinel (possibly wrapped) to
+// a stable label for metrics: "step_limit", "alloc_limit", or
+// "interrupt". Errors that are not budget kills report "".
+func KillReason(err error) string {
+	switch {
+	case errors.Is(err, ErrStepLimit):
+		return "step_limit"
+	case errors.Is(err, ErrAllocLimit):
+		return "alloc_limit"
+	case errors.Is(err, ErrInterrupted):
+		return "interrupt"
+	}
+	return ""
 }
 
 // Charge consumes n units of allocation budget.
