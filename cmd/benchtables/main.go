@@ -5,8 +5,9 @@
 //	benchtables -claims        # section 7/8 prose claims, paper vs measured
 //	benchtables -all           # everything
 //	benchtables -json out.json # every table cell + claims + per-stage
-//	                           # latency histogram summaries as JSON
-//	                           # ("-" = stdout)
+//	                           # latency histogram summaries + the
+//	                           # reference-vs-prepared run comparison as
+//	                           # JSON ("-" = stdout)
 package main
 
 import (
@@ -31,7 +32,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		data, err := bench.FormatJSONTimed(rows, timings)
+		rc, err := bench.MeasureRunComparison()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data, err := bench.FormatJSONTimed(rows, timings, rc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

@@ -6,13 +6,13 @@
 //
 //	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
 //	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
-//	         [-traces N] [-debug-addr ADDR]
+//	         [-traces N] [-debug-addr ADDR] [-engine prepared|reference]
 //
 // API:
 //
 //	POST /compile       {"files": {"Main.tj": "..."}, "optimize": true}
 //	GET  /unit/{hash}   download the encoded distribution unit
-//	POST /run/{hash}    {"max_steps": 1000000}
+//	POST /run/{hash}    {"max_steps": 1000000, "engine": "reference"}
 //	GET  /stats         cache and latency metrics (JSON)
 //	GET  /metrics       Prometheus text format (per-stage latency histograms)
 //	GET  /debug/traces  recent request traces (JSON ring buffer)
@@ -48,6 +48,8 @@ func main() {
 	stageTimeout := flag.Duration("stagetimeout", 30*time.Second, "per-stage compile timeout (0 = none)")
 	traces := flag.Int("traces", 64, "request traces retained for /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	engine := flag.String("engine", "",
+		"default execution engine: prepared or reference (empty = prepared); per-request \"engine\" overrides")
 	flag.Parse()
 
 	srv, err := codeserver.New(codeserver.Config{
@@ -58,6 +60,7 @@ func main() {
 		MaxModules:   *modules,
 		MaxSteps:     *maxSteps,
 		Traces:       *traces,
+		Engine:       *engine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)

@@ -3,10 +3,15 @@
 // which makes ill-formed references inexpressible), runs the residual
 // link verification, and executes static main.
 //
-//	safetsarun unit.tsa
+//	safetsarun [-engine prepared|reference] unit.tsa
+//
+// The default engine is the prepared register machine (load-time
+// operand resolution); -engine=reference selects the direct CST
+// evaluator instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +22,8 @@ import (
 
 func main() {
 	maxSteps := flag.Int64("maxsteps", 0, "abort after this many executed instructions (0 = unlimited)")
+	engine := flag.String("engine", driver.EnginePrepared,
+		"execution engine: prepared (register machine) or reference (CST evaluator)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: safetsarun unit.tsa")
@@ -30,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := driver.RunModule(mod, *maxSteps)
+	out, err := driver.RunModuleEngine(context.Background(), mod, *maxSteps, *engine)
 	fmt.Print(out)
 	if err != nil {
 		fatal(err)

@@ -13,6 +13,7 @@ import (
 	"safetsa/internal/core"
 	"safetsa/internal/corpus"
 	"safetsa/internal/driver"
+	"safetsa/internal/interp"
 	"safetsa/internal/obs"
 	"safetsa/internal/opt"
 	"safetsa/internal/wire"
@@ -47,6 +48,7 @@ type StageTimings struct {
 	Encode   obs.Histogram
 	Decode   obs.Histogram
 	Verify   obs.Histogram
+	Prepare  obs.Histogram
 }
 
 // Summaries digests the per-stage histograms, keyed by stage name.
@@ -59,6 +61,7 @@ func (t *StageTimings) Summaries() map[string]obs.LatencySummary {
 		"encode":   t.Encode.Summary(),
 		"decode":   t.Decode.Summary(),
 		"verify":   t.Verify.Summary(),
+		"prepare":  t.Prepare.Summary(),
 	}
 }
 
@@ -127,6 +130,12 @@ func measureUnit(u corpus.Unit, tm *StageTimings) (Row, error) {
 	tm.Verify.Observe(time.Since(start))
 	if err != nil {
 		return row, fmt.Errorf("%s: verify: %w", u.Name, err)
+	}
+	start = time.Now()
+	_, err = interp.Prepare(dec)
+	tm.Prepare.Observe(time.Since(start))
+	if err != nil {
+		return row, fmt.Errorf("%s: prepare: %w", u.Name, err)
 	}
 	return row, nil
 }

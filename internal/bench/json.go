@@ -53,13 +53,34 @@ type JSONReport struct {
 	// Latencies digests the producer/consumer stage histograms measured
 	// over the corpus run (count, total, p50/p90/p99 in nanoseconds),
 	// keyed by stage: frontend, bytecode, ssabuild, optimize, encode,
-	// decode, verify. Absent when the measurement run was untimed.
+	// decode, verify, prepare. Absent when the measurement run was
+	// untimed.
 	Latencies map[string]obs.LatencySummary `json:"latencies,omitempty"`
+	// RunComparison records the reference-vs-prepared execution-latency
+	// comparison over the corpus (best-of-K per engine per unit, plus
+	// the geomean speedup). Absent when the comparison was not run.
+	RunComparison *JSONRunComparison `json:"run_comparison,omitempty"`
+}
+
+// JSONRunRow is the machine-readable form of one engine-comparison row.
+type JSONRunRow struct {
+	Name           string  `json:"name"`
+	ReferenceNanos int64   `json:"reference_nanos"`
+	PreparedNanos  int64   `json:"prepared_nanos"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// JSONRunComparison is the machine-readable engine comparison.
+type JSONRunComparison struct {
+	BestOf         int          `json:"best_of"`
+	Rows           []JSONRunRow `json:"rows"`
+	GeomeanSpeedup float64      `json:"geomean_speedup"`
 }
 
 // jsonSchema is bumped whenever the report layout changes, so trajectory
-// tooling can detect incompatible snapshots. v2 added "latencies".
-const jsonSchema = "safetsa-bench-v2"
+// tooling can detect incompatible snapshots. v2 added "latencies"; v3
+// added the "prepare" latency stage and "run_comparison".
+const jsonSchema = "safetsa-bench-v3"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -113,11 +134,24 @@ func FormatJSON(rows []Row) ([]byte, error) {
 }
 
 // FormatJSONTimed renders the report including the per-stage latency
-// summaries of a timed measurement run.
-func FormatJSONTimed(rows []Row, tm *StageTimings) ([]byte, error) {
+// summaries of a timed measurement run and, when rc is non-nil, the
+// reference-vs-prepared run comparison.
+func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison) ([]byte, error) {
 	rep := Report(rows)
 	if tm != nil {
 		rep.Latencies = tm.Summaries()
+	}
+	if rc != nil {
+		jc := &JSONRunComparison{BestOf: rc.BestOf, GeomeanSpeedup: rc.GeomeanSpeedup}
+		for _, r := range rc.Rows {
+			jc.Rows = append(jc.Rows, JSONRunRow{
+				Name:           r.Name,
+				ReferenceNanos: r.ReferenceNanos,
+				PreparedNanos:  r.PreparedNanos,
+				Speedup:        r.Speedup,
+			})
+		}
+		rep.RunComparison = jc
 	}
 	return json.MarshalIndent(rep, "", "  ")
 }

@@ -10,7 +10,7 @@ import (
 // TestMeasureAllTimedCounts pins the instrumentation contract of the
 // timed corpus run: every stage histogram sees exactly one sample per
 // corpus unit, and the JSON report carries the summaries under
-// "latencies" with the v2 schema.
+// "latencies" with the v3 schema.
 func TestMeasureAllTimedCounts(t *testing.T) {
 	rows, tm, err := MeasureAllTimed()
 	if err != nil {
@@ -21,7 +21,7 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 		t.Fatalf("measured %d rows for %d units", len(rows), n)
 	}
 	sums := tm.Summaries()
-	for _, stage := range []string{"frontend", "bytecode", "ssabuild", "optimize", "encode", "decode", "verify"} {
+	for _, stage := range []string{"frontend", "bytecode", "ssabuild", "optimize", "encode", "decode", "verify", "prepare"} {
 		s, ok := sums[stage]
 		if !ok {
 			t.Errorf("stage %q missing from summaries", stage)
@@ -35,7 +35,7 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 		}
 	}
 
-	data, err := FormatJSONTimed(rows, tm)
+	data, err := FormatJSONTimed(rows, tm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +46,8 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v2" {
-		t.Errorf("schema = %q, want safetsa-bench-v2", rep.Schema)
+	if rep.Schema != "safetsa-bench-v3" {
+		t.Errorf("schema = %q, want safetsa-bench-v3", rep.Schema)
 	}
 	if len(rep.Latencies) != len(sums) {
 		t.Errorf("report carries %d latency stages, want %d", len(rep.Latencies), len(sums))

@@ -9,19 +9,24 @@ import (
 
 	"safetsa/internal/core"
 	"safetsa/internal/driver"
+	"safetsa/internal/interp"
 	"safetsa/internal/obs"
 	"safetsa/internal/wire"
 )
 
-// LoadedUnit is a decoded and verified module held by the loader cache.
+// LoadedUnit is a decoded and verified module held by the loader cache,
+// together with its prepared register-machine form.
 //
-// Shared-module invariant (see interp.LoadTrusted): Mod is shared
-// read-only between every concurrent execution session of this unit.
-// Each session builds its own class metadata, static storage, and heap
-// from a fresh rt.Env, so nothing here is ever mutated after load.
+// Shared-module invariant (see interp.LoadTrusted): Mod and Prep are
+// shared read-only between every concurrent execution session of this
+// unit. Each session builds its own class metadata, static storage, and
+// heap from a fresh rt.Env, so nothing here is ever mutated after load.
+// Preparation happens once per distinct unit, under the same
+// singleflight as decode+verify, no matter how many sessions run it.
 type LoadedUnit struct {
 	Key    Key
 	Mod    *core.Module
+	Prep   *interp.Prepared
 	Instrs int
 }
 
@@ -136,6 +141,16 @@ func (c *LoaderCache) load(ctx context.Context, k Key, fetch func() ([]byte, err
 		return nil, &driver.Error{Kind: driver.KindVerify,
 			Err: fmt.Errorf("codeserver: unit %s rejected by verifier: %w", k, err)}
 	}
+	_, psp := obs.Start(ctx, "prepare")
+	start = time.Now()
+	prep, err := interp.Prepare(mod)
+	c.m.prepareHist.Observe(time.Since(start))
+	psp.End()
+	if err != nil {
+		c.m.loadErrors.Add(1)
+		return nil, &driver.Error{Kind: driver.KindVerify,
+			Err: fmt.Errorf("codeserver: unit %s failed to prepare: %w", k, err)}
+	}
 	c.m.loads.Add(1)
-	return &LoadedUnit{Key: k, Mod: mod, Instrs: mod.NumInstrs()}, nil
+	return &LoadedUnit{Key: k, Mod: mod, Prep: prep, Instrs: mod.NumInstrs()}, nil
 }

@@ -43,12 +43,15 @@ type Metrics struct {
 	interruptKills  atomic.Uint64
 
 	// Per-stage latency histograms. compileHist covers the whole
-	// producer pipeline (one sample per actual compile), decodeHist and
-	// verifyHist the consumer loader stages (one sample per load
-	// attempt), runHist one sample per execution session.
+	// producer pipeline (one sample per actual compile), decodeHist,
+	// verifyHist, and prepareHist the consumer loader stages (one
+	// sample per load attempt — preparation is shared by every session
+	// of a unit, so its count tracks loads, not runs), runHist one
+	// sample per execution session.
 	compileHist obs.Histogram
 	decodeHist  obs.Histogram
 	verifyHist  obs.Histogram
+	prepareHist obs.Histogram
 	runHist     obs.Histogram
 }
 
@@ -89,12 +92,14 @@ type Stats struct {
 	CompileNanos int64 `json:"compile_nanos"`
 	DecodeNanos  int64 `json:"decode_nanos"`
 	VerifyNanos  int64 `json:"verify_nanos"`
+	PrepareNanos int64 `json:"prepare_nanos"`
 	RunNanos     int64 `json:"run_nanos"`
 
 	// Per-stage latency distributions (count, sum, p50/p90/p99).
 	CompileLatency obs.LatencySummary `json:"compile_latency"`
 	DecodeLatency  obs.LatencySummary `json:"decode_latency"`
 	VerifyLatency  obs.LatencySummary `json:"verify_latency"`
+	PrepareLatency obs.LatencySummary `json:"prepare_latency"`
 	RunLatency     obs.LatencySummary `json:"run_latency"`
 }
 
@@ -102,6 +107,7 @@ func (m *Metrics) snapshot() Stats {
 	compile := m.compileHist.Snapshot()
 	decode := m.decodeHist.Snapshot()
 	verify := m.verifyHist.Snapshot()
+	prepare := m.prepareHist.Snapshot()
 	run := m.runHist.Snapshot()
 	return Stats{
 		CompileRequests:  m.compileRequests.Load(),
@@ -127,10 +133,12 @@ func (m *Metrics) snapshot() Stats {
 		CompileNanos:     compile.SumNanos,
 		DecodeNanos:      decode.SumNanos,
 		VerifyNanos:      verify.SumNanos,
+		PrepareNanos:     prepare.SumNanos,
 		RunNanos:         run.SumNanos,
 		CompileLatency:   compile.Summary(),
 		DecodeLatency:    decode.Summary(),
 		VerifyLatency:    verify.Summary(),
+		PrepareLatency:   prepare.Summary(),
 		RunLatency:       run.Summary(),
 	}
 }
@@ -186,6 +194,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
 			"compile": m.compileHist.Snapshot(),
 			"decode":  m.decodeHist.Snapshot(),
 			"verify":  m.verifyHist.Snapshot(),
+			"prepare": m.prepareHist.Snapshot(),
 			"run":     m.runHist.Snapshot(),
 		})
 }

@@ -52,6 +52,7 @@ func TestPrometheusGolden(t *testing.T) {
 	m.compileHist.Observe(500 * time.Second) // overflow bucket
 	m.decodeHist.Observe(80 * time.Microsecond)
 	m.verifyHist.Observe(200 * time.Microsecond)
+	m.prepareHist.Observe(50 * time.Microsecond)
 	m.runHist.Observe(1500 * time.Microsecond)
 	m.runHist.Observe(900 * time.Nanosecond)
 

@@ -45,6 +45,10 @@ type Config struct {
 	// Traces bounds the ring buffer of recent request traces served by
 	// /debug/traces (<=0: 64).
 	Traces int
+	// Engine selects the default execution engine for run sessions:
+	// driver.EnginePrepared (also the "" default) or
+	// driver.EngineReference. Requests may override it per session.
+	Engine string
 }
 
 // Server ties the store, pool, and loader cache together and exposes
@@ -63,6 +67,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = 8 << 20
+	}
+	if _, err := resolveEngine(cfg.Engine, ""); err != nil {
+		return nil, err
 	}
 	m := &Metrics{}
 	store, err := NewStore(cfg.CacheDir, cfg.MaxUnits, m)
@@ -121,12 +128,42 @@ type RunResult struct {
 // hold.
 var ErrUnitNotFound = errors.New("codeserver: unit not found")
 
-// RunUnit executes the unit's main in a fresh, isolated session: the
-// decoded module comes from the loader cache (shared read-only), while
-// the class metadata, statics, and heap are rebuilt per call, so
-// concurrent sessions cannot observe each other. Guest failures (uncaught
-// exceptions, step limit) are reported inside RunResult, not as an error.
+// resolveEngine folds the per-request engine over the server default
+// ("" falls through to the config, which itself defaults to prepared).
+func resolveEngine(cfgEngine, reqEngine string) (string, error) {
+	e := reqEngine
+	if e == "" {
+		e = cfgEngine
+	}
+	switch e {
+	case "", driver.EnginePrepared:
+		return driver.EnginePrepared, nil
+	case driver.EngineReference:
+		return driver.EngineReference, nil
+	}
+	return "", &driver.Error{Kind: driver.KindParse,
+		Err: fmt.Errorf("codeserver: unknown engine %q (want %q or %q)",
+			e, driver.EnginePrepared, driver.EngineReference)}
+}
+
+// RunUnit executes the unit's main on the server's default engine; see
+// RunUnitEngine.
 func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult, error) {
+	return s.RunUnitEngine(ctx, k, maxSteps, "")
+}
+
+// RunUnitEngine executes the unit's main in a fresh, isolated session:
+// the decoded module and its prepared form come from the loader cache
+// (shared read-only), while the class metadata, statics, and heap are
+// rebuilt per call, so concurrent sessions cannot observe each other.
+// engine selects the evaluator ("" uses the server default). Guest
+// failures (uncaught exceptions, step limit) are reported inside
+// RunResult, not as an error.
+func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engine string) (RunResult, error) {
+	engine, err := resolveEngine(s.cfg.Engine, engine)
+	if err != nil {
+		return RunResult{}, err
+	}
 	ctx, tr := s.tracer.StartTrace(ctx, "run")
 	defer tr.Finish()
 	lctx, lsp := obs.Start(ctx, "load")
@@ -151,7 +188,12 @@ func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult,
 	var out bytes.Buffer
 	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
 	res := RunResult{OK: true}
-	l, err := interp.LoadTrusted(lu.Mod, env)
+	var l *interp.Loader
+	if engine == driver.EnginePrepared {
+		l, err = interp.LoadTrustedPrepared(lu.Mod, lu.Prep, env)
+	} else {
+		l, err = interp.LoadTrusted(lu.Mod, env)
+	}
 	if err == nil {
 		err = l.RunMain()
 	}
@@ -189,6 +231,9 @@ type compileResponse struct {
 
 type runRequest struct {
 	MaxSteps int64 `json:"max_steps"`
+	// Engine optionally overrides the server's default evaluator for
+	// this session: "prepared" or "reference".
+	Engine string `json:"engine,omitempty"`
 }
 
 type errorResponse struct {
@@ -305,7 +350,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.RunUnit(r.Context(), k, req.MaxSteps)
+	res, err := s.RunUnitEngine(r.Context(), k, req.MaxSteps, req.Engine)
 	if err != nil {
 		writeError(w, err)
 		return

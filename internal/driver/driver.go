@@ -165,6 +165,12 @@ func RunBytecode(p *bytecode.Program, maxSteps int64) (string, error) {
 	return out.String(), err
 }
 
+// Engine names accepted by RunModuleEngine and the cmd -engine flags.
+const (
+	EngineReference = "reference"
+	EnginePrepared  = "prepared"
+)
+
 // RunModule loads and executes a module's main method, returning its
 // printed output. maxSteps bounds execution (0 = unlimited).
 func RunModule(mod *core.Module, maxSteps int64) (string, error) {
@@ -186,4 +192,48 @@ func RunModuleContext(ctx context.Context, mod *core.Module, maxSteps int64) (st
 		return out.String(), wrapKind(KindRuntime, err)
 	}
 	return out.String(), nil
+}
+
+// RunModulePrepared verifies, prepares, and executes a module on the
+// prepared register machine.
+func RunModulePrepared(mod *core.Module, maxSteps int64) (string, error) {
+	return RunModulePreparedContext(context.Background(), mod, maxSteps)
+}
+
+// RunModulePreparedContext is the context-aware form of
+// RunModulePrepared: verifier first, then the load-time Prepare pass
+// (under a "prepare" span), then a prepared-engine session.
+func RunModulePreparedContext(ctx context.Context, mod *core.Module, maxSteps int64) (string, error) {
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return "", wrapKind(KindVerify, fmt.Errorf("interp: module rejected by verifier: %w", err))
+	}
+	_, psp := obs.Start(ctx, "prepare")
+	prep, err := interp.Prepare(mod)
+	psp.End()
+	if err != nil {
+		return "", wrapKind(KindVerify, err)
+	}
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
+	l, err := interp.LoadTrustedPrepared(mod, prep, env)
+	if err != nil {
+		return out.String(), wrapKind(KindVerify, err)
+	}
+	if err := l.RunMain(); err != nil {
+		return out.String(), wrapKind(KindRuntime, err)
+	}
+	return out.String(), nil
+}
+
+// RunModuleEngine dispatches to the named engine: "prepared" (also the
+// default for ""), or "reference".
+func RunModuleEngine(ctx context.Context, mod *core.Module, maxSteps int64, engine string) (string, error) {
+	switch engine {
+	case "", EnginePrepared:
+		return RunModulePreparedContext(ctx, mod, maxSteps)
+	case EngineReference:
+		return RunModuleContext(ctx, mod, maxSteps)
+	}
+	return "", wrapKind(KindParse, fmt.Errorf("unknown engine %q (want %q or %q)",
+		engine, EnginePrepared, EngineReference))
 }

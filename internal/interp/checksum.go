@@ -1,0 +1,91 @@
+package interp
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"safetsa/internal/rt"
+)
+
+// HeapChecksum digests the session's reachable guest heap — every value
+// reachable from the static fields of every class, walked in a
+// deterministic order — into a 64-bit FNV-1a checksum. Two sessions
+// that executed the same program to the same final state produce the
+// same checksum regardless of engine, allocation order, or Go pointer
+// values: references are named by their first-visit order in the
+// deterministic walk, not by identity hashes.
+func (l *Loader) HeapChecksum() uint64 {
+	h := fnv.New64a()
+	w := &heapWalker{h: h, seen: make(map[rt.Ref]uint64)}
+
+	ids := make([]int32, 0, len(l.classes))
+	byID := make(map[int32]*rt.ClassInfo, len(l.classes))
+	for _, ci := range l.classes {
+		ids = append(ids, ci.TypeID)
+		byID[ci.TypeID] = ci
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ci := byID[id]
+		w.u64(uint64(uint32(id)))
+		w.u64(uint64(len(ci.Statics)))
+		for _, v := range ci.Statics {
+			w.value(v)
+		}
+	}
+	return h.Sum64()
+}
+
+type heapWalker struct {
+	h    interface{ Write([]byte) (int, error) }
+	seen map[rt.Ref]uint64
+}
+
+func (w *heapWalker) u64(v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	w.h.Write(b[:])
+}
+
+func (w *heapWalker) value(v rt.Value) {
+	if v.R == nil {
+		// A flat value: both scalar planes (one of which is the live
+		// one; the other is zero for well-typed programs).
+		w.u64(1)
+		w.u64(uint64(v.I))
+		w.u64(math.Float64bits(v.D))
+		return
+	}
+	if id, ok := w.seen[v.R]; ok {
+		w.u64(2)
+		w.u64(id)
+		return
+	}
+	id := uint64(len(w.seen) + 1)
+	w.seen[v.R] = id
+	switch r := v.R.(type) {
+	case *rt.Str:
+		w.u64(3)
+		w.h.Write([]byte(r.S))
+		w.u64(uint64(len(r.S)))
+	case *rt.Array:
+		w.u64(4)
+		w.u64(uint64(uint32(r.TypeID)))
+		w.u64(uint64(len(r.Elems)))
+		for _, e := range r.Elems {
+			w.value(e)
+		}
+	case *rt.Object:
+		w.u64(5)
+		w.u64(uint64(uint32(r.Class.TypeID)))
+		w.u64(uint64(len(r.Fields)))
+		for _, f := range r.Fields {
+			w.value(f)
+		}
+	default:
+		w.u64(6)
+	}
+}

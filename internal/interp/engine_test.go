@@ -1,0 +1,153 @@
+package interp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/interp"
+	"safetsa/internal/rt"
+)
+
+// sessionResult is everything a guest session can observe or be
+// observed by: printed bytes, the Go-level error, drained budget
+// counters, and the final reachable-heap checksum.
+type sessionResult struct {
+	out    string
+	err    error
+	steps  int64
+	allocs int64
+	heap   uint64
+}
+
+// runSession executes mod once on the requested engine with the given
+// budgets. prep is reused across sessions (it is immutable), matching
+// how the codeserver shares one prepared form among all /run sessions.
+func runSession(t *testing.T, mod *core.Module, prep *interp.Prepared, engine string, maxSteps, maxAlloc int64) sessionResult {
+	t.Helper()
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, MaxAlloc: maxAlloc}
+	var l *interp.Loader
+	var err error
+	if engine == driver.EnginePrepared {
+		l, err = interp.LoadTrustedPrepared(mod, prep, env)
+	} else {
+		l, err = interp.LoadTrusted(mod, env)
+	}
+	res := sessionResult{steps: env.Steps, allocs: env.Allocs}
+	if err != nil {
+		res.err = err
+		res.out = out.String()
+		res.steps, res.allocs = env.Steps, env.Allocs
+		if l != nil {
+			res.heap = l.HeapChecksum()
+		}
+		return res
+	}
+	res.err = l.RunMain()
+	res.out = out.String()
+	res.steps, res.allocs = env.Steps, env.Allocs
+	res.heap = l.HeapChecksum()
+	return res
+}
+
+// compareSessions asserts full observable equality between a reference
+// and a prepared session: output bytes, error text, cumulative step and
+// alloc budget drain, and the final heap checksum.
+func compareSessions(t *testing.T, ref, prep sessionResult) {
+	t.Helper()
+	if ref.out != prep.out {
+		t.Errorf("output diverged:\nreference: %q\nprepared:  %q", ref.out, prep.out)
+	}
+	refErr, prepErr := "", ""
+	if ref.err != nil {
+		refErr = ref.err.Error()
+	}
+	if prep.err != nil {
+		prepErr = prep.err.Error()
+	}
+	if refErr != prepErr {
+		t.Errorf("error diverged:\nreference: %q\nprepared:  %q", refErr, prepErr)
+	}
+	if ref.err != nil {
+		if rk, pk := rt.KillReason(ref.err), rt.KillReason(prep.err); rk != pk {
+			t.Errorf("kill reason diverged: reference %q, prepared %q", rk, pk)
+		}
+	}
+	if ref.steps != prep.steps {
+		t.Errorf("step drain diverged: reference %d, prepared %d", ref.steps, prep.steps)
+	}
+	if ref.allocs != prep.allocs {
+		t.Errorf("alloc drain diverged: reference %d, prepared %d", ref.allocs, prep.allocs)
+	}
+	if ref.heap != prep.heap {
+		t.Errorf("heap checksum diverged: reference %#x, prepared %#x", ref.heap, prep.heap)
+	}
+}
+
+// TestEnginePartityCorpus is the budget-parity property test over the
+// full corpus: for every unit, unoptimized and optimized, the prepared
+// engine must drain exactly the same step and alloc budget as the
+// reference evaluator, print the same bytes, and leave an identical
+// reachable heap. Each unit is then re-run under a step budget set to
+// half its full drain and an alloc budget set to half its full drain,
+// so the budget-kill paths of both engines are compared too — the
+// guest-kill metrics must not shift when the default engine changes.
+func TestEngineParityCorpus(t *testing.T) {
+	for _, u := range corpus.Units() {
+		u := u
+		t.Run(u.Name, func(t *testing.T) {
+			for _, optimize := range []bool{false, true} {
+				name := "unopt"
+				if optimize {
+					name = "opt"
+				}
+				t.Run(name, func(t *testing.T) {
+					mod, err := driver.CompileTSASource(u.Files)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					if optimize {
+						if _, err := driver.OptimizeModule(mod); err != nil {
+							t.Fatalf("optimize: %v", err)
+						}
+					}
+					prep, err := interp.Prepare(mod)
+					if err != nil {
+						t.Fatalf("prepare: %v", err)
+					}
+
+					const full = 50_000_000
+					ref := runSession(t, mod, prep, driver.EngineReference, full, full)
+					pre := runSession(t, mod, prep, driver.EnginePrepared, full, full)
+					compareSessions(t, ref, pre)
+					if ref.err != nil {
+						t.Fatalf("corpus unit failed under full budget: %v", ref.err)
+					}
+
+					// Step-kill parity at half the real drain.
+					if half := ref.steps / 2; half > 0 {
+						refK := runSession(t, mod, prep, driver.EngineReference, half, full)
+						preK := runSession(t, mod, prep, driver.EnginePrepared, half, full)
+						compareSessions(t, refK, preK)
+						if rt.KillReason(refK.err) != "step_limit" {
+							t.Errorf("expected a step-limit kill at %d steps, got %v", half, refK.err)
+						}
+					}
+
+					// Alloc-kill parity at half the real drain.
+					if half := ref.allocs / 2; half > 0 {
+						refK := runSession(t, mod, prep, driver.EngineReference, full, half)
+						preK := runSession(t, mod, prep, driver.EnginePrepared, full, half)
+						compareSessions(t, refK, preK)
+						if rt.KillReason(refK.err) != "alloc_limit" {
+							t.Errorf("expected an alloc-limit kill at %d allocs, got %v", half, refK.err)
+						}
+					}
+				})
+			}
+		})
+	}
+}

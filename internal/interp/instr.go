@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"math"
 
 	"safetsa/internal/core"
 	"safetsa/internal/lang/sema"
@@ -262,224 +261,24 @@ func sameRef(a, b rt.Ref) bool {
 	return a == b
 }
 
-// execPrim evaluates one primitive operation.
+// execPrim evaluates one primitive operation: the zero-divisor checks
+// of the trapping divisions (which raise along this site's exception
+// edge), then the shared evaluator.
 func (l *Loader) execPrim(fr *frame, in *core.Instr) rt.Value {
-	a := func(i int) rt.Value { return fr.val(in.Args[i]) }
-	i32 := func(i int) int32 { return a(i).Int() }
-	i64 := func(i int) int64 { return a(i).I }
-	f64 := func(i int) float64 { return a(i).D }
-
-	switch in.Prim {
-	case core.PIAdd:
-		return rt.IntValue(i32(0) + i32(1))
-	case core.PISub:
-		return rt.IntValue(i32(0) - i32(1))
-	case core.PIMul:
-		return rt.IntValue(i32(0) * i32(1))
-	case core.PIDiv:
-		if i32(1) == 0 {
-			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
-		}
-		return rt.IntValue(rt.IDiv(i32(0), i32(1)))
-	case core.PIRem:
-		if i32(1) == 0 {
-			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
-		}
-		return rt.IntValue(rt.IRem(i32(0), i32(1)))
-	case core.PINeg:
-		return rt.IntValue(-i32(0))
-	case core.PIShl:
-		return rt.IntValue(i32(0) << (uint32(i32(1)) & 31))
-	case core.PIShr:
-		return rt.IntValue(i32(0) >> (uint32(i32(1)) & 31))
-	case core.PIAnd:
-		return rt.IntValue(i32(0) & i32(1))
-	case core.PIOr:
-		return rt.IntValue(i32(0) | i32(1))
-	case core.PIXor:
-		return rt.IntValue(i32(0) ^ i32(1))
-	case core.PIEq:
-		return rt.BoolValue(i32(0) == i32(1))
-	case core.PINe:
-		return rt.BoolValue(i32(0) != i32(1))
-	case core.PILt:
-		return rt.BoolValue(i32(0) < i32(1))
-	case core.PILe:
-		return rt.BoolValue(i32(0) <= i32(1))
-	case core.PIGt:
-		return rt.BoolValue(i32(0) > i32(1))
-	case core.PIGe:
-		return rt.BoolValue(i32(0) >= i32(1))
-	case core.PIAbs:
-		v := i32(0)
-		if v < 0 {
-			v = -v
-		}
-		return rt.IntValue(v)
-	case core.PIMin:
-		if i32(0) < i32(1) {
-			return rt.IntValue(i32(0))
-		}
-		return rt.IntValue(i32(1))
-	case core.PIMax:
-		if i32(0) > i32(1) {
-			return rt.IntValue(i32(0))
-		}
-		return rt.IntValue(i32(1))
-	case core.PI2L:
-		return rt.LongValue(int64(i32(0)))
-	case core.PI2D:
-		return rt.DoubleValue(float64(i32(0)))
-	case core.PI2C:
-		return rt.CharValue(rune(uint16(i32(0))))
-
-	case core.PLAdd:
-		return rt.LongValue(i64(0) + i64(1))
-	case core.PLSub:
-		return rt.LongValue(i64(0) - i64(1))
-	case core.PLMul:
-		return rt.LongValue(i64(0) * i64(1))
-	case core.PLDiv:
-		if i64(1) == 0 {
-			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
-		}
-		return rt.LongValue(rt.LDiv(i64(0), i64(1)))
-	case core.PLRem:
-		if i64(1) == 0 {
-			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
-		}
-		return rt.LongValue(rt.LRem(i64(0), i64(1)))
-	case core.PLNeg:
-		return rt.LongValue(-i64(0))
-	case core.PLShl:
-		return rt.LongValue(i64(0) << (uint32(i32(1)) & 63))
-	case core.PLShr:
-		return rt.LongValue(i64(0) >> (uint32(i32(1)) & 63))
-	case core.PLAnd:
-		return rt.LongValue(i64(0) & i64(1))
-	case core.PLOr:
-		return rt.LongValue(i64(0) | i64(1))
-	case core.PLXor:
-		return rt.LongValue(i64(0) ^ i64(1))
-	case core.PLEq:
-		return rt.BoolValue(i64(0) == i64(1))
-	case core.PLNe:
-		return rt.BoolValue(i64(0) != i64(1))
-	case core.PLLt:
-		return rt.BoolValue(i64(0) < i64(1))
-	case core.PLLe:
-		return rt.BoolValue(i64(0) <= i64(1))
-	case core.PLGt:
-		return rt.BoolValue(i64(0) > i64(1))
-	case core.PLGe:
-		return rt.BoolValue(i64(0) >= i64(1))
-	case core.PLAbs:
-		v := i64(0)
-		if v < 0 {
-			v = -v
-		}
-		return rt.LongValue(v)
-	case core.PLMin:
-		if i64(0) < i64(1) {
-			return rt.LongValue(i64(0))
-		}
-		return rt.LongValue(i64(1))
-	case core.PLMax:
-		if i64(0) > i64(1) {
-			return rt.LongValue(i64(0))
-		}
-		return rt.LongValue(i64(1))
-	case core.PL2I:
-		return rt.IntValue(int32(i64(0)))
-	case core.PL2D:
-		return rt.DoubleValue(float64(i64(0)))
-
-	case core.PDAdd:
-		return rt.DoubleValue(f64(0) + f64(1))
-	case core.PDSub:
-		return rt.DoubleValue(f64(0) - f64(1))
-	case core.PDMul:
-		return rt.DoubleValue(f64(0) * f64(1))
-	case core.PDDiv:
-		return rt.DoubleValue(f64(0) / f64(1))
-	case core.PDRem:
-		return rt.DoubleValue(rt.DRem(f64(0), f64(1)))
-	case core.PDNeg:
-		return rt.DoubleValue(-f64(0))
-	case core.PDEq:
-		return rt.BoolValue(f64(0) == f64(1))
-	case core.PDNe:
-		return rt.BoolValue(f64(0) != f64(1))
-	case core.PDLt:
-		return rt.BoolValue(f64(0) < f64(1))
-	case core.PDLe:
-		return rt.BoolValue(f64(0) <= f64(1))
-	case core.PDGt:
-		return rt.BoolValue(f64(0) > f64(1))
-	case core.PDGe:
-		return rt.BoolValue(f64(0) >= f64(1))
-	case core.PDAbs:
-		return rt.DoubleValue(math.Abs(f64(0)))
-	case core.PDMin:
-		return rt.DoubleValue(math.Min(f64(0), f64(1)))
-	case core.PDMax:
-		return rt.DoubleValue(math.Max(f64(0), f64(1)))
-	case core.PDSqrt:
-		return rt.DoubleValue(math.Sqrt(f64(0)))
-	case core.PDPow:
-		return rt.DoubleValue(math.Pow(f64(0), f64(1)))
-	case core.PDFloor:
-		return rt.DoubleValue(math.Floor(f64(0)))
-	case core.PDCeil:
-		return rt.DoubleValue(math.Ceil(f64(0)))
-	case core.PDLog:
-		return rt.DoubleValue(math.Log(f64(0)))
-	case core.PDExp:
-		return rt.DoubleValue(math.Exp(f64(0)))
-	case core.PDSin:
-		return rt.DoubleValue(math.Sin(f64(0)))
-	case core.PDCos:
-		return rt.DoubleValue(math.Cos(f64(0)))
-	case core.PD2I:
-		return rt.IntValue(rt.D2I(f64(0)))
-	case core.PD2L:
-		return rt.LongValue(rt.D2L(f64(0)))
-
-	case core.PBNot:
-		return rt.BoolValue(a(0).I == 0)
-	case core.PBAnd:
-		return rt.BoolValue(a(0).I != 0 && a(1).I != 0)
-	case core.PBOr:
-		return rt.BoolValue(a(0).I != 0 || a(1).I != 0)
-	case core.PBXor:
-		return rt.BoolValue((a(0).I != 0) != (a(1).I != 0))
-	case core.PBEq:
-		return rt.BoolValue((a(0).I != 0) == (a(1).I != 0))
-	case core.PBNe:
-		return rt.BoolValue((a(0).I != 0) != (a(1).I != 0))
-
-	case core.PC2I:
-		return rt.IntValue(int32(uint16(a(0).I)))
-
-	case core.PREq:
-		return rt.BoolValue(sameRef(a(0).R, a(1).R))
-	case core.PRNe:
-		return rt.BoolValue(!sameRef(a(0).R, a(1).R))
-
-	case core.PSConcat:
-		return rt.RefValue(l.Env.Concat(a(0).R, a(1).R))
-	case core.PSOfInt:
-		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'i')})
-	case core.PSOfLong:
-		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'l')})
-	case core.PSOfDouble:
-		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'd')})
-	case core.PSOfBool:
-		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'z')})
-	case core.PSOfChar:
-		return rt.RefValue(&rt.Str{S: rt.StringOf(a(0), 'c')})
-	case core.PSOfRef:
-		return rt.RefValue(&rt.Str{S: rt.RefString(a(0).R)})
+	a := fr.val(in.Args[0])
+	var b rt.Value
+	if len(in.Args) > 1 {
+		b = fr.val(in.Args[1])
 	}
-	panic(fmt.Sprintf("interp: unhandled primitive %s", in.Prim))
+	switch in.Prim {
+	case core.PIDiv, core.PIRem:
+		if b.Int() == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+	case core.PLDiv, core.PLRem:
+		if b.I == 0 {
+			l.raise(fr, in, l.newExc(l.exc.Arith, "/ by zero"))
+		}
+	}
+	return l.evalPrim(in.Prim, a, b)
 }

@@ -20,6 +20,10 @@ type Loader struct {
 
 	classes map[core.TypeID]*rt.ClassInfo
 	exc     rt.ExcClasses
+	// prep, when non-nil, switches the session to the prepared register
+	// machine: every function body (static initializers included) runs
+	// through runPrepared instead of the reference CST walker.
+	prep *Prepared
 }
 
 // Load verifies the module and prepares it for execution (class metadata
@@ -45,6 +49,19 @@ func Load(mod *core.Module, env *rt.Env) (*Loader, error) {
 // one mutates the module (e.g. runs opt.Optimize on it) after it is
 // shared.
 func LoadTrusted(mod *core.Module, env *rt.Env) (*Loader, error) {
+	l, err := loadCommon(mod, env)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.runStaticInit(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// loadCommon performs the engine-independent part of loading: link
+// checks and runtime class metadata, but no guest execution.
+func loadCommon(mod *core.Module, env *rt.Env) (*Loader, error) {
 	// Every host-implemented method must map to a builtin this consumer
 	// actually provides; a module referencing an unknown import is
 	// rejected at link time.
@@ -107,20 +124,30 @@ func LoadTrusted(mod *core.Module, env *rt.Env) (*Loader, error) {
 		l.classes[cd.Type] = ci
 	}
 
-	// Static initializers in class order.
+	return l, nil
+}
+
+// runStaticInit executes the static initializers in class order on the
+// session's engine.
+func (l *Loader) runStaticInit() error {
 	var err error
 	func() {
 		defer l.catchTopLevel(&err)
-		for _, fi := range mod.StaticInit {
+		for _, fi := range l.Mod.StaticInit {
 			if fi >= 0 {
-				l.callFunc(mod.Funcs[fi], nil)
+				l.call(fi, nil)
 			}
 		}
 	}()
-	if err != nil {
-		return nil, err
+	return err
+}
+
+// call invokes function index fi on the session's engine.
+func (l *Loader) call(fi int32, args []rt.Value) rt.Value {
+	if l.prep != nil {
+		return l.runPrepared(l.prep.Funcs[fi], args)
 	}
-	return l, nil
+	return l.callFunc(l.Mod.Funcs[fi], args)
 }
 
 // catchTopLevel converts an uncaught TJ exception into a Go error.
@@ -168,7 +195,7 @@ func (l *Loader) RunMain() error {
 	var err error
 	func() {
 		defer l.catchTopLevel(&err)
-		l.callFunc(f, args)
+		l.call(l.Mod.Methods[l.Mod.Entry].FuncIdx, args)
 	}()
 	return err
 }
@@ -176,14 +203,14 @@ func (l *Loader) RunMain() error {
 // CallStatic invokes a static method by class and name (for tests and
 // examples).
 func (l *Loader) CallStatic(class, name string, args ...rt.Value) (rt.Value, error) {
-	for mi, mr := range l.Mod.Methods {
+	for _, mr := range l.Mod.Methods {
 		owner := l.Mod.Types.MustGet(mr.Owner)
 		if mr.Static && owner.Name == class && mr.Name == name && mr.FuncIdx >= 0 {
 			var out rt.Value
 			var err error
 			func() {
 				defer l.catchTopLevel(&err)
-				out = l.callFunc(l.Mod.FuncOf(int32(mi)), args)
+				out = l.call(mr.FuncIdx, args)
 			}()
 			return out, err
 		}

@@ -17,6 +17,10 @@
 //   - Four-pipeline differential: the bytecode VM, the plain SafeTSA
 //     evaluator, the optimized SafeTSA evaluator, and the wire round
 //     trip must print identical output for the same program.
+//   - Prepared-engine equivalence: every admissible module behaves
+//     identically on the reference CST evaluator and the prepared
+//     register machine — output, errors, budget drain, kill reason,
+//     and final heap.
 //
 // Every function returns nil for "behaved as specified" (including clean
 // rejections of bad input) and a descriptive error for an invariant
@@ -217,6 +221,73 @@ func Differential(files map[string]string, b Budgets) (string, error) {
 		return want, divergence("wire round trip", want, got)
 	}
 	return want, nil
+}
+
+// PreparedDifferential is the prepared-engine equivalence oracle: any
+// byte string that decodes and verifies (i.e. passes wire admission)
+// must behave identically on the reference CST evaluator and on the
+// prepared register machine — byte-identical output, identical error
+// text and KillReason, identical cumulative step/alloc budget drain,
+// and an identical final reachable-heap checksum. A verified module
+// that fails to Prepare is itself a violation: preparation is total on
+// admissible modules.
+func PreparedDifferential(data []byte, b Budgets) error {
+	mod, err := wire.DecodeModule(data)
+	if err != nil {
+		return nil // clean rejection, same contract as CheckWire
+	}
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return fmt.Errorf("oracle: decoded module rejected by verifier: %w", err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		return fmt.Errorf("oracle: verified module fails to prepare: %w", err)
+	}
+	b = b.orDefaults()
+
+	run := func(prepared bool) (out bytes.Buffer, env *rt.Env, l *interp.Loader, err error) {
+		env = b.newEnv(&out)
+		if prepared {
+			l, err = interp.LoadTrustedPrepared(mod, prep, env)
+		} else {
+			l, err = interp.LoadTrusted(mod, env)
+		}
+		if err != nil || mod.Entry < 0 {
+			return out, env, l, err
+		}
+		return out, env, l, l.RunMain()
+	}
+	refOut, refEnv, refL, refErr := run(false)
+	preOut, preEnv, preL, preErr := run(true)
+
+	if !bytes.Equal(refOut.Bytes(), preOut.Bytes()) {
+		return fmt.Errorf("oracle: prepared engine output diverges:\nreference: %q\nprepared:  %q",
+			refOut.String(), preOut.String())
+	}
+	refMsg, preMsg := "", ""
+	if refErr != nil {
+		refMsg = refErr.Error()
+	}
+	if preErr != nil {
+		preMsg = preErr.Error()
+	}
+	if refMsg != preMsg {
+		return fmt.Errorf("oracle: prepared engine error diverges:\nreference: %q\nprepared:  %q",
+			refMsg, preMsg)
+	}
+	if rk, pk := rt.KillReason(refErr), rt.KillReason(preErr); rk != pk {
+		return fmt.Errorf("oracle: prepared engine kill reason diverges: reference %q, prepared %q", rk, pk)
+	}
+	if refEnv.Steps != preEnv.Steps || refEnv.Allocs != preEnv.Allocs {
+		return fmt.Errorf("oracle: prepared engine budget drain diverges: reference %d steps/%d allocs, prepared %d steps/%d allocs",
+			refEnv.Steps, refEnv.Allocs, preEnv.Steps, preEnv.Allocs)
+	}
+	if refL != nil && preL != nil {
+		if rh, ph := refL.HeapChecksum(), preL.HeapChecksum(); rh != ph {
+			return fmt.Errorf("oracle: prepared engine heap diverges: reference %#x, prepared %#x", rh, ph)
+		}
+	}
+	return nil
 }
 
 func divergence(pipeline, want, got string) error {
