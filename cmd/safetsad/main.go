@@ -7,6 +7,9 @@
 //	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
 //	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
 //	         [-traces N] [-debug-addr ADDR] [-engine prepared|reference]
+//	         [-drain D]
+//	         [-node NAME -peers NAME=URL,... [-vnodes N] [-gossip D]
+//	          [-hot-threshold N] [-hot-window D] [-replicas N]]
 //
 // API:
 //
@@ -16,6 +19,18 @@
 //	GET  /stats         cache and latency metrics (JSON)
 //	GET  /metrics       Prometheus text format (per-stage latency histograms)
 //	GET  /debug/traces  recent request traces (JSON ring buffer)
+//
+// Cluster mode (-node plus -peers) turns the daemon into one member of a
+// consistent-hash sharded fleet: compiles route to each unit's ring
+// owner, store misses fill from peers (re-verified locally before
+// caching — peers are never trusted), hot units replicate to ring
+// successors, and GET /stats reports a gossiped fleet view. The /peer/*
+// routes are the fleet-internal API.
+//
+// On SIGTERM/SIGINT the daemon drains: it stops accepting connections,
+// interrupts in-flight guest runs (each still receives its complete HTTP
+// response, with the output produced before the interrupt), and exits
+// once no runs remain in flight or the -drain deadline expires.
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ on that address only — profiling stays off the public
@@ -32,9 +47,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"safetsa/internal/cluster"
 	"safetsa/internal/codeserver"
 )
 
@@ -50,6 +67,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	engine := flag.String("engine", "",
 		"default execution engine: prepared or reference (empty = prepared); per-request \"engine\" overrides")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight runs on shutdown")
+
+	node := flag.String("node", "", "fleet member name (enables cluster mode with -peers)")
+	peers := flag.String("peers", "",
+		"comma-separated fleet membership as NAME=URL pairs, including this node (its URL may be omitted)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per fleet member on the placement ring (0 = default)")
+	gossip := flag.Duration("gossip", 5*time.Second, "fleet stats gossip interval (0 = disabled)")
+	hotThreshold := flag.Int("hot-threshold", 0,
+		"runs of one unit within -hot-window that trigger replication (0 = disabled)")
+	hotWindow := flag.Duration("hot-window", 10*time.Second, "hot-unit run-rate window")
+	replicas := flag.Int("replicas", 2, "fleet members holding each hot unit (owner included)")
 	flag.Parse()
 
 	srv, err := codeserver.New(codeserver.Config{
@@ -61,15 +89,42 @@ func main() {
 		MaxSteps:     *maxSteps,
 		Traces:       *traces,
 		Engine:       *engine,
+		NodeName:     *node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)
 		os.Exit(1)
 	}
 
+	handler := srv.Handler()
+	var member *cluster.Node
+	if *node != "" || *peers != "" {
+		peerMap, err := parsePeers(*peers, *node)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "safetsad:", err)
+			os.Exit(1)
+		}
+		member, err = cluster.NewNode(srv, cluster.Config{
+			Self:           *node,
+			Peers:          peerMap,
+			VNodes:         *vnodes,
+			HotThreshold:   *hotThreshold,
+			HotWindow:      *hotWindow,
+			Replicas:       *replicas,
+			GossipInterval: *gossip,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "safetsad:", err)
+			os.Exit(1)
+		}
+		member.Start()
+		handler = member.Handler()
+		log.Printf("safetsad: cluster mode: node %s in fleet %v", *node, member.Ring().Nodes())
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,11 +150,20 @@ func main() {
 		}()
 	}
 
+	// Graceful drain: interrupt in-flight guest runs (they finish their
+	// HTTP exchanges with the output produced so far) while the listener
+	// stops accepting; both drains share the -drain deadline.
 	go func() {
 		<-ctx.Done()
-		log.Print("safetsad: shutting down")
-		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("safetsad: draining (deadline %v)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("safetsad: run drain: %v", err)
+		}
+		if member != nil {
+			member.Close()
+		}
 		_ = hs.Shutdown(shCtx)
 	}()
 
@@ -108,6 +172,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers turns "a=http://h1,b=http://h2,c=http://h3" into the fleet
+// membership map. The self entry may omit its URL ("a=" or just "a") —
+// a node never dials itself.
+func parsePeers(spec, self string) (map[string]string, error) {
+	if self == "" {
+		return nil, errors.New("cluster mode needs -node")
+	}
+	if spec == "" {
+		return nil, errors.New("cluster mode needs -peers")
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, _ := strings.Cut(entry, "=")
+		if name == "" {
+			return nil, fmt.Errorf("bad -peers entry %q", entry)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate -peers entry %q", name)
+		}
+		if url == "" && name != self {
+			return nil, fmt.Errorf("-peers entry %q needs a URL", name)
+		}
+		peers[name] = strings.TrimSuffix(url, "/")
+	}
+	if _, ok := peers[self]; !ok {
+		return nil, fmt.Errorf("-peers must include this node (%q)", self)
+	}
+	return peers, nil
 }
 
 // debugMux wires the pprof handlers onto an explicit mux instead of

@@ -60,6 +60,31 @@ type JSONReport struct {
 	// comparison over the corpus (best-of-K per engine per unit, plus
 	// the geomean speedup). Absent when the comparison was not run.
 	RunComparison *JSONRunComparison `json:"run_comparison,omitempty"`
+	// Load records a load-generator replay against a running codeserver
+	// or fleet (see LoadResult). Absent from benchtables snapshots.
+	Load *JSONLoad `json:"load,omitempty"`
+}
+
+// JSONLoad is the machine-readable load-replay block: the traffic shape
+// actually driven and the client-observed latency digest per stage.
+type JSONLoad struct {
+	Targets        int     `json:"targets"`
+	Workers        int     `json:"workers"`
+	Units          int     `json:"units"`
+	RunFraction    float64 `json:"run_fraction"`
+	ZipfS          float64 `json:"zipf_s"`
+	ElapsedNanos   int64   `json:"elapsed_nanos"`
+	Requests       uint64  `json:"requests"`
+	Compiles       uint64  `json:"compiles"`
+	CachedCompiles uint64  `json:"cached_compiles"`
+	Runs           uint64  `json:"runs"`
+	Errors         uint64  `json:"errors"`
+	// ErrorSamples carries the first few failure messages so a red CI
+	// run is diagnosable from the archived report alone.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// Latencies digests the client-observed stage histograms ("compile",
+	// "run"): count, total, p50/p90/p99 in nanoseconds.
+	Latencies map[string]obs.LatencySummary `json:"latencies"`
 }
 
 // JSONRunRow is the machine-readable form of one engine-comparison row.
@@ -79,8 +104,9 @@ type JSONRunComparison struct {
 
 // jsonSchema is bumped whenever the report layout changes, so trajectory
 // tooling can detect incompatible snapshots. v2 added "latencies"; v3
-// added the "prepare" latency stage and "run_comparison".
-const jsonSchema = "safetsa-bench-v3"
+// added the "prepare" latency stage and "run_comparison"; v4 added the
+// "load" replay block emitted by safetsaload.
+const jsonSchema = "safetsa-bench-v4"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -153,5 +179,34 @@ func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison) ([]byte, e
 		}
 		rep.RunComparison = jc
 	}
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// JSON converts a load replay into its report block.
+func (r *LoadResult) JSON() *JSONLoad {
+	return &JSONLoad{
+		Targets:        r.Targets,
+		Workers:        r.Workers,
+		Units:          r.Units,
+		RunFraction:    r.RunFraction,
+		ZipfS:          r.ZipfS,
+		ElapsedNanos:   int64(r.Elapsed),
+		Requests:       r.Requests,
+		Compiles:       r.Compiles,
+		CachedCompiles: r.CachedCompiles,
+		Runs:           r.Runs,
+		Errors:         r.Errors,
+		ErrorSamples:   r.ErrorSamples,
+		Latencies: map[string]obs.LatencySummary{
+			"compile": r.CompileHist.Summary(),
+			"run":     r.RunHist.Summary(),
+		},
+	}
+}
+
+// FormatJSONLoad renders a load replay as a trajectory snapshot: a
+// schema-stamped report whose only payload is the load block.
+func FormatJSONLoad(r *LoadResult) ([]byte, error) {
+	rep := JSONReport{Schema: jsonSchema, Rows: []JSONRow{}, Claims: []JSONClaim{}, Load: r.JSON()}
 	return json.MarshalIndent(rep, "", "  ")
 }

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safetsa/internal/codeserver"
+	"safetsa/internal/obs"
+)
+
+// LoadConfig shapes one load-generator replay against a codeserver (or a
+// cluster of them): mixed compile/run traffic with zipfian key skew, the
+// access pattern of a real mobile-code distribution service where a few
+// hot units dominate run traffic while the long tail trickles in.
+type LoadConfig struct {
+	// Targets are the base URLs to spray traffic over (round-robin by
+	// worker draw). At least one is required.
+	Targets []string
+	// Workers is the concurrent client count (<=0: 8).
+	Workers int
+	// Duration bounds the timed phase (<=0: 10s) unless Requests is set.
+	Duration time.Duration
+	// Requests, when >0, replaces Duration with a fixed request quota —
+	// deterministic work for CI.
+	Requests int
+	// Units is the distinct-program universe size (<=0: 16).
+	Units int
+	// RunFraction is the probability a draw is a run rather than a
+	// compile (<=0 or >1: 0.8 — the 80/20 replay mix).
+	RunFraction float64
+	// ZipfS is the zipfian skew exponent over the unit universe
+	// (<=1: 1.2). Higher = hotter hot keys.
+	ZipfS float64
+	// Seed makes the replay reproducible (0: 1).
+	Seed int64
+	// MaxSteps is the per-run step budget sent with run requests
+	// (<=0: 1_000_000).
+	MaxSteps int64
+	// Client performs the requests (nil: 30s-timeout default).
+	Client *http.Client
+}
+
+// LoadResult is the outcome of one replay: the effective config, the
+// outcome counters, and the client-observed latency histogram per stage.
+type LoadResult struct {
+	Targets     int
+	Workers     int
+	Units       int
+	RunFraction float64
+	ZipfS       float64
+	Elapsed     time.Duration
+
+	Requests       uint64
+	Compiles       uint64 // compile requests issued in the timed phase
+	CachedCompiles uint64 // ... of which the fleet served from cache
+	Runs           uint64
+	Errors         uint64
+	ErrorSamples   []string // first few failures, for diagnostics
+
+	CompileHist obs.Histogram
+	RunHist     obs.Histogram
+}
+
+// loadProgram is the i-th distinct guest in the key universe: distinct
+// source (so a distinct content key), deterministic terminating output.
+func loadProgram(i int) map[string]string {
+	return map[string]string{"Load.tj": fmt.Sprintf(`
+class Load {
+    static void main() {
+        int acc = %d;
+        int i = 0;
+        while (i < 25) {
+            acc = acc + i * %d;
+            i = i + 1;
+        }
+        System.out.println("load" + acc);
+    }
+}`, i, i%7+1)}
+}
+
+// RunLoad executes the replay: a warmup pass that compiles every unit in
+// the universe once (so run draws never race the very first fill), then
+// Workers concurrent clients drawing zipfian-skewed mixed traffic until
+// the duration or request quota is exhausted.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("bench: load needs at least one target")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Units <= 0 {
+		cfg.Units = 16
+	}
+	if cfg.RunFraction <= 0 || cfg.RunFraction > 1 {
+		cfg.RunFraction = 0.8
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	res := &LoadResult{
+		Targets:     len(cfg.Targets),
+		Workers:     cfg.Workers,
+		Units:       cfg.Units,
+		RunFraction: cfg.RunFraction,
+		ZipfS:       cfg.ZipfS,
+	}
+
+	hashes := make([]string, cfg.Units)
+	for i := 0; i < cfg.Units; i++ {
+		hash, _, err := loadCompile(ctx, client, cfg.Targets[i%len(cfg.Targets)], loadProgram(i))
+		if err != nil {
+			return nil, fmt.Errorf("bench: warmup compile %d: %w", i, err)
+		}
+		hashes[i] = hash
+	}
+
+	var (
+		requests atomic.Uint64
+		compiles atomic.Uint64
+		cached   atomic.Uint64
+		runs     atomic.Uint64
+		errCount atomic.Uint64
+		errMu    sync.Mutex
+	)
+	recordErr := func(err error) {
+		errCount.Add(1)
+		errMu.Lock()
+		if len(res.ErrorSamples) < 5 {
+			res.ErrorSamples = append(res.ErrorSamples, err.Error())
+		}
+		errMu.Unlock()
+	}
+
+	timedCtx := ctx
+	if cfg.Requests <= 0 {
+		var cancel context.CancelFunc
+		timedCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	quota := int64(cfg.Requests) // <=0: unlimited, duration-bounded
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Units-1))
+			for {
+				if timedCtx.Err() != nil {
+					return
+				}
+				n := requests.Add(1)
+				if quota > 0 && int64(n) > quota {
+					return
+				}
+				unit := int(zipf.Uint64())
+				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+				if rng.Float64() < cfg.RunFraction {
+					t0 := time.Now()
+					err := loadRun(timedCtx, client, target, hashes[unit], cfg.MaxSteps)
+					if timedCtx.Err() != nil {
+						return // cutoff mid-request: don't score a truncated sample
+					}
+					res.RunHist.Observe(time.Since(t0))
+					runs.Add(1)
+					if err != nil {
+						recordErr(err)
+					}
+				} else {
+					t0 := time.Now()
+					_, wasCached, err := loadCompile(timedCtx, client, target, loadProgram(unit))
+					if timedCtx.Err() != nil {
+						return
+					}
+					res.CompileHist.Observe(time.Since(t0))
+					compiles.Add(1)
+					if err != nil {
+						recordErr(err)
+					} else if wasCached {
+						cached.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.Compiles = compiles.Load()
+	res.CachedCompiles = cached.Load()
+	res.Runs = runs.Load()
+	res.Requests = res.Compiles + res.Runs
+	res.Errors = errCount.Load()
+	return res, nil
+}
+
+func loadCompile(ctx context.Context, client *http.Client, target string, files map[string]string) (hash string, cached bool, err error) {
+	body, err := json.Marshal(codeserver.CompileRequest{Files: files})
+	if err != nil {
+		return "", false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return "", false, fmt.Errorf("compile via %s: status %d: %s", target, resp.StatusCode, b)
+	}
+	var cr codeserver.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return "", false, err
+	}
+	return cr.Hash, cr.Cached, nil
+}
+
+func loadRun(ctx context.Context, client *http.Client, target, hash string, maxSteps int64) error {
+	body, err := json.Marshal(codeserver.RunRequest{MaxSteps: maxSteps})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/run/"+hash, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("run via %s: status %d: %s", target, resp.StatusCode, b)
+	}
+	var rr codeserver.RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return err
+	}
+	if !rr.OK {
+		return fmt.Errorf("run via %s: guest failure: %s", target, rr.Error)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+// TestRunLoadReplay drives the load generator against an in-process
+// codeserver with a fixed request quota and pins the replay contract:
+// every request is accounted, the mix approximates the configured 80/20
+// run/compile split, the run stage has a real latency distribution, and
+// the archived report is valid safetsa-bench-v4 JSON.
+func TestRunLoadReplay(t *testing.T) {
+	srv, err := codeserver.New(codeserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const quota = 200
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Targets:  []string{ts.URL},
+		Workers:  8,
+		Requests: quota,
+		Duration: time.Minute, // backstop only; the quota ends the replay
+		Units:    8,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Errors != 0 {
+		t.Fatalf("replay recorded %d errors: %v", res.Errors, res.ErrorSamples)
+	}
+	if res.Requests == 0 || res.Requests > quota {
+		t.Fatalf("replay issued %d requests for a quota of %d", res.Requests, quota)
+	}
+	if res.Runs+res.Compiles != res.Requests {
+		t.Fatalf("counts disagree: %d runs + %d compiles != %d requests", res.Runs, res.Compiles, res.Requests)
+	}
+	// 80/20 mix: with 200 draws the run share should be solidly dominant
+	// without pinning the binomial tail.
+	if float64(res.Runs)/float64(res.Requests) < 0.6 {
+		t.Errorf("run share %d/%d, want a run-dominated mix", res.Runs, res.Requests)
+	}
+	if res.Compiles == 0 {
+		t.Error("replay issued no compiles")
+	}
+	// The whole universe was warmed up before the timed phase, so every
+	// timed compile is a cache hit.
+	if res.CachedCompiles != res.Compiles {
+		t.Errorf("cached %d of %d compiles, want all (warmed universe)", res.CachedCompiles, res.Compiles)
+	}
+
+	run := res.RunHist.Summary()
+	if run.Count != res.Runs {
+		t.Errorf("run histogram saw %d samples for %d runs", run.Count, res.Runs)
+	}
+	if run.P50Nanos <= 0 || run.P99Nanos <= 0 || run.P50Nanos > run.P99Nanos {
+		t.Errorf("run latency digest malformed: %+v", run)
+	}
+
+	data, err := FormatJSONLoad(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string    `json:"schema"`
+		Load   *JSONLoad `json:"load"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "safetsa-bench-v4" {
+		t.Errorf("schema %q, want safetsa-bench-v4", rep.Schema)
+	}
+	if rep.Load == nil {
+		t.Fatal("report lacks the load block")
+	}
+	if rep.Load.Latencies["run"].P50Nanos <= 0 || rep.Load.Latencies["run"].P99Nanos <= 0 {
+		t.Errorf("archived run latencies not populated: %+v", rep.Load.Latencies["run"])
+	}
+	if rep.Load.Requests != res.Requests {
+		t.Errorf("archived request count %d != %d", rep.Load.Requests, res.Requests)
+	}
+}
+
+// TestRunLoadZipfSkew: the zipfian draw must actually skew — the hottest
+// unit of the universe should see a clear plurality of the traffic.
+func TestRunLoadZipfSkew(t *testing.T) {
+	srv, err := codeserver.New(codeserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Targets:  []string{ts.URL},
+		Workers:  4,
+		Requests: 150,
+		Duration: time.Minute,
+		Units:    8,
+		ZipfS:    1.5,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit 0 is the zipf head. Its runs dominate, which the server-side
+	// loader cache makes visible: far more runs than loads.
+	st := srv.Stats()
+	if st.Runs != res.Runs {
+		t.Errorf("server saw %d runs, client issued %d", st.Runs, res.Runs)
+	}
+	if st.LoaderHits == 0 {
+		t.Error("skewed replay produced no loader-cache hits")
+	}
+}

@@ -10,7 +10,7 @@ import (
 // TestMeasureAllTimedCounts pins the instrumentation contract of the
 // timed corpus run: every stage histogram sees exactly one sample per
 // corpus unit, and the JSON report carries the summaries under
-// "latencies" with the v3 schema.
+// "latencies" with the v4 schema.
 func TestMeasureAllTimedCounts(t *testing.T) {
 	rows, tm, err := MeasureAllTimed()
 	if err != nil {
@@ -46,8 +46,8 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v3" {
-		t.Errorf("schema = %q, want safetsa-bench-v3", rep.Schema)
+	if rep.Schema != "safetsa-bench-v4" {
+		t.Errorf("schema = %q, want safetsa-bench-v4", rep.Schema)
 	}
 	if len(rep.Latencies) != len(sums) {
 		t.Errorf("report carries %d latency stages, want %d", len(rep.Latencies), len(sums))

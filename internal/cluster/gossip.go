@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+// NodeStats is the condensed per-node row exchanged over gossip and
+// aggregated into the fleet view: enough to see where units live, which
+// nodes compile, and how much peer traffic flows — without shipping
+// every histogram across the fleet on each round.
+type NodeStats struct {
+	Node            string `json:"node"`
+	UnitsCached     int    `json:"units_cached"`
+	ModulesLoaded   int    `json:"modules_loaded"`
+	CompileRequests uint64 `json:"compile_requests"`
+	Compiles        uint64 `json:"compiles"`
+	CacheHits       uint64 `json:"cache_hits"`
+	Runs            uint64 `json:"runs"`
+	RunsInFlight    int64  `json:"runs_in_flight"`
+	PeerFills       uint64 `json:"peer_fills"`
+	PeerFillRejects uint64 `json:"peer_fill_rejects"`
+	ReplicaPushes   uint64 `json:"replica_pushes"`
+	Forwards        uint64 `json:"forwards"`
+	// AgeSeconds is how stale this row was at snapshot time: 0 for the
+	// reporting node itself, the time since the last successful gossip
+	// exchange for a peer row.
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+	// Reachable is false when the last gossip attempt for this peer
+	// failed and no row has ever been obtained.
+	Reachable bool `json:"reachable"`
+
+	fetchedAt time.Time
+}
+
+// FleetStats is what a cluster node serves on GET /stats: the full local
+// snapshot plus the gossiped fleet view, keyed for humans and the load
+// generator alike.
+type FleetStats struct {
+	Node         string           `json:"node"`
+	Ring         RingInfo         `json:"ring"`
+	Local        codeserver.Stats `json:"local"`
+	Fleet        []NodeStats      `json:"fleet"`
+	GossipErrors uint64           `json:"gossip_errors"`
+}
+
+// RingInfo describes the placement ring for /stats consumers.
+type RingInfo struct {
+	Nodes  []string `json:"nodes"`
+	VNodes int      `json:"vnodes"`
+}
+
+// localRow condenses this node's own stats into a gossip row.
+func (n *Node) localRow() NodeStats {
+	st := n.srv.Stats()
+	return NodeStats{
+		Node:            n.cfg.Self,
+		UnitsCached:     st.UnitsCached,
+		ModulesLoaded:   st.ModulesLoaded,
+		CompileRequests: st.CompileRequests,
+		Compiles:        st.Compiles,
+		CacheHits:       st.CacheHits,
+		Runs:            st.Runs,
+		RunsInFlight:    st.RunsInFlight,
+		PeerFills:       st.PeerFills,
+		PeerFillRejects: st.PeerFillRejects,
+		ReplicaPushes:   n.replicaPushes.Load(),
+		Forwards:        n.forwards.Load(),
+		Reachable:       true,
+	}
+}
+
+// FleetView assembles the current fleet rows: this node live, peers as
+// last gossiped (with staleness annotated).
+func (n *Node) FleetView() []NodeStats {
+	now := time.Now()
+	rows := make([]NodeStats, 0, len(n.cfg.Peers))
+	rows = append(rows, n.localRow())
+	n.gmu.Lock()
+	for name := range n.cfg.Peers {
+		if name == n.cfg.Self {
+			continue
+		}
+		row, ok := n.fleet[name]
+		if !ok {
+			rows = append(rows, NodeStats{Node: name, Reachable: false})
+			continue
+		}
+		row.AgeSeconds = now.Sub(row.fetchedAt).Seconds()
+		rows = append(rows, row)
+	}
+	n.gmu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Node < rows[j].Node })
+	return rows
+}
+
+// GossipOnce refreshes the stats row of every peer (sequentially; the
+// fleet is small and the rows are tiny). Failed peers keep their last
+// row, so a transient blip does not blank the fleet view.
+func (n *Node) GossipOnce(ctx context.Context) {
+	for name := range n.cfg.Peers {
+		if name == n.cfg.Self {
+			continue
+		}
+		row, err := n.fetchPeerStats(ctx, name)
+		if err != nil {
+			n.gossipErrors.Add(1)
+			continue
+		}
+		row.fetchedAt = time.Now()
+		row.Reachable = true
+		n.gmu.Lock()
+		n.fleet[name] = row
+		n.gmu.Unlock()
+	}
+}
+
+func (n *Node) gossipLoop() {
+	defer n.bg.Done()
+	tick := time.NewTicker(n.cfg.GossipInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.GossipInterval)
+			n.GossipOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+func (n *Node) fetchPeerStats(ctx context.Context, peer string) (NodeStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.peerURL(peer)+"/peer/stats", nil)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return NodeStats{}, fmt.Errorf("cluster: peer %s stats status %d", peer, resp.StatusCode)
+	}
+	var row NodeStats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&row); err != nil {
+		return NodeStats{}, err
+	}
+	return row, nil
+}
+
+// handlePeerStats serves this node's condensed row to gossiping peers.
+func (n *Node) handlePeerStats(w http.ResponseWriter, r *http.Request) {
+	codeserver.WriteJSON(w, http.StatusOK, n.localRow())
+}
+
+// handleStats serves the fleet view: full local stats plus the last
+// gossiped row of every peer.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	srvStats := n.srv.Stats()
+	codeserver.WriteJSON(w, http.StatusOK, FleetStats{
+		Node:         n.cfg.Self,
+		Ring:         RingInfo{Nodes: n.ring.Nodes(), VNodes: n.ring.VNodes()},
+		Local:        srvStats,
+		Fleet:        n.FleetView(),
+		GossipErrors: n.gossipErrors.Load(),
+	})
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+// hotTracker counts run requests per unit key over a sliding window and
+// reports, once per window, when a key crosses the hot threshold. The
+// window is implemented as two alternating buckets (current + previous)
+// — cheap, lock-scoped to a map touch, and accurate to within one
+// window, which is all a replication trigger needs.
+type hotTracker struct {
+	threshold int
+	window    time.Duration
+
+	mu       sync.Mutex
+	cur      map[codeserver.Key]int
+	rotated  time.Time
+	notified map[codeserver.Key]bool // already fired this generation
+}
+
+func newHotTracker(threshold int, window time.Duration) *hotTracker {
+	return &hotTracker{
+		threshold: threshold,
+		window:    window,
+		cur:       make(map[codeserver.Key]int),
+		rotated:   time.Now(),
+		notified:  make(map[codeserver.Key]bool),
+	}
+}
+
+// note records one run of k and reports whether this run crossed the
+// hot threshold (fires once per key per window generation).
+func (h *hotTracker) note(k codeserver.Key) bool {
+	if h.threshold <= 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if now := time.Now(); now.Sub(h.rotated) > h.window {
+		h.cur = make(map[codeserver.Key]int)
+		h.notified = make(map[codeserver.Key]bool)
+		h.rotated = now
+	}
+	h.cur[k]++
+	if h.cur[k] >= h.threshold && !h.notified[k] {
+		h.notified[k] = true
+		return true
+	}
+	return false
+}
+
+// noteRun feeds the hot tracker from the public run path and, on a
+// threshold crossing, replicates the unit to its ring successors in the
+// background. Only the key's owner pushes: every node sees its own run
+// traffic, but replica placement is the owner's decision, so N nodes
+// observing the same hot unit don't race N push fans.
+func (n *Node) noteRun(k codeserver.Key) {
+	if !n.hot.note(k) {
+		return
+	}
+	if n.ring.Owner(k.String()) != n.cfg.Self {
+		return
+	}
+	u, ok := n.srv.Unit(k)
+	if !ok {
+		return // nothing local to push; the next crossing retries
+	}
+	n.bg.Add(1)
+	go func() {
+		defer n.bg.Done()
+		n.replicateOut(u)
+	}()
+}
+
+// replicateOut pushes u to the ring successors that should hold a
+// replica (owner first in the successor list — that's this node — then
+// the next distinct members).
+func (n *Node) replicateOut(u *codeserver.Unit) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, peer := range n.ring.Successors(u.Key.String(), n.cfg.Replicas) {
+		if peer == n.cfg.Self {
+			continue
+		}
+		if err := n.pushReplica(ctx, peer, u); err != nil {
+			n.replicaPushErrors.Add(1)
+			continue
+		}
+		n.replicaPushes.Add(1)
+	}
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+// Config wires one codeserver into a fleet.
+type Config struct {
+	// Self is this node's name. It must be a key of Peers.
+	Self string
+	// Peers is the full static membership: node name → HTTP base URL
+	// (scheme://host:port, no trailing slash), including Self. Every
+	// member must be configured with the same name set so the rings
+	// agree.
+	Peers map[string]string
+	// VNodes is the virtual-node count per member (<=0: DefaultVNodes).
+	VNodes int
+	// Client performs peer requests (nil: 15s-timeout default client).
+	Client *http.Client
+	// HotThreshold is the number of run requests for one unit within
+	// HotWindow after which the unit is replicated to its ring
+	// successors (<=0 disables replication).
+	HotThreshold int
+	// HotWindow is the run-rate measurement window (<=0: 10s).
+	HotWindow time.Duration
+	// Replicas is how many members (starting at the owner, walking the
+	// ring) should hold a hot unit (<=0: 2).
+	Replicas int
+	// GossipInterval is how often the background loop refreshes peer
+	// stats for the fleet view (<=0: background gossip disabled; the
+	// fleet view then only covers what GossipOnce was asked to fetch).
+	GossipInterval time.Duration
+}
+
+// Node is one fleet member: it routes public traffic by ring ownership,
+// serves the internal peer API, and keeps the gossiped fleet view. It
+// also implements codeserver.PeerFiller, which the wrapped server calls
+// on a store miss along the run and unit-download paths.
+type Node struct {
+	cfg    Config
+	srv    *codeserver.Server
+	ring   *Ring
+	client *http.Client
+	inner  http.Handler
+	hot    *hotTracker
+
+	// Cluster-level counters (the per-request store/admission counters
+	// live in codeserver.Metrics; these cover what only the cluster
+	// layer sees).
+	forwards          atomic.Uint64 // compiles forwarded to their owner
+	replicaPushes     atomic.Uint64
+	replicaPushErrors atomic.Uint64
+	gossipErrors      atomic.Uint64
+
+	gmu   sync.Mutex
+	fleet map[string]NodeStats // last gossiped stats per peer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	bg       sync.WaitGroup
+}
+
+// NewNode wraps srv as fleet member cfg.Self and installs itself as the
+// server's peer filler. Call Start to begin background gossip and Close
+// on shutdown.
+func NewNode(srv *codeserver.Server, cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: node name required")
+	}
+	if _, ok := cfg.Peers[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q missing from peer list", cfg.Self)
+	}
+	names := make([]string, 0, len(cfg.Peers))
+	for name, url := range cfg.Peers {
+		if url == "" && name != cfg.Self {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", name)
+		}
+		names = append(names, name)
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HotWindow <= 0 {
+		cfg.HotWindow = 10 * time.Second
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 15 * time.Second}
+	}
+	n := &Node{
+		cfg:    cfg,
+		srv:    srv,
+		ring:   ring,
+		client: client,
+		inner:  srv.Handler(),
+		hot:    newHotTracker(cfg.HotThreshold, cfg.HotWindow),
+		fleet:  make(map[string]NodeStats),
+		stop:   make(chan struct{}),
+	}
+	srv.SetPeerFiller(n)
+	return n, nil
+}
+
+// Ring exposes the placement ring (read-only; all members agree on it).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns this node's fleet name.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Start launches the background gossip loop when configured.
+func (n *Node) Start() {
+	if n.cfg.GossipInterval > 0 {
+		n.bg.Add(1)
+		go n.gossipLoop()
+	}
+}
+
+// Close stops background work. It does not shut the wrapped server
+// down; drain that separately via codeserver.Server.Shutdown.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.bg.Wait()
+}
+
+// Handler returns the fleet-aware HTTP API: the public routes that need
+// ring routing, the internal peer API, and a fall-through to the
+// wrapped server (which itself peer-fills store misses on the run and
+// unit-download paths via the PeerFiller hook).
+//
+//	POST /compile              ring-routed compile (owner compiles once)
+//	POST /run/{hash}           local run, peer fill on miss (+ hot tracking)
+//	GET  /stats                fleet view (local stats + gossiped peers)
+//	GET  /peer/unit/{hash}     encoded unit bytes for peers (no recursion)
+//	POST /peer/compile         owner-side compile on behalf of a peer
+//	PUT  /peer/replicate/{hash} hot-unit replica push (re-verified locally)
+//	GET  /peer/stats           condensed per-node stats row for gossip
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", n.handleCompile)
+	mux.HandleFunc("POST /run/{hash}", n.handleRun)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /peer/unit/{hash}", n.handlePeerUnit)
+	mux.HandleFunc("POST /peer/compile", n.handlePeerCompile)
+	mux.HandleFunc("PUT /peer/replicate/{hash}", n.handlePeerReplicate)
+	mux.HandleFunc("GET /peer/stats", n.handlePeerStats)
+	mux.Handle("/", n.inner)
+	return mux
+}
+
+// Compile routes a compile request by content key: the ring owner runs
+// the producer pipeline (under its local singleflight, so a hot new
+// unit compiles exactly once fleet-wide); every other node serves its
+// local store or coalesces callers onto one forwarded compile whose
+// result bytes are re-admitted locally before caching.
+func (n *Node) Compile(ctx context.Context, files map[string]string, opts codeserver.Options) (*codeserver.Unit, bool, error) {
+	k := codeserver.KeyFor(files, opts)
+	owner := n.ring.Owner(k.String())
+	if owner == n.cfg.Self {
+		return n.srv.CompileUnit(ctx, files, opts)
+	}
+	return n.srv.PeerFillUnit(ctx, k, func(ctx context.Context) ([]byte, bool, error) {
+		n.forwards.Add(1)
+		return n.forwardCompile(ctx, owner, files, opts)
+	})
+}
+
+// FetchUnit implements codeserver.PeerFiller: it resolves a local store
+// miss by asking the key's owner for the encoded unit. When this node
+// *is* the owner, there is no better-informed peer to ask, so the miss
+// stands.
+func (n *Node) FetchUnit(ctx context.Context, k codeserver.Key) ([]byte, bool, error) {
+	owner := n.ring.Owner(k.String())
+	if owner == n.cfg.Self {
+		return nil, false, codeserver.ErrUnitNotFound
+	}
+	return n.fetchUnitFrom(ctx, owner, k)
+}
+
+func (n *Node) handleCompile(w http.ResponseWriter, r *http.Request) {
+	maxBody := n.srv.MaxSourceBytes()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		codeserver.WriteError(w, err)
+		return
+	}
+	if int64(len(body)) > maxBody {
+		codeserver.WriteJSON(w, http.StatusRequestEntityTooLarge, codeserver.ErrorResponse{
+			Error: fmt.Sprintf("source set exceeds %d bytes", maxBody),
+			Kind:  "parse",
+		})
+		return
+	}
+	var req codeserver.CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		codeserver.WriteJSON(w, http.StatusBadRequest, codeserver.ErrorResponse{
+			Error: "bad request body: " + err.Error(), Kind: "parse"})
+		return
+	}
+	u, cached, err := n.Compile(r.Context(), req.Files, codeserver.Options{Optimize: req.Optimize})
+	if err != nil {
+		codeserver.WriteError(w, err)
+		return
+	}
+	codeserver.WriteJSON(w, http.StatusOK, codeserver.CompileResponse{
+		Hash:         u.Key.String(),
+		Size:         u.Size,
+		Instructions: u.Instrs,
+		Optimized:    u.Optimized,
+		Cached:       cached,
+	})
+}
+
+// handleRun feeds the hot-unit tracker, then delegates to the wrapped
+// server (whose run path peer-fills missing units through FetchUnit).
+func (n *Node) handleRun(w http.ResponseWriter, r *http.Request) {
+	if k, err := codeserver.ParseKey(r.PathValue("hash")); err == nil {
+		n.noteRun(k)
+	}
+	n.inner.ServeHTTP(w, r)
+}

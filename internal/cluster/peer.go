@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"safetsa/internal/codeserver"
+	"safetsa/internal/driver"
+)
+
+// maxPeerUnitBytes bounds how much a peer response may claim to be one
+// encoded unit. Units are source-derived and small; anything near this
+// is a broken or hostile peer, not a real unit.
+const maxPeerUnitBytes = 64 << 20
+
+// optimizedHeader carries the unit's optimization flag alongside its
+// bytes; the flag is cache-key metadata, not part of the wire image.
+const optimizedHeader = "X-Safetsa-Optimized"
+
+// ---- peer API: server side -------------------------------------------
+
+// handlePeerUnit serves the encoded bytes of a locally held unit to a
+// peer. Deliberately store-only: a peer asking a non-owner must get 404
+// rather than a recursive fill, so a misconfigured ring cannot create
+// fetch cycles.
+func (n *Node) handlePeerUnit(w http.ResponseWriter, r *http.Request) {
+	k, err := codeserver.ParseKey(r.PathValue("hash"))
+	if err != nil {
+		codeserver.WriteJSON(w, http.StatusBadRequest,
+			codeserver.ErrorResponse{Error: err.Error(), Kind: "parse"})
+		return
+	}
+	u, ok := n.srv.Unit(k)
+	if !ok {
+		codeserver.WriteError(w, codeserver.ErrUnitNotFound)
+		return
+	}
+	writeUnit(w, u)
+}
+
+// handlePeerCompile compiles a source set on behalf of a non-owner node
+// and returns the encoded unit bytes. It reuses the public compile path
+// (singleflight, metrics, traces), so a storm of forwarded requests for
+// one new unit still compiles exactly once.
+func (n *Node) handlePeerCompile(w http.ResponseWriter, r *http.Request) {
+	maxBody := n.srv.MaxSourceBytes()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		codeserver.WriteError(w, err)
+		return
+	}
+	if int64(len(body)) > maxBody {
+		codeserver.WriteJSON(w, http.StatusRequestEntityTooLarge, codeserver.ErrorResponse{
+			Error: fmt.Sprintf("source set exceeds %d bytes", maxBody), Kind: "parse"})
+		return
+	}
+	var req codeserver.CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		codeserver.WriteJSON(w, http.StatusBadRequest, codeserver.ErrorResponse{
+			Error: "bad request body: " + err.Error(), Kind: "parse"})
+		return
+	}
+	u, _, err := n.srv.CompileUnit(r.Context(), req.Files, codeserver.Options{Optimize: req.Optimize})
+	if err != nil {
+		codeserver.WriteError(w, err)
+		return
+	}
+	writeUnit(w, u)
+}
+
+// handlePeerReplicate accepts a hot-unit replica push. The bytes pass
+// through the same local decode+verify admission as any peer fill; a
+// push that fails verification is rejected with 422 and leaves no trace
+// in either store tier.
+func (n *Node) handlePeerReplicate(w http.ResponseWriter, r *http.Request) {
+	k, err := codeserver.ParseKey(r.PathValue("hash"))
+	if err != nil {
+		codeserver.WriteJSON(w, http.StatusBadRequest,
+			codeserver.ErrorResponse{Error: err.Error(), Kind: "parse"})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxPeerUnitBytes+1))
+	if err != nil {
+		codeserver.WriteError(w, err)
+		return
+	}
+	if len(data) > maxPeerUnitBytes {
+		codeserver.WriteJSON(w, http.StatusRequestEntityTooLarge, codeserver.ErrorResponse{
+			Error: fmt.Sprintf("replica exceeds %d bytes", maxPeerUnitBytes), Kind: "verify"})
+		return
+	}
+	optimized := r.Header.Get(optimizedHeader) == "1"
+	u, err := n.srv.AdmitReplica(k, data, optimized)
+	if err != nil {
+		codeserver.WriteJSON(w, http.StatusUnprocessableEntity,
+			codeserver.ErrorResponse{Error: err.Error(), Kind: driver.KindOf(err).String()})
+		return
+	}
+	codeserver.WriteJSON(w, http.StatusOK, map[string]any{
+		"hash": u.Key.String(), "size": u.Size,
+	})
+}
+
+func writeUnit(w http.ResponseWriter, u *codeserver.Unit) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(u.Wire)))
+	if u.Optimized {
+		w.Header().Set(optimizedHeader, "1")
+	} else {
+		w.Header().Set(optimizedHeader, "0")
+	}
+	_, _ = w.Write(u.Wire)
+}
+
+// ---- peer API: client side -------------------------------------------
+
+// fetchUnitFrom pulls the encoded unit bytes for k from a named peer.
+// The caller re-verifies them locally (PeerFillUnit → AdmitUnit); this
+// function only moves bytes.
+func (n *Node) fetchUnitFrom(ctx context.Context, peer string, k codeserver.Key) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		n.peerURL(peer)+"/peer/unit/"+k.String(), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: peer %s unreachable: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, peerError(peer, resp)
+	}
+	data, err := readUnitBody(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: reading unit from peer %s: %w", peer, err)
+	}
+	return data, resp.Header.Get(optimizedHeader) == "1", nil
+}
+
+// forwardCompile asks the owner to compile a source set and returns the
+// resulting encoded unit bytes (re-verified by the caller).
+func (n *Node) forwardCompile(ctx context.Context, owner string, files map[string]string, opts codeserver.Options) ([]byte, bool, error) {
+	body, err := json.Marshal(codeserver.CompileRequest{Files: files, Optimize: opts.Optimize})
+	if err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		n.peerURL(owner)+"/peer/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: owner %s unreachable: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, peerError(owner, resp)
+	}
+	data, err := readUnitBody(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: reading unit from owner %s: %w", owner, err)
+	}
+	return data, resp.Header.Get(optimizedHeader) == "1", nil
+}
+
+// pushReplica sends a locally held unit to a peer's replicate endpoint.
+func (n *Node) pushReplica(ctx context.Context, peer string, u *codeserver.Unit) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		n.peerURL(peer)+"/peer/replicate/"+u.Key.String(), bytes.NewReader(u.Wire))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if u.Optimized {
+		req.Header.Set(optimizedHeader, "1")
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: replica push to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return peerError(peer, resp)
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return nil
+}
+
+func (n *Node) peerURL(peer string) string { return n.cfg.Peers[peer] }
+
+func readUnitBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxPeerUnitBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxPeerUnitBytes {
+		return nil, fmt.Errorf("unit exceeds %d bytes", maxPeerUnitBytes)
+	}
+	return data, nil
+}
+
+// peerError reconstructs a typed error from a peer's JSON error body so
+// user-program faults (a parse error on a forwarded compile, say) keep
+// their kind — and therefore their HTTP status — when re-reported by
+// this node, instead of collapsing into 500s.
+func peerError(peer string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er codeserver.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		return fmt.Errorf("cluster: peer %s returned status %d", peer, resp.StatusCode)
+	}
+	if er.Kind == "not_found" || resp.StatusCode == http.StatusNotFound {
+		return codeserver.ErrUnitNotFound
+	}
+	kind := driver.KindInternal
+	switch er.Kind {
+	case "parse":
+		kind = driver.KindParse
+	case "sema":
+		kind = driver.KindSema
+	case "verify":
+		kind = driver.KindVerify
+	case "runtime":
+		kind = driver.KindRuntime
+	}
+	return &driver.Error{Kind: kind, Err: fmt.Errorf("%s (via peer %s)", er.Error, peer)}
+}

@@ -14,6 +14,10 @@ import (
 // old JSON keys survive with identical meaning. Stats() returns a
 // consistent-enough snapshot for monitoring and tests.
 type Metrics struct {
+	// node is the fleet identity stamped onto every Prometheus series
+	// and the stats snapshot ("" for a single-node server: no label).
+	node string
+
 	compileRequests  atomic.Uint64
 	cacheHits        atomic.Uint64
 	diskHits         atomic.Uint64
@@ -22,6 +26,15 @@ type Metrics struct {
 	compileErrors    atomic.Uint64
 	compilesInFlight atomic.Int64
 	evictions        atomic.Uint64
+
+	// Peer-fill accounting (cluster mode): units fetched from a fleet
+	// peer and re-admitted through the local decode+verify path, fetches
+	// that failed before admission, and — the security counter — peer
+	// bytes rejected by local admission. Rejected bytes never reach the
+	// memory or disk tier.
+	peerFills       atomic.Uint64
+	peerFillErrors  atomic.Uint64
+	peerFillRejects atomic.Uint64
 
 	loads       atomic.Uint64
 	loaderHits  atomic.Uint64
@@ -48,16 +61,21 @@ type Metrics struct {
 	// sample per load attempt — preparation is shared by every session
 	// of a unit, so its count tracks loads, not runs), runHist one
 	// sample per execution session.
-	compileHist obs.Histogram
-	decodeHist  obs.Histogram
-	verifyHist  obs.Histogram
-	prepareHist obs.Histogram
-	runHist     obs.Histogram
+	compileHist  obs.Histogram
+	decodeHist   obs.Histogram
+	verifyHist   obs.Histogram
+	prepareHist  obs.Histogram
+	runHist      obs.Histogram
+	peerFillHist obs.Histogram // one sample per peer fetch+admission attempt
 }
 
 // Stats is the exported snapshot of Metrics, plus the cache sizes filled
 // in by the component that owns them. It is what GET /stats serves.
 type Stats struct {
+	// Node is the fleet identity of the server that produced this
+	// snapshot (absent for single-node servers).
+	Node string `json:"node,omitempty"`
+
 	// Producer side (content-addressed store + compile pool).
 	CompileRequests  uint64 `json:"compile_requests"`
 	CacheHits        uint64 `json:"cache_hits"`
@@ -68,6 +86,11 @@ type Stats struct {
 	CompilesInFlight int64  `json:"compiles_in_flight"`
 	Evictions        uint64 `json:"evictions"`
 	UnitsCached      int    `json:"units_cached"`
+
+	// Cluster peer-fill path (see Metrics).
+	PeerFills       uint64 `json:"peer_fills"`
+	PeerFillErrors  uint64 `json:"peer_fill_errors"`
+	PeerFillRejects uint64 `json:"peer_fill_rejects"`
 
 	// Consumer side (loader cache + execution sessions).
 	Loads         uint64 `json:"loads"`
@@ -89,18 +112,20 @@ type Stats struct {
 	// Cumulative latencies (nanoseconds) over all requests. Legacy keys:
 	// derived from the histogram sums so they keep increasing exactly as
 	// before the histograms existed.
-	CompileNanos int64 `json:"compile_nanos"`
-	DecodeNanos  int64 `json:"decode_nanos"`
-	VerifyNanos  int64 `json:"verify_nanos"`
-	PrepareNanos int64 `json:"prepare_nanos"`
-	RunNanos     int64 `json:"run_nanos"`
+	CompileNanos  int64 `json:"compile_nanos"`
+	DecodeNanos   int64 `json:"decode_nanos"`
+	VerifyNanos   int64 `json:"verify_nanos"`
+	PrepareNanos  int64 `json:"prepare_nanos"`
+	RunNanos      int64 `json:"run_nanos"`
+	PeerFillNanos int64 `json:"peer_fill_nanos"`
 
 	// Per-stage latency distributions (count, sum, p50/p90/p99).
-	CompileLatency obs.LatencySummary `json:"compile_latency"`
-	DecodeLatency  obs.LatencySummary `json:"decode_latency"`
-	VerifyLatency  obs.LatencySummary `json:"verify_latency"`
-	PrepareLatency obs.LatencySummary `json:"prepare_latency"`
-	RunLatency     obs.LatencySummary `json:"run_latency"`
+	CompileLatency  obs.LatencySummary `json:"compile_latency"`
+	DecodeLatency   obs.LatencySummary `json:"decode_latency"`
+	VerifyLatency   obs.LatencySummary `json:"verify_latency"`
+	PrepareLatency  obs.LatencySummary `json:"prepare_latency"`
+	RunLatency      obs.LatencySummary `json:"run_latency"`
+	PeerFillLatency obs.LatencySummary `json:"peer_fill_latency"`
 }
 
 func (m *Metrics) snapshot() Stats {
@@ -109,7 +134,9 @@ func (m *Metrics) snapshot() Stats {
 	verify := m.verifyHist.Snapshot()
 	prepare := m.prepareHist.Snapshot()
 	run := m.runHist.Snapshot()
+	peerFill := m.peerFillHist.Snapshot()
 	return Stats{
+		Node:             m.node,
 		CompileRequests:  m.compileRequests.Load(),
 		CacheHits:        m.cacheHits.Load(),
 		DiskHits:         m.diskHits.Load(),
@@ -118,6 +145,9 @@ func (m *Metrics) snapshot() Stats {
 		CompileErrors:    m.compileErrors.Load(),
 		CompilesInFlight: m.compilesInFlight.Load(),
 		Evictions:        m.evictions.Load(),
+		PeerFills:        m.peerFills.Load(),
+		PeerFillErrors:   m.peerFillErrors.Load(),
+		PeerFillRejects:  m.peerFillRejects.Load(),
 		Loads:            m.loads.Load(),
 		LoaderHits:       m.loaderHits.Load(),
 		LoadErrors:       m.loadErrors.Load(),
@@ -135,11 +165,13 @@ func (m *Metrics) snapshot() Stats {
 		VerifyNanos:      verify.SumNanos,
 		PrepareNanos:     prepare.SumNanos,
 		RunNanos:         run.SumNanos,
+		PeerFillNanos:    peerFill.SumNanos,
 		CompileLatency:   compile.Summary(),
 		DecodeLatency:    decode.Summary(),
 		VerifyLatency:    verify.Summary(),
 		PrepareLatency:   prepare.Summary(),
 		RunLatency:       run.Summary(),
+		PeerFillLatency:  peerFill.Summary(),
 	}
 }
 
@@ -158,9 +190,10 @@ func (m *Metrics) recordKill(reason string) {
 
 // WritePrometheus renders the full metric surface in the Prometheus text
 // exposition format. unitsCached and modulesLoaded are the cache
-// occupancies owned by the store and loader.
+// occupancies owned by the store and loader. In cluster mode every
+// series carries a node="<name>" label so fleet scrapes stay per-node.
 func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
-	p := obs.NewPromWriter(w)
+	p := obs.NewPromWriter(w).ConstLabel("node", m.node)
 	p.Counter("safetsa_compile_requests_total", "Compile requests received.", m.compileRequests.Load())
 	p.Counter("safetsa_cache_hits_total", "Compile requests served from the in-memory unit store.", m.cacheHits.Load())
 	p.Counter("safetsa_disk_hits_total", "Compile requests served from the on-disk unit store.", m.diskHits.Load())
@@ -170,6 +203,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
 	p.Counter("safetsa_evictions_total", "Units evicted from the in-memory store.", m.evictions.Load())
 	p.Gauge("safetsa_compiles_in_flight", "Producer pipelines currently running.", m.compilesInFlight.Load())
 	p.Gauge("safetsa_units_cached", "Encoded units resident in the in-memory store.", int64(unitsCached))
+
+	p.Counter("safetsa_peer_fills_total", "Units fetched from a fleet peer and admitted by local re-verification.", m.peerFills.Load())
+	p.Counter("safetsa_peer_fill_errors_total", "Peer unit fetches that failed before admission.", m.peerFillErrors.Load())
+	p.Counter("safetsa_peer_fill_rejects_total", "Peer-supplied units rejected by local decode+verify admission.", m.peerFillRejects.Load())
 
 	p.Counter("safetsa_loads_total", "Units decoded and verified by the loader.", m.loads.Load())
 	p.Counter("safetsa_loader_hits_total", "Run requests served from the decoded-module cache.", m.loaderHits.Load())
@@ -191,10 +228,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
 
 	p.HistogramVec("safetsa_stage_duration_seconds", "Pipeline stage latency.", "stage",
 		map[string]obs.HistogramSnapshot{
-			"compile": m.compileHist.Snapshot(),
-			"decode":  m.decodeHist.Snapshot(),
-			"verify":  m.verifyHist.Snapshot(),
-			"prepare": m.prepareHist.Snapshot(),
-			"run":     m.runHist.Snapshot(),
+			"compile":   m.compileHist.Snapshot(),
+			"decode":    m.decodeHist.Snapshot(),
+			"verify":    m.verifyHist.Snapshot(),
+			"prepare":   m.prepareHist.Snapshot(),
+			"run":       m.runHist.Snapshot(),
+			"peer_fill": m.peerFillHist.Snapshot(),
 		})
 }

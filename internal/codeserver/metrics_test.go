@@ -108,10 +108,10 @@ func TestMetricsEndpointMatchesCounters(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp := postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
-	cr := decodeBody[compileResponse](t, resp)
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Files: helloFiles(), Optimize: true})
+	cr := decodeBody[CompileResponse](t, resp)
 	for i := 0; i < 3; i++ {
-		resp = postJSON(t, ts.URL+"/run/"+cr.Hash, runRequest{})
+		resp = postJSON(t, ts.URL+"/run/"+cr.Hash, RunRequest{})
 		decodeBody[RunResult](t, resp)
 	}
 
@@ -178,9 +178,9 @@ func TestDebugTracesJSONShape(t *testing.T) {
 		t.Error("empty /debug/traces did not serve an array")
 	}
 
-	resp = postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
-	cr := decodeBody[compileResponse](t, resp)
-	resp = postJSON(t, ts.URL+"/run/"+cr.Hash, runRequest{})
+	resp = postJSON(t, ts.URL+"/compile", CompileRequest{Files: helloFiles(), Optimize: true})
+	cr := decodeBody[CompileResponse](t, resp)
+	resp = postJSON(t, ts.URL+"/run/"+cr.Hash, RunRequest{})
 	decodeBody[RunResult](t, resp)
 
 	resp, err = http.Get(ts.URL + "/debug/traces")

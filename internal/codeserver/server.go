@@ -22,6 +22,7 @@ import (
 	"safetsa/internal/interp"
 	"safetsa/internal/obs"
 	"safetsa/internal/rt"
+	"safetsa/internal/wire"
 )
 
 // Config tunes the server. The zero value is usable: in-memory only,
@@ -49,6 +50,19 @@ type Config struct {
 	// driver.EnginePrepared (also the "" default) or
 	// driver.EngineReference. Requests may override it per session.
 	Engine string
+	// NodeName identifies this server inside a fleet: it labels every
+	// Prometheus series and the stats snapshot. Empty for single-node
+	// deployments (no label, historical wire shape).
+	NodeName string
+}
+
+// PeerFiller fetches the encoded bytes of a unit this node lacks from
+// the fleet peer that owns it. Implementations (internal/cluster) speak
+// the peer HTTP API; the server treats whatever comes back as untrusted
+// input and re-verifies it locally before caching. optimized is
+// peer-reported metadata (it only affects bookkeeping, never safety).
+type PeerFiller interface {
+	FetchUnit(ctx context.Context, k Key) (data []byte, optimized bool, err error)
 }
 
 // Server ties the store, pool, and loader cache together and exposes
@@ -61,6 +75,18 @@ type Server struct {
 	store  *Store
 	pool   *Pool
 	loader *LoaderCache
+
+	// peerFiller, when set (SetPeerFiller, before serving), turns a
+	// store miss on the run/unit paths into a peer fill instead of a
+	// hard ErrUnitNotFound.
+	peerFiller PeerFiller
+
+	// baseCtx is cancelled by Shutdown; every run session derives its
+	// interrupt from both its request context and this one, so a
+	// draining server can stop in-flight guests without killing the
+	// HTTP exchange they ride on.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // New builds a server from the config.
@@ -71,19 +97,52 @@ func New(cfg Config) (*Server, error) {
 	if _, err := resolveEngine(cfg.Engine, ""); err != nil {
 		return nil, err
 	}
-	m := &Metrics{}
+	m := &Metrics{node: cfg.NodeName}
 	store, err := NewStore(cfg.CacheDir, cfg.MaxUnits, m)
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:    cfg,
-		m:      m,
-		tracer: obs.NewTracer(cfg.Traces),
-		store:  store,
-		pool:   NewPool(cfg.Workers, cfg.StageTimeout, m),
-		loader: NewLoaderCache(cfg.MaxModules, m),
+		cfg:        cfg,
+		m:          m,
+		tracer:     obs.NewTracer(cfg.Traces),
+		store:      store,
+		pool:       NewPool(cfg.Workers, cfg.StageTimeout, m),
+		loader:     NewLoaderCache(cfg.MaxModules, m),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 	}, nil
+}
+
+// SetPeerFiller installs the cluster peer-fill hook. Call before the
+// server starts serving traffic; the hook is read without locking.
+func (s *Server) SetPeerFiller(f PeerFiller) { s.peerFiller = f }
+
+// MaxSourceBytes reports the configured /compile request-body bound, so
+// outer routing layers can enforce the same limit before forwarding.
+func (s *Server) MaxSourceBytes() int64 { return s.cfg.MaxSourceBytes }
+
+// Shutdown interrupts every in-flight guest run (each dies with
+// rt.ErrInterrupted, which is reported inside its RunResult like any
+// other budget kill — the HTTP response is still written in full) and
+// waits until no runs remain in flight or ctx expires. New run sessions
+// started after Shutdown are interrupted immediately, so the drain
+// converges even while already-accepted connections trickle in.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.baseCancel()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.m.runsInFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // Stats snapshots the server metrics plus the cache occupancies.
@@ -108,8 +167,81 @@ func (s *Server) CompileUnit(ctx context.Context, files map[string]string, opts 
 	s.m.compileRequests.Add(1)
 	k := KeyFor(files, opts)
 	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
-		return s.pool.Compile(ctx, files, opts)
+		u, err := s.pool.Compile(ctx, files, opts)
+		if err != nil {
+			s.m.compileErrors.Add(1)
+		}
+		return u, err
 	})
+}
+
+// AdmitUnit re-establishes type safety and referential security of
+// peer-supplied wire bytes through the exact admission path a consumer
+// applies to any received unit — wire.DecodeVerified, the paper's cheap
+// per-plane counter checks — and builds the Unit from locally derived
+// facts only (size and instruction count come from the local decode,
+// never from peer metadata). Rejections are counted and returned as
+// verify-kind errors; rejected bytes never reach either store tier.
+func (s *Server) AdmitUnit(k Key, data []byte, optimized bool) (*Unit, error) {
+	mod, err := wire.DecodeVerified(data)
+	if err != nil {
+		s.m.peerFillRejects.Add(1)
+		return nil, &driver.Error{Kind: driver.KindVerify,
+			Err: fmt.Errorf("codeserver: peer unit %s rejected by local admission: %w", k, err)}
+	}
+	return &Unit{Key: k, Wire: data, Size: len(data), Instrs: mod.NumInstrs(), Optimized: optimized}, nil
+}
+
+// AdmitReplica verifies and stores a unit pushed by a peer (hot-unit
+// replication). The push is unsolicited, so it goes through the same
+// admission as a pull-based peer fill before touching the store.
+func (s *Server) AdmitReplica(k Key, data []byte, optimized bool) (*Unit, error) {
+	u, err := s.AdmitUnit(k, data, optimized)
+	if err != nil {
+		return nil, err
+	}
+	s.m.peerFills.Add(1)
+	s.store.Put(u)
+	return u, nil
+}
+
+// PeerFillUnit returns the unit for k from the local store, or fills it
+// with bytes fetched from its owner elsewhere in the fleet. The fetched
+// bytes are untrusted: they must pass AdmitUnit before they are cached
+// in either tier. Concurrent callers coalesce on one fetch through the
+// store's singleflight, so a node asks the owner for a missing unit at
+// most once at a time no matter how many requests race. The bool
+// reports a local cache hit.
+func (s *Server) PeerFillUnit(ctx context.Context, k Key, fetch func(context.Context) (data []byte, optimized bool, err error)) (*Unit, bool, error) {
+	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
+		fctx, sp := obs.Start(ctx, "peer_fill")
+		defer sp.End()
+		start := time.Now()
+		data, optimized, err := fetch(fctx)
+		if err != nil {
+			s.m.peerFillErrors.Add(1)
+			return nil, err
+		}
+		u, err := s.AdmitUnit(k, data, optimized)
+		s.m.peerFillHist.Observe(time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		s.m.peerFills.Add(1)
+		return u, nil
+	})
+}
+
+// fillFromPeer resolves a store miss through the peer filler when one
+// is installed; without one the miss stays ErrUnitNotFound.
+func (s *Server) fillFromPeer(ctx context.Context, k Key) (*Unit, error) {
+	if s.peerFiller == nil {
+		return nil, ErrUnitNotFound
+	}
+	u, _, err := s.PeerFillUnit(ctx, k, func(ctx context.Context) ([]byte, bool, error) {
+		return s.peerFiller.FetchUnit(ctx, k)
+	})
+	return u, err
 }
 
 // Unit returns the encoded distribution unit for a key, if present in
@@ -170,7 +302,14 @@ func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engin
 	lu, err := s.loader.GetOrLoad(lctx, k, func() ([]byte, error) {
 		u, ok := s.store.Get(k)
 		if !ok {
-			return nil, ErrUnitNotFound
+			// Cluster mode: a run for a unit this node lacks pulls the
+			// encoded bytes from the owner and re-admits them locally
+			// before the loader ever sees them.
+			pu, perr := s.fillFromPeer(lctx, k)
+			if perr != nil {
+				return nil, perr
+			}
+			u = pu
 		}
 		return u.Wire, nil
 	})
@@ -186,7 +325,14 @@ func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engin
 	_, esp := obs.Start(ctx, "exec")
 	start := time.Now()
 	var out bytes.Buffer
-	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
+	// The guest's interrupt fires when either the request is abandoned
+	// or the server is draining (Shutdown cancelled baseCtx) — a drain
+	// must stop runaway guests without tearing down their HTTP exchange.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelRun)
+	defer stopAfter()
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: runCtx.Done()}
 	res := RunResult{OK: true}
 	var l *interp.Loader
 	if engine == driver.EnginePrepared {
@@ -216,12 +362,15 @@ func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engin
 // ---------------------------------------------------------------------
 // HTTP API
 
-type compileRequest struct {
+// CompileRequest is the POST /compile body. Exported so the cluster
+// layer (and load generators) speak the same wire shape.
+type CompileRequest struct {
 	Files    map[string]string `json:"files"`
 	Optimize bool              `json:"optimize"`
 }
 
-type compileResponse struct {
+// CompileResponse is the POST /compile response body.
+type CompileResponse struct {
 	Hash         string `json:"hash"`
 	Size         int    `json:"size"`
 	Instructions int    `json:"instructions"`
@@ -229,14 +378,16 @@ type compileResponse struct {
 	Cached       bool   `json:"cached"`
 }
 
-type runRequest struct {
+// RunRequest is the POST /run/{hash} body.
+type RunRequest struct {
 	MaxSteps int64 `json:"max_steps"`
 	// Engine optionally overrides the server's default evaluator for
 	// this session: "prepared" or "reference".
 	Engine string `json:"engine,omitempty"`
 }
 
-type errorResponse struct {
+// ErrorResponse is the JSON error body every endpoint uses.
+type ErrorResponse struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
 }
@@ -260,7 +411,9 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes an indented JSON body with the given status. Shared
+// with the cluster layer so every endpoint keeps one response shape.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -268,9 +421,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps a pipeline error onto an HTTP status: user-program
+// WriteError maps a pipeline error onto an HTTP status: user-program
 // faults are 4xx, pipeline faults and timeouts are 5xx.
-func writeError(w http.ResponseWriter, err error) {
+func WriteError(w http.ResponseWriter, err error) {
 	kindStr := driver.KindOf(err).String()
 	status := http.StatusInternalServerError
 	switch {
@@ -284,34 +437,34 @@ func writeError(w http.ResponseWriter, err error) {
 	case driver.IsUserError(err):
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kindStr})
+	WriteJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kindStr})
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	if int64(len(body)) > s.cfg.MaxSourceBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+		WriteJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
 			Error: fmt.Sprintf("source set exceeds %d bytes", s.cfg.MaxSourceBytes),
 			Kind:  "parse",
 		})
 		return
 	}
-	var req compileRequest
+	var req CompileRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
 			Error: "bad request body: " + err.Error(), Kind: "parse"})
 		return
 	}
 	u, cached, err := s.CompileUnit(r.Context(), req.Files, Options{Optimize: req.Optimize})
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, compileResponse{
+	WriteJSON(w, http.StatusOK, CompileResponse{
 		Hash:         u.Key.String(),
 		Size:         u.Size,
 		Instructions: u.Instrs,
@@ -323,13 +476,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 	k, err := ParseKey(r.PathValue("hash"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Kind: "parse"})
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "parse"})
 		return
 	}
 	u, ok := s.store.Get(k)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: ErrUnitNotFound.Error(), Kind: "not_found"})
-		return
+		// Cluster mode: pull the unit from its owner (re-verified
+		// locally) instead of bouncing the download back to the client.
+		pu, err := s.fillFromPeer(r.Context(), k)
+		if err != nil {
+			WriteError(w, err)
+			return
+		}
+		u = pu
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(u.Wire)))
@@ -339,27 +498,27 @@ func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	k, err := ParseKey(r.PathValue("hash"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Kind: "parse"})
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "parse"})
 		return
 	}
-	var req runRequest
+	var req RunRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
-			writeJSON(w, http.StatusBadRequest, errorResponse{
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{
 				Error: "bad request body: " + err.Error(), Kind: "parse"})
 			return
 		}
 	}
 	res, err := s.RunUnitEngine(r.Context(), k, req.MaxSteps, req.Engine)
 	if err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	WriteJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -377,5 +536,5 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if ts == nil {
 		ts = []obs.TraceSnapshot{} // wire contract: always an array
 	}
-	writeJSON(w, http.StatusOK, tracesResponse{Traces: ts})
+	WriteJSON(w, http.StatusOK, tracesResponse{Traces: ts})
 }

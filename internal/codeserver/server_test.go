@@ -67,11 +67,11 @@ func TestHTTPCompileFetchRun(t *testing.T) {
 	defer ts.Close()
 
 	// Compile.
-	resp := postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{Files: helloFiles(), Optimize: true})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compile status %d", resp.StatusCode)
 	}
-	cr := decodeBody[compileResponse](t, resp)
+	cr := decodeBody[CompileResponse](t, resp)
 	if cr.Cached {
 		t.Error("first compile reported cached")
 	}
@@ -83,8 +83,8 @@ func TestHTTPCompileFetchRun(t *testing.T) {
 	}
 
 	// Second compile is a cache hit.
-	resp = postJSON(t, ts.URL+"/compile", compileRequest{Files: helloFiles(), Optimize: true})
-	if cr2 := decodeBody[compileResponse](t, resp); !cr2.Cached {
+	resp = postJSON(t, ts.URL+"/compile", CompileRequest{Files: helloFiles(), Optimize: true})
+	if cr2 := decodeBody[CompileResponse](t, resp); !cr2.Cached {
 		t.Error("second compile not served from cache")
 	}
 
@@ -109,7 +109,7 @@ func TestHTTPCompileFetchRun(t *testing.T) {
 	}
 
 	// Run.
-	resp = postJSON(t, ts.URL+"/run/"+cr.Hash, runRequest{MaxSteps: 1_000_000})
+	resp = postJSON(t, ts.URL+"/run/"+cr.Hash, RunRequest{MaxSteps: 1_000_000})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("run status %d", resp.StatusCode)
 	}
@@ -138,39 +138,39 @@ func TestHTTPErrorMapping(t *testing.T) {
 	defer ts.Close()
 
 	// Syntax error → 400 with kind "parse".
-	resp := postJSON(t, ts.URL+"/compile", compileRequest{
+	resp := postJSON(t, ts.URL+"/compile", CompileRequest{
 		Files: map[string]string{"Bad.tj": "class {"}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("parse error: status %d, want 400", resp.StatusCode)
 	}
-	if er := decodeBody[errorResponse](t, resp); er.Kind != "parse" {
+	if er := decodeBody[ErrorResponse](t, resp); er.Kind != "parse" {
 		t.Errorf("parse error kind %q", er.Kind)
 	}
 
 	// Type error → 400 with kind "sema".
-	resp = postJSON(t, ts.URL+"/compile", compileRequest{
+	resp = postJSON(t, ts.URL+"/compile", CompileRequest{
 		Files: map[string]string{"Bad.tj": `
 class Bad { static void main() { int x = "not an int"; } }`}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("sema error: status %d, want 400", resp.StatusCode)
 	}
-	if er := decodeBody[errorResponse](t, resp); er.Kind != "sema" {
+	if er := decodeBody[ErrorResponse](t, resp); er.Kind != "sema" {
 		t.Errorf("sema error kind %q", er.Kind)
 	}
 
 	// Unknown unit → 404.
 	var k Key
 	k[0] = 0xAB
-	resp = postJSON(t, ts.URL+"/run/"+k.String(), runRequest{})
+	resp = postJSON(t, ts.URL+"/run/"+k.String(), RunRequest{})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown unit: status %d, want 404", resp.StatusCode)
 	}
-	if er := decodeBody[errorResponse](t, resp); er.Kind != "not_found" {
+	if er := decodeBody[ErrorResponse](t, resp); er.Kind != "not_found" {
 		t.Errorf("unknown unit kind %q, want \"not_found\"", er.Kind)
 	}
 
 	// Malformed hash → 400.
-	resp = postJSON(t, ts.URL+"/run/nothex", runRequest{})
+	resp = postJSON(t, ts.URL+"/run/nothex", RunRequest{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad hash: status %d, want 400", resp.StatusCode)
 	}

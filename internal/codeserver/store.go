@@ -169,13 +169,24 @@ func (s *Store) runFill(ctx context.Context, sh *storeShard, k Key, fl *inflight
 	u, err = fill(fctx)
 	fsp.End()
 	if err != nil {
-		s.m.compileErrors.Add(1)
+		// Error accounting (compile vs peer-fill failure) is the fill
+		// callback's job: the store serves both fill flavors.
 		return nil, err
 	}
 	u.Key = k
 	s.insert(sh, u)
 	s.writeDisk(u)
 	return u, nil
+}
+
+// Put publishes an already-admitted unit into both tiers, bypassing the
+// fill path. It is the landing point for hot-unit replicas pushed by a
+// fleet peer — the caller must have run the unit through the local
+// admission path (Server.AdmitUnit) first; raw peer bytes never enter
+// the store.
+func (s *Store) Put(u *Unit) {
+	s.insert(s.shardOf(u.Key), u)
+	s.writeDisk(u)
 }
 
 // insert publishes a unit into the memory tier and evicts past capacity.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // PromWriter renders metrics in the Prometheus text exposition format
@@ -13,10 +14,49 @@ import (
 // targets HTTP response bodies where a broken peer surfaces elsewhere.
 type PromWriter struct {
 	w io.Writer
+	// constLabels is rendered (in insertion order) on every sample line,
+	// before any per-sample labels. It is how a fleet member stamps its
+	// node identity onto every series it exports.
+	constLabels []string // alternating name, value
 }
 
 // NewPromWriter wraps w.
 func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// ConstLabel attaches a label pair to every sample line the writer emits
+// (per-node identity in a fleet, for example). Returns the writer for
+// chaining; empty values are skipped so unlabeled single-node exports
+// render exactly as before.
+func (p *PromWriter) ConstLabel(name, value string) *PromWriter {
+	if value != "" {
+		p.constLabels = append(p.constLabels, name, value)
+	}
+	return p
+}
+
+// labels renders the label block for one sample: the const labels
+// followed by the extra (name, value) pairs, or "" when there are none.
+func (p *PromWriter) labels(extra ...string) string {
+	if len(p.constLabels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	emit := func(pairs []string) {
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+			n++
+		}
+	}
+	emit(p.constLabels)
+	emit(extra)
+	b.WriteByte('}')
+	return b.String()
+}
 
 func (p *PromWriter) header(name, help, typ string) {
 	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -25,7 +65,7 @@ func (p *PromWriter) header(name, help, typ string) {
 // Counter emits one cumulative counter.
 func (p *PromWriter) Counter(name, help string, v uint64) {
 	p.header(name, help, "counter")
-	fmt.Fprintf(p.w, "%s %d\n", name, v)
+	fmt.Fprintf(p.w, "%s%s %d\n", name, p.labels(), v)
 }
 
 // CounterVec emits one counter family with a single label dimension,
@@ -38,14 +78,14 @@ func (p *PromWriter) CounterVec(name, help, label string, vals map[string]uint64
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(p.w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		fmt.Fprintf(p.w, "%s%s %d\n", name, p.labels(label, k), vals[k])
 	}
 }
 
 // Gauge emits one gauge.
 func (p *PromWriter) Gauge(name, help string, v int64) {
 	p.header(name, help, "gauge")
-	fmt.Fprintf(p.w, "%s %d\n", name, v)
+	fmt.Fprintf(p.w, "%s%s %d\n", name, p.labels(), v)
 }
 
 // seconds renders a nanosecond quantity as Prometheus-conventional
@@ -71,12 +111,12 @@ func (p *PromWriter) HistogramVec(name, help, label string, snaps map[string]His
 		var cum uint64
 		for i := 0; i < NumBuckets; i++ {
 			cum += s.Buckets[i]
-			fmt.Fprintf(p.w, "%s_bucket{%s=%q,le=%q} %d\n",
-				name, label, k, seconds(BucketUpperBound(i)), cum)
+			fmt.Fprintf(p.w, "%s_bucket%s %d\n",
+				name, p.labels(label, k, "le", seconds(BucketUpperBound(i))), cum)
 		}
 		cum += s.Buckets[NumBuckets]
-		fmt.Fprintf(p.w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, cum)
-		fmt.Fprintf(p.w, "%s_sum{%s=%q} %s\n", name, label, k, seconds(s.SumNanos))
-		fmt.Fprintf(p.w, "%s_count{%s=%q} %d\n", name, label, k, s.Count)
+		fmt.Fprintf(p.w, "%s_bucket%s %d\n", name, p.labels(label, k, "le", "+Inf"), cum)
+		fmt.Fprintf(p.w, "%s_sum%s %s\n", name, p.labels(label, k), seconds(s.SumNanos))
+		fmt.Fprintf(p.w, "%s_count%s %d\n", name, p.labels(label, k), s.Count)
 	}
 }

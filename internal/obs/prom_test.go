@@ -51,3 +51,46 @@ func TestPromWriterShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestPromWriterConstLabels pins the per-node label rendering used by
+// fleet members: the const label appears on every sample line, before
+// any per-sample labels, and never in the HELP/TYPE headers.
+func TestPromWriterConstLabels(t *testing.T) {
+	var h Histogram
+	h.ObserveNanos(1500)
+	var sb strings.Builder
+	p := NewPromWriter(&sb).ConstLabel("node", "a1")
+	p.Counter("x_total", "a counter.", 7)
+	p.Gauge("x_now", "a gauge.", -3)
+	p.CounterVec("x_kills_total", "kills.", "reason", map[string]uint64{"step_limit": 2})
+	p.HistogramVec("x_seconds", "latency.", "stage", map[string]HistogramSnapshot{
+		"run": h.Snapshot(),
+	})
+	out := sb.String()
+
+	for _, want := range []string{
+		"x_total{node=\"a1\"} 7\n",
+		"x_now{node=\"a1\"} -3\n",
+		// Const label first, then the vec label.
+		"x_kills_total{node=\"a1\",reason=\"step_limit\"} 2\n",
+		"x_seconds_bucket{node=\"a1\",stage=\"run\",le=\"+Inf\"} 1\n",
+		"x_seconds_sum{node=\"a1\",stage=\"run\"} 1.5e-06\n",
+		"x_seconds_count{node=\"a1\",stage=\"run\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Headers stay label-free.
+	if !strings.Contains(out, "# HELP x_total a counter.\n# TYPE x_total counter\n") {
+		t.Errorf("headers polluted by const labels:\n%s", out)
+	}
+
+	// An empty value is skipped entirely: single-node exports keep the
+	// historical unlabeled line shape.
+	sb.Reset()
+	NewPromWriter(&sb).ConstLabel("node", "").Counter("x_total", "a counter.", 1)
+	if !strings.Contains(sb.String(), "\nx_total 1\n") {
+		t.Errorf("empty const label changed the unlabeled shape:\n%s", sb.String())
+	}
+}
