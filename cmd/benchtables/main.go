@@ -6,8 +6,8 @@
 //	benchtables -all           # everything
 //	benchtables -json out.json # every table cell + claims + per-stage
 //	                           # latency histogram summaries + the
-//	                           # reference-vs-prepared run comparison as
-//	                           # JSON ("-" = stdout)
+//	                           # three-way reference/prepared/compiled
+//	                           # run comparison as JSON ("-" = stdout)
 package main
 
 import (

@@ -6,8 +6,8 @@
 //
 //	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
 //	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
-//	         [-traces N] [-debug-addr ADDR] [-engine prepared|reference]
-//	         [-drain D]
+//	         [-traces N] [-debug-addr ADDR]
+//	         [-engine prepared|compiled|reference] [-drain D]
 //	         [-node NAME -peers NAME=URL,... [-vnodes N] [-gossip D]
 //	          [-hot-threshold N] [-hot-window D] [-replicas N]]
 //
@@ -66,7 +66,7 @@ func main() {
 	traces := flag.Int("traces", 64, "request traces retained for /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	engine := flag.String("engine", "",
-		"default execution engine: prepared or reference (empty = prepared); per-request \"engine\" overrides")
+		"default execution engine: prepared, compiled, or reference (empty = prepared); per-request \"engine\" overrides")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight runs on shutdown")
 
 	node := flag.String("node", "", "fleet member name (enables cluster mode with -peers)")

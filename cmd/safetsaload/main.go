@@ -1,11 +1,15 @@
 // Command safetsaload replays mixed compile/run traffic against a
 // running safetsad (or a fleet of them) and reports client-observed
-// latency percentiles per stage as a safetsa-bench-v4 JSON snapshot.
+// latency percentiles per stage as a safetsa-bench-v5 JSON snapshot.
 //
 //	safetsaload -targets http://h1:8743,http://h2:8743 \
 //	    [-workers 8] [-duration 10s | -requests N] [-units 16] \
 //	    [-run-fraction 0.8] [-zipf 1.2] [-seed 1] [-maxsteps 1000000] \
-//	    [-o report.json]
+//	    [-engine prepared|compiled|reference] [-o report.json]
+//
+// An invalid flag combination (negative worker count, zipf skew outside
+// (1, 64], ...) is rejected before any traffic is sent: the process
+// prints the offending field and exits nonzero.
 //
 // The replay first warms the unit universe (one compile per distinct
 // program), then drives the configured worker count with zipfian key
@@ -39,6 +43,7 @@ func main() {
 	zipf := flag.Float64("zipf", 1.2, "zipfian skew exponent over the unit universe (>1)")
 	seed := flag.Int64("seed", 1, "replay RNG seed")
 	maxSteps := flag.Int64("maxsteps", 1_000_000, "per-run step budget sent with run requests")
+	engine := flag.String("engine", "", "execution engine override sent with run requests: prepared, compiled, or reference (empty = server default)")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 
@@ -62,6 +67,7 @@ func main() {
 		ZipfS:       *zipf,
 		Seed:        *seed,
 		MaxSteps:    *maxSteps,
+		Engine:      *engine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safetsaload:", err)

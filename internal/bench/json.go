@@ -56,9 +56,10 @@ type JSONReport struct {
 	// decode, verify, prepare. Absent when the measurement run was
 	// untimed.
 	Latencies map[string]obs.LatencySummary `json:"latencies,omitempty"`
-	// RunComparison records the reference-vs-prepared execution-latency
-	// comparison over the corpus (best-of-K per engine per unit, plus
-	// the geomean speedup). Absent when the comparison was not run.
+	// RunComparison records the three-way reference/prepared/compiled
+	// execution-latency comparison over the corpus (best-of-K per engine
+	// per unit, plus the geomean speedups). Absent when the comparison
+	// was not run.
 	RunComparison *JSONRunComparison `json:"run_comparison,omitempty"`
 	// Load records a load-generator replay against a running codeserver
 	// or fleet (see LoadResult). Absent from benchtables snapshots.
@@ -88,25 +89,33 @@ type JSONLoad struct {
 }
 
 // JSONRunRow is the machine-readable form of one engine-comparison row.
+// "speedup" is reference-over-prepared; "compiled_speedup" is
+// prepared-over-compiled.
 type JSONRunRow struct {
-	Name           string  `json:"name"`
-	ReferenceNanos int64   `json:"reference_nanos"`
-	PreparedNanos  int64   `json:"prepared_nanos"`
-	Speedup        float64 `json:"speedup"`
+	Name            string  `json:"name"`
+	ReferenceNanos  int64   `json:"reference_nanos"`
+	PreparedNanos   int64   `json:"prepared_nanos"`
+	CompiledNanos   int64   `json:"compiled_nanos"`
+	Speedup         float64 `json:"speedup"`
+	CompiledSpeedup float64 `json:"compiled_speedup"`
 }
 
 // JSONRunComparison is the machine-readable engine comparison.
 type JSONRunComparison struct {
-	BestOf         int          `json:"best_of"`
-	Rows           []JSONRunRow `json:"rows"`
-	GeomeanSpeedup float64      `json:"geomean_speedup"`
+	BestOf                 int          `json:"best_of"`
+	Rows                   []JSONRunRow `json:"rows"`
+	GeomeanSpeedup         float64      `json:"geomean_speedup"`
+	GeomeanCompiledSpeedup float64      `json:"geomean_compiled_speedup"`
 }
 
 // jsonSchema is bumped whenever the report layout changes, so trajectory
 // tooling can detect incompatible snapshots. v2 added "latencies"; v3
 // added the "prepare" latency stage and "run_comparison"; v4 added the
-// "load" replay block emitted by safetsaload.
-const jsonSchema = "safetsa-bench-v4"
+// "load" replay block emitted by safetsaload; v5 made the run
+// comparison three-way (compiled_nanos, compiled_speedup,
+// geomean_compiled_speedup) and added overflow_count to every latency
+// digest.
+const jsonSchema = "safetsa-bench-v5"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -168,13 +177,19 @@ func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison) ([]byte, e
 		rep.Latencies = tm.Summaries()
 	}
 	if rc != nil {
-		jc := &JSONRunComparison{BestOf: rc.BestOf, GeomeanSpeedup: rc.GeomeanSpeedup}
+		jc := &JSONRunComparison{
+			BestOf:                 rc.BestOf,
+			GeomeanSpeedup:         rc.GeomeanSpeedup,
+			GeomeanCompiledSpeedup: rc.GeomeanCompiledSpeedup,
+		}
 		for _, r := range rc.Rows {
 			jc.Rows = append(jc.Rows, JSONRunRow{
-				Name:           r.Name,
-				ReferenceNanos: r.ReferenceNanos,
-				PreparedNanos:  r.PreparedNanos,
-				Speedup:        r.Speedup,
+				Name:            r.Name,
+				ReferenceNanos:  r.ReferenceNanos,
+				PreparedNanos:   r.PreparedNanos,
+				CompiledNanos:   r.CompiledNanos,
+				Speedup:         r.Speedup,
+				CompiledSpeedup: r.CompiledSpeedup,
 			})
 		}
 		rep.RunComparison = jc

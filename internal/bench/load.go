@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"safetsa/internal/codeserver"
+	"safetsa/internal/driver"
 	"safetsa/internal/obs"
 )
 
@@ -44,8 +45,93 @@ type LoadConfig struct {
 	// MaxSteps is the per-run step budget sent with run requests
 	// (<=0: 1_000_000).
 	MaxSteps int64
+	// Engine, when nonempty, is sent with every run request to override
+	// the server's default execution engine ("prepared", "compiled", or
+	// "reference").
+	Engine string
 	// Client performs the requests (nil: 30s-timeout default).
 	Client *http.Client
+}
+
+// ConfigError reports a LoadConfig field whose value is explicitly
+// invalid (as opposed to zero, which means "use the default"). RunLoad
+// returns it before any network traffic, so a bad flag fails fast with
+// a field-level message instead of panicking mid-replay or silently
+// running a different workload than asked. Distinguish it from
+// transport errors with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("bench: invalid load config: %s %s", e.Field, e.Reason)
+}
+
+// validate applies the zero-means-default rules and rejects explicitly
+// invalid values. It exists because the old silent clamping let real
+// misconfigurations through: ZipfS = NaN passes a `<= 1` guard and makes
+// rand.NewZipf return nil (the worker then panics on the nil Zipf), and
+// a negative Units used to be "corrected" to the default universe while
+// the report claimed the requested one.
+func (cfg *LoadConfig) validate() error {
+	if len(cfg.Targets) == 0 {
+		return &ConfigError{Field: "Targets", Reason: "needs at least one target"}
+	}
+	if cfg.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("must be positive, got %d", cfg.Workers)}
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Duration < 0 {
+		return &ConfigError{Field: "Duration", Reason: fmt.Sprintf("must be positive, got %v", cfg.Duration)}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Requests < 0 {
+		return &ConfigError{Field: "Requests", Reason: fmt.Sprintf("must not be negative, got %d", cfg.Requests)}
+	}
+	if cfg.Units < 0 {
+		return &ConfigError{Field: "Units", Reason: fmt.Sprintf("must be positive, got %d", cfg.Units)}
+	}
+	if cfg.Units == 0 {
+		cfg.Units = 16
+	}
+	if cfg.RunFraction != 0 && !(cfg.RunFraction > 0 && cfg.RunFraction <= 1) {
+		// The negated form also catches NaN, which fails every comparison.
+		return &ConfigError{Field: "RunFraction", Reason: fmt.Sprintf("must be in (0, 1], got %v", cfg.RunFraction)}
+	}
+	if cfg.RunFraction == 0 {
+		cfg.RunFraction = 0.8
+	}
+	if cfg.ZipfS != 0 && !(cfg.ZipfS > 1 && cfg.ZipfS <= 64) {
+		// rand.NewZipf returns nil for s <= 1 (and NaN fails every
+		// comparison); the upper bound rejects +Inf and absurd skews.
+		return &ConfigError{Field: "ZipfS", Reason: fmt.Sprintf("must be in (1, 64], got %v", cfg.ZipfS)}
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSteps < 0 {
+		return &ConfigError{Field: "MaxSteps", Reason: fmt.Sprintf("must be positive, got %d", cfg.MaxSteps)}
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	switch cfg.Engine {
+	case "", driver.EnginePrepared, driver.EngineCompiled, driver.EngineReference:
+	default:
+		// The server would 400 every run request; catch the typo before
+		// the replay burns its whole budget on rejected traffic.
+		return &ConfigError{Field: "Engine", Reason: fmt.Sprintf("must be %q, %q, or %q, got %q",
+			driver.EnginePrepared, driver.EngineCompiled, driver.EngineReference, cfg.Engine)}
+	}
+	return nil
 }
 
 // LoadResult is the outcome of one replay: the effective config, the
@@ -89,31 +175,11 @@ class Load {
 // RunLoad executes the replay: a warmup pass that compiles every unit in
 // the universe once (so run draws never race the very first fill), then
 // Workers concurrent clients drawing zipfian-skewed mixed traffic until
-// the duration or request quota is exhausted.
+// the duration or request quota is exhausted. An invalid config is
+// rejected up front with a *ConfigError, before any warmup traffic.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
-	if len(cfg.Targets) == 0 {
-		return nil, fmt.Errorf("bench: load needs at least one target")
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 8
-	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 10 * time.Second
-	}
-	if cfg.Units <= 0 {
-		cfg.Units = 16
-	}
-	if cfg.RunFraction <= 0 || cfg.RunFraction > 1 {
-		cfg.RunFraction = 0.8
-	}
-	if cfg.ZipfS <= 1 {
-		cfg.ZipfS = 1.2
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = 1_000_000
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	client := cfg.Client
 	if client == nil {
@@ -182,7 +248,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
 				if rng.Float64() < cfg.RunFraction {
 					t0 := time.Now()
-					err := loadRun(timedCtx, client, target, hashes[unit], cfg.MaxSteps)
+					err := loadRun(timedCtx, client, target, hashes[unit], cfg.MaxSteps, cfg.Engine)
 					if timedCtx.Err() != nil {
 						return // cutoff mid-request: don't score a truncated sample
 					}
@@ -245,8 +311,8 @@ func loadCompile(ctx context.Context, client *http.Client, target string, files 
 	return cr.Hash, cr.Cached, nil
 }
 
-func loadRun(ctx context.Context, client *http.Client, target, hash string, maxSteps int64) error {
-	body, err := json.Marshal(codeserver.RunRequest{MaxSteps: maxSteps})
+func loadRun(ctx context.Context, client *http.Client, target, hash string, maxSteps int64, engine string) error {
+	body, err := json.Marshal(codeserver.RunRequest{MaxSteps: maxSteps, Engine: engine})
 	if err != nil {
 		return err
 	}

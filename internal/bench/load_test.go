@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"math"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -14,7 +16,7 @@ import (
 // codeserver with a fixed request quota and pins the replay contract:
 // every request is accounted, the mix approximates the configured 80/20
 // run/compile split, the run stage has a real latency distribution, and
-// the archived report is valid safetsa-bench-v4 JSON.
+// the archived report is valid safetsa-bench-v5 JSON.
 func TestRunLoadReplay(t *testing.T) {
 	srv, err := codeserver.New(codeserver.Config{})
 	if err != nil {
@@ -31,6 +33,7 @@ func TestRunLoadReplay(t *testing.T) {
 		Duration: time.Minute, // backstop only; the quota ends the replay
 		Units:    8,
 		Seed:     42,
+		Engine:   "compiled", // exercise the per-request engine override
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,8 +81,8 @@ func TestRunLoadReplay(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v4" {
-		t.Errorf("schema %q, want safetsa-bench-v4", rep.Schema)
+	if rep.Schema != "safetsa-bench-v5" {
+		t.Errorf("schema %q, want safetsa-bench-v5", rep.Schema)
 	}
 	if rep.Load == nil {
 		t.Fatal("report lacks the load block")
@@ -89,6 +92,66 @@ func TestRunLoadReplay(t *testing.T) {
 	}
 	if rep.Load.Requests != res.Requests {
 		t.Errorf("archived request count %d != %d", rep.Load.Requests, res.Requests)
+	}
+}
+
+// TestRunLoadRejectsInvalidConfig is the regression test for the silent
+// config clamping: RunLoad used to "correct" invalid fields instead of
+// rejecting them, which let genuinely broken values through — a NaN
+// ZipfS passes a `<= 1` guard, reaches rand.NewZipf (which returns nil
+// for it), and the replay panicked on the nil Zipf mid-run. Invalid
+// configs must now fail fast with a *ConfigError naming the field,
+// before any network traffic — the targets below are unreachable, so
+// any attempt to start the warmup would surface as a transport error
+// instead.
+func TestRunLoadRejectsInvalidConfig(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name  string
+		cfg   LoadConfig
+		field string
+	}{
+		{"no targets", LoadConfig{}, "Targets"},
+		{"negative workers", LoadConfig{Workers: -3}, "Workers"},
+		{"negative duration", LoadConfig{Duration: -time.Second}, "Duration"},
+		{"negative requests", LoadConfig{Requests: -1}, "Requests"},
+		{"negative units", LoadConfig{Units: -8}, "Units"},
+		{"run fraction above one", LoadConfig{RunFraction: 1.5}, "RunFraction"},
+		{"run fraction NaN", LoadConfig{RunFraction: nan}, "RunFraction"},
+		{"zipf below one", LoadConfig{ZipfS: 0.5}, "ZipfS"},
+		{"zipf exactly one", LoadConfig{ZipfS: 1}, "ZipfS"},
+		{"zipf NaN", LoadConfig{ZipfS: nan}, "ZipfS"},
+		{"zipf infinite", LoadConfig{ZipfS: math.Inf(1)}, "ZipfS"},
+		{"negative maxsteps", LoadConfig{MaxSteps: -5}, "MaxSteps"},
+		{"unknown engine", LoadConfig{Engine: "jit"}, "Engine"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.field != "Targets" {
+				c.cfg.Targets = []string{"http://127.0.0.1:1"} // unreachable: must never be dialed
+			}
+			_, err := RunLoad(context.Background(), c.cfg)
+			var cerr *ConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("RunLoad(%+v) = %v, want a *ConfigError", c.cfg, err)
+			}
+			if cerr.Field != c.field {
+				t.Errorf("rejected field %q, want %q (%v)", cerr.Field, c.field, err)
+			}
+		})
+	}
+
+	// Zero values still mean "use the default", not "invalid": a
+	// zero-filled config (plus a target) passes validation and fails only
+	// when it actually dials the dead target.
+	cfg := LoadConfig{Targets: []string{"http://127.0.0.1:1"}, Requests: 1, Workers: 1}
+	_, err := RunLoad(context.Background(), cfg)
+	var cerr *ConfigError
+	if errors.As(err, &cerr) {
+		t.Errorf("zero-valued fields were rejected: %v", err)
+	}
+	if err == nil {
+		t.Error("replay against an unreachable target reported success")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"safetsa/internal/core"
@@ -16,24 +17,31 @@ import (
 
 // RunRow is the execution-latency comparison for one corpus unit: the
 // same optimized, round-tripped module run to completion on the
-// reference CST evaluator and on the prepared register machine.
-// Latencies are best-of-K wall times for a full session (load, static
-// init, main); Speedup is ReferenceNanos / PreparedNanos.
+// reference CST evaluator, the prepared register machine, and the
+// closure-threaded compiled engine. Latencies are best-of-K wall times
+// for a full session (load, static init, main); Speedup is
+// ReferenceNanos / PreparedNanos, CompiledSpeedup is
+// PreparedNanos / CompiledNanos.
 type RunRow struct {
-	Name           string
-	ReferenceNanos int64
-	PreparedNanos  int64
-	Speedup        float64
+	Name            string
+	ReferenceNanos  int64
+	PreparedNanos   int64
+	CompiledNanos   int64
+	Speedup         float64
+	CompiledSpeedup float64
 }
 
 // RunComparison aggregates the per-unit engine comparison over the
 // corpus. GeomeanSpeedup is the geometric mean of the per-unit
-// speedups — the headline "prepared vs reference" number recorded in
-// the BENCH_*.json trajectory.
+// prepared-over-reference speedups — the headline "prepared vs
+// reference" number recorded in the BENCH_*.json trajectory.
+// GeomeanCompiledSpeedup is the corresponding compiled-over-prepared
+// geomean, the headline number for the closure-threaded backend.
 type RunComparison struct {
-	BestOf         int
-	Rows           []RunRow
-	GeomeanSpeedup float64
+	BestOf                 int
+	Rows                   []RunRow
+	GeomeanSpeedup         float64
+	GeomeanCompiledSpeedup float64
 }
 
 // runComparisonBestOf is the number of timed sessions per engine per
@@ -41,16 +49,16 @@ type RunComparison struct {
 // scheduler noise from short single-threaded runs.
 const runComparisonBestOf = 5
 
-// MeasureRunComparison times every runnable corpus unit on both
+// MeasureRunComparison times every runnable corpus unit on all three
 // engines. Each unit is compiled, optimized, and round-tripped through
 // the wire format first (so the measured module is exactly what a
-// consumer would hold), verified and prepared once, and then run
-// runComparisonBestOf times per engine. The engines' outputs must be
-// byte-identical; any divergence is an error, making the benchmark
-// double as a whole-corpus equivalence check.
+// consumer would hold), verified, prepared, and backend-compiled once,
+// and then run runComparisonBestOf times per engine. The engines'
+// outputs must be byte-identical; any divergence is an error, making
+// the benchmark double as a whole-corpus equivalence check.
 func MeasureRunComparison() (*RunComparison, error) {
 	rc := &RunComparison{BestOf: runComparisonBestOf}
-	logSum := 0.0
+	logSum, logSumCompiled := 0.0, 0.0
 	for _, u := range corpus.Units() {
 		mod, _, err := driver.CompileTSASourceOpt(u.Files)
 		if err != nil {
@@ -70,6 +78,10 @@ func MeasureRunComparison() (*RunComparison, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: prepare: %w", u.Name, err)
 		}
+		comp, err := interp.Compile(dec, prep)
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile backend: %w", u.Name, err)
+		}
 
 		refNanos, refOut, err := bestOf(runComparisonBestOf, func(env *rt.Env) (*interp.Loader, error) {
 			return interp.LoadTrusted(dec, env)
@@ -86,28 +98,47 @@ func MeasureRunComparison() (*RunComparison, error) {
 		if refOut != prepOut {
 			return nil, fmt.Errorf("%s: engine outputs diverge:\n%q\nvs\n%q", u.Name, refOut, prepOut)
 		}
+		compNanos, compOut, err := bestOf(runComparisonBestOf, func(env *rt.Env) (*interp.Loader, error) {
+			return interp.LoadTrustedCompiled(dec, comp, env)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: compiled run: %w", u.Name, err)
+		}
+		if refOut != compOut {
+			return nil, fmt.Errorf("%s: compiled engine output diverges:\n%q\nvs\n%q", u.Name, refOut, compOut)
+		}
 
 		speedup := float64(refNanos) / float64(prepNanos)
+		compiledSpeedup := float64(prepNanos) / float64(compNanos)
 		rc.Rows = append(rc.Rows, RunRow{
-			Name:           u.Name,
-			ReferenceNanos: refNanos,
-			PreparedNanos:  prepNanos,
-			Speedup:        speedup,
+			Name:            u.Name,
+			ReferenceNanos:  refNanos,
+			PreparedNanos:   prepNanos,
+			CompiledNanos:   compNanos,
+			Speedup:         speedup,
+			CompiledSpeedup: compiledSpeedup,
 		})
 		logSum += math.Log(speedup)
+		logSumCompiled += math.Log(compiledSpeedup)
 	}
 	if len(rc.Rows) > 0 {
 		rc.GeomeanSpeedup = math.Exp(logSum / float64(len(rc.Rows)))
+		rc.GeomeanCompiledSpeedup = math.Exp(logSumCompiled / float64(len(rc.Rows)))
 	}
 	return rc, nil
 }
 
-// bestOf runs k full sessions through load (one of the two engines) and
-// returns the minimum wall time plus the (identical) printed output.
+// bestOf runs k full sessions through load (one of the three engines)
+// and returns the minimum wall time plus the (identical) printed output.
+// The heap is quiesced before every timed session (as testing.B does
+// before a benchmark) so that garbage left by the previously measured
+// engine cannot bill its collection to this one — without it the
+// last-measured engine absorbs the GC assists for all three.
 func bestOf(k int, load func(env *rt.Env) (*interp.Loader, error)) (int64, string, error) {
 	best := int64(math.MaxInt64)
 	var out string
 	for i := 0; i < k; i++ {
+		runtime.GC()
 		var buf bytes.Buffer
 		env := &rt.Env{Out: &buf}
 		start := time.Now()

@@ -34,7 +34,8 @@ func newHotTracker(threshold int, window time.Duration) *hotTracker {
 }
 
 // note records one run of k and reports whether this run crossed the
-// hot threshold (fires once per key per window generation).
+// hot threshold (fires once per key per window generation, unless the
+// caller re-arms the key because it could not act on the crossing).
 func (h *hotTracker) note(k codeserver.Key) bool {
 	if h.threshold <= 0 {
 		return false
@@ -54,6 +55,17 @@ func (h *hotTracker) note(k codeserver.Key) bool {
 	return false
 }
 
+// rearm clears the fired-this-generation latch for k, so the next run
+// past the threshold reports a crossing again. Callers use it when a
+// crossing fired but the replication push could not start — otherwise
+// the latch (set by note before the caller's preconditions run) would
+// swallow every retry until the window rotates.
+func (h *hotTracker) rearm(k codeserver.Key) {
+	h.mu.Lock()
+	h.notified[k] = false
+	h.mu.Unlock()
+}
+
 // noteRun feeds the hot tracker from the public run path and, on a
 // threshold crossing, replicates the unit to its ring successors in the
 // background. Only the key's owner pushes: every node sees its own run
@@ -64,11 +76,16 @@ func (n *Node) noteRun(k codeserver.Key) {
 		return
 	}
 	if n.ring.Owner(k.String()) != n.cfg.Self {
-		return
+		return // replica placement is the owner's call; never re-arm here
 	}
 	u, ok := n.srv.Unit(k)
 	if !ok {
-		return // nothing local to push; the next crossing retries
+		// Nothing local to push yet (the store may still be admitting the
+		// unit). Re-arm the tracker so the next threshold-crossing run
+		// actually retries instead of being swallowed by the
+		// once-per-window latch.
+		n.hot.rearm(k)
+		return
 	}
 	n.bg.Add(1)
 	go func() {

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"safetsa/internal/codeserver"
+)
+
+// TestHotTrackerRearmRetries is the regression test for the swallowed
+// replication retry: note latches the once-per-window flag the moment a
+// crossing fires, before the caller's push preconditions run, so a
+// caller that could not act on the crossing never saw it again within
+// the window. rearm must hand the crossing back.
+func TestHotTrackerRearmRetries(t *testing.T) {
+	h := newHotTracker(3, time.Minute)
+	var k codeserver.Key
+	k[0] = 0xab
+
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if h.note(k) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("6 runs past a threshold of 3 fired %d crossings, want exactly 1", fired)
+	}
+
+	// The caller could not push: it re-arms, and the very next run over
+	// the threshold fires again — no waiting for the window to rotate.
+	h.rearm(k)
+	if !h.note(k) {
+		t.Fatal("crossing did not re-fire after rearm")
+	}
+	if h.note(k) {
+		t.Fatal("crossing fired twice without an intervening rearm")
+	}
+
+	// rearm is per-key: an unrelated hot key keeps its latch.
+	var k2 codeserver.Key
+	k2[0] = 0xcd
+	for i := 0; i < 3; i++ {
+		h.note(k2)
+	}
+	h.rearm(k)
+	if h.note(k2) {
+		t.Fatal("rearm of one key unlatched another")
+	}
+}
+
+// TestFleetHotReplicationSingleNode: a 1-node "fleet" with a replica
+// count larger than the membership must never push (there is no one to
+// push to), never record push errors, never spin, and close cleanly.
+func TestFleetHotReplicationSingleNode(t *testing.T) {
+	f := newFleet(t, []string{"solo"}, func(c *Config) {
+		c.HotThreshold = 2
+		c.HotWindow = time.Minute
+		c.Replicas = 3 // more than the 1-node membership
+	})
+	cr := fleetCompile(t, f.urls["solo"], fleetProgram(1))
+	for i := 0; i < 5; i++ {
+		if rr, _, err := fleetRun(f.urls["solo"], cr.Hash); err != nil || !rr.OK {
+			t.Fatalf("run %d: %+v err %v", i, rr, err)
+		}
+	}
+	node := f.nodes["solo"]
+	node.Close() // waits for any background push fan; must not hang
+	if got := node.replicaPushes.Load(); got != 0 {
+		t.Errorf("single-node fleet recorded %d replica pushes, want 0", got)
+	}
+	if got := node.replicaPushErrors.Load(); got != 0 {
+		t.Errorf("single-node fleet recorded %d push errors, want 0", got)
+	}
+}
+
+// TestFleetHotReplicationMoreReplicasThanMembers: with Replicas far
+// beyond the fleet size, the owner pushes to each distinct non-self
+// member exactly once — no self-push, no double-send, no spin.
+func TestFleetHotReplicationMoreReplicasThanMembers(t *testing.T) {
+	f := newFleet(t, []string{"a1", "b2"}, func(c *Config) {
+		c.HotThreshold = 2
+		c.HotWindow = time.Minute
+		c.Replicas = 9 // fleet has 2 members
+	})
+	cr := fleetCompile(t, f.urls["a1"], fleetProgram(2))
+	k, err := codeserver.ParseKey(cr.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := f.owner(k)
+	other := "a1"
+	if owner == "a1" {
+		other = "b2"
+	}
+	for i := 0; i < 3; i++ {
+		if rr, _, err := fleetRun(f.urls[owner], cr.Hash); err != nil || !rr.OK {
+			t.Fatalf("run %d on owner: %+v err %v", i, rr, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := f.srvs[other].Unit(k); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hot unit never replicated to %s", other)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.nodes[owner].Close() // drain the push fan before counting
+	if got := f.nodes[owner].replicaPushes.Load(); got != 1 {
+		t.Errorf("owner recorded %d pushes for 1 distinct non-self member, want exactly 1", got)
+	}
+	if got := f.nodes[owner].replicaPushErrors.Load(); got != 0 {
+		t.Errorf("owner recorded %d push errors, want 0", got)
+	}
+	if got := f.nodes[other].replicaPushes.Load(); got != 0 {
+		t.Errorf("non-owner %s pushed %d replicas, want 0", other, got)
+	}
+}
+
+// TestFleetHotReplicationRetriesMissedPush reproduces the swallowed
+// retry end to end: the owner's run traffic crosses the hot threshold
+// while its store does not hold the unit yet, so the push is skipped.
+// Once the unit is admitted, the next run over the threshold must
+// replicate it within the same window — before the fix, the
+// once-per-window latch (set before the store check) suppressed every
+// retry until the window rotated.
+func TestFleetHotReplicationRetriesMissedPush(t *testing.T) {
+	f := newFleet(t, []string{"a1", "b2"}, func(c *Config) {
+		c.HotThreshold = 3
+		c.HotWindow = time.Minute
+		c.Replicas = 2
+	})
+
+	// Learn the unit's key on a standalone server so neither fleet member
+	// holds it yet.
+	aside, err := codeserver.New(codeserver.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := aside.CompileUnit(t.Context(), fleetProgram(3), codeserver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := u.Key
+	owner := f.owner(k)
+	node := f.nodes[owner]
+
+	// The threshold crossing fires while the store misses: push skipped.
+	for i := 0; i < 3; i++ {
+		node.noteRun(k)
+	}
+	if got := node.replicaPushes.Load(); got != 0 {
+		t.Fatalf("pushed %d replicas with nothing in the store", got)
+	}
+
+	// Admit the unit fleet-wide (the ring routes the compile to the
+	// owner), then cross the threshold once more in the same window.
+	fleetCompile(t, f.urls[owner], fleetProgram(3))
+	if _, ok := f.srvs[owner].Unit(k); !ok {
+		t.Fatal("owner store does not hold the unit after compile")
+	}
+	node.noteRun(k)
+
+	other := "a1"
+	if owner == "a1" {
+		other = "b2"
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := f.srvs[other].Unit(k); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("missed push was never retried within the window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -56,17 +56,19 @@ type Metrics struct {
 	interruptKills  atomic.Uint64
 
 	// Per-stage latency histograms. compileHist covers the whole
-	// producer pipeline (one sample per actual compile), decodeHist,
-	// verifyHist, and prepareHist the consumer loader stages (one
-	// sample per load attempt — preparation is shared by every session
-	// of a unit, so its count tracks loads, not runs), runHist one
-	// sample per execution session.
-	compileHist  obs.Histogram
-	decodeHist   obs.Histogram
-	verifyHist   obs.Histogram
-	prepareHist  obs.Histogram
-	runHist      obs.Histogram
-	peerFillHist obs.Histogram // one sample per peer fetch+admission attempt
+	// producer pipeline (one sample per actual compile); decodeHist,
+	// verifyHist, prepareHist, and compileBackendHist the consumer
+	// loader stages (one sample per load attempt — preparation and
+	// backend compilation are shared by every session of a unit, so
+	// their counts track loads, not runs); runHist one sample per
+	// execution session.
+	compileHist        obs.Histogram
+	decodeHist         obs.Histogram
+	verifyHist         obs.Histogram
+	prepareHist        obs.Histogram
+	compileBackendHist obs.Histogram
+	runHist            obs.Histogram
+	peerFillHist       obs.Histogram // one sample per peer fetch+admission attempt
 }
 
 // Stats is the exported snapshot of Metrics, plus the cache sizes filled
@@ -112,20 +114,22 @@ type Stats struct {
 	// Cumulative latencies (nanoseconds) over all requests. Legacy keys:
 	// derived from the histogram sums so they keep increasing exactly as
 	// before the histograms existed.
-	CompileNanos  int64 `json:"compile_nanos"`
-	DecodeNanos   int64 `json:"decode_nanos"`
-	VerifyNanos   int64 `json:"verify_nanos"`
-	PrepareNanos  int64 `json:"prepare_nanos"`
-	RunNanos      int64 `json:"run_nanos"`
-	PeerFillNanos int64 `json:"peer_fill_nanos"`
+	CompileNanos        int64 `json:"compile_nanos"`
+	DecodeNanos         int64 `json:"decode_nanos"`
+	VerifyNanos         int64 `json:"verify_nanos"`
+	PrepareNanos        int64 `json:"prepare_nanos"`
+	CompileBackendNanos int64 `json:"compile_backend_nanos"`
+	RunNanos            int64 `json:"run_nanos"`
+	PeerFillNanos       int64 `json:"peer_fill_nanos"`
 
 	// Per-stage latency distributions (count, sum, p50/p90/p99).
-	CompileLatency  obs.LatencySummary `json:"compile_latency"`
-	DecodeLatency   obs.LatencySummary `json:"decode_latency"`
-	VerifyLatency   obs.LatencySummary `json:"verify_latency"`
-	PrepareLatency  obs.LatencySummary `json:"prepare_latency"`
-	RunLatency      obs.LatencySummary `json:"run_latency"`
-	PeerFillLatency obs.LatencySummary `json:"peer_fill_latency"`
+	CompileLatency        obs.LatencySummary `json:"compile_latency"`
+	DecodeLatency         obs.LatencySummary `json:"decode_latency"`
+	VerifyLatency         obs.LatencySummary `json:"verify_latency"`
+	PrepareLatency        obs.LatencySummary `json:"prepare_latency"`
+	CompileBackendLatency obs.LatencySummary `json:"compile_backend_latency"`
+	RunLatency            obs.LatencySummary `json:"run_latency"`
+	PeerFillLatency       obs.LatencySummary `json:"peer_fill_latency"`
 }
 
 func (m *Metrics) snapshot() Stats {
@@ -133,45 +137,48 @@ func (m *Metrics) snapshot() Stats {
 	decode := m.decodeHist.Snapshot()
 	verify := m.verifyHist.Snapshot()
 	prepare := m.prepareHist.Snapshot()
+	compileBackend := m.compileBackendHist.Snapshot()
 	run := m.runHist.Snapshot()
 	peerFill := m.peerFillHist.Snapshot()
 	return Stats{
-		Node:             m.node,
-		CompileRequests:  m.compileRequests.Load(),
-		CacheHits:        m.cacheHits.Load(),
-		DiskHits:         m.diskHits.Load(),
-		Compiles:         m.compiles.Load(),
-		Coalesced:        m.coalesced.Load(),
-		CompileErrors:    m.compileErrors.Load(),
-		CompilesInFlight: m.compilesInFlight.Load(),
-		Evictions:        m.evictions.Load(),
-		PeerFills:        m.peerFills.Load(),
-		PeerFillErrors:   m.peerFillErrors.Load(),
-		PeerFillRejects:  m.peerFillRejects.Load(),
-		Loads:            m.loads.Load(),
-		LoaderHits:       m.loaderHits.Load(),
-		LoadErrors:       m.loadErrors.Load(),
-		LoaderEvicted:    m.loaderEvict.Load(),
-		Runs:             m.runs.Load(),
-		RunErrors:        m.runErrors.Load(),
-		RunsInFlight:     m.runsInFlight.Load(),
-		GuestSteps:       m.guestSteps.Load(),
-		GuestAllocs:      m.guestAllocs.Load(),
-		StepLimitKills:   m.stepLimitKills.Load(),
-		AllocLimitKills:  m.allocLimitKills.Load(),
-		InterruptKills:   m.interruptKills.Load(),
-		CompileNanos:     compile.SumNanos,
-		DecodeNanos:      decode.SumNanos,
-		VerifyNanos:      verify.SumNanos,
-		PrepareNanos:     prepare.SumNanos,
-		RunNanos:         run.SumNanos,
-		PeerFillNanos:    peerFill.SumNanos,
-		CompileLatency:   compile.Summary(),
-		DecodeLatency:    decode.Summary(),
-		VerifyLatency:    verify.Summary(),
-		PrepareLatency:   prepare.Summary(),
-		RunLatency:       run.Summary(),
-		PeerFillLatency:  peerFill.Summary(),
+		Node:                  m.node,
+		CompileRequests:       m.compileRequests.Load(),
+		CacheHits:             m.cacheHits.Load(),
+		DiskHits:              m.diskHits.Load(),
+		Compiles:              m.compiles.Load(),
+		Coalesced:             m.coalesced.Load(),
+		CompileErrors:         m.compileErrors.Load(),
+		CompilesInFlight:      m.compilesInFlight.Load(),
+		Evictions:             m.evictions.Load(),
+		PeerFills:             m.peerFills.Load(),
+		PeerFillErrors:        m.peerFillErrors.Load(),
+		PeerFillRejects:       m.peerFillRejects.Load(),
+		Loads:                 m.loads.Load(),
+		LoaderHits:            m.loaderHits.Load(),
+		LoadErrors:            m.loadErrors.Load(),
+		LoaderEvicted:         m.loaderEvict.Load(),
+		Runs:                  m.runs.Load(),
+		RunErrors:             m.runErrors.Load(),
+		RunsInFlight:          m.runsInFlight.Load(),
+		GuestSteps:            m.guestSteps.Load(),
+		GuestAllocs:           m.guestAllocs.Load(),
+		StepLimitKills:        m.stepLimitKills.Load(),
+		AllocLimitKills:       m.allocLimitKills.Load(),
+		InterruptKills:        m.interruptKills.Load(),
+		CompileNanos:          compile.SumNanos,
+		DecodeNanos:           decode.SumNanos,
+		VerifyNanos:           verify.SumNanos,
+		PrepareNanos:          prepare.SumNanos,
+		CompileBackendNanos:   compileBackend.SumNanos,
+		RunNanos:              run.SumNanos,
+		PeerFillNanos:         peerFill.SumNanos,
+		CompileLatency:        compile.Summary(),
+		DecodeLatency:         decode.Summary(),
+		VerifyLatency:         verify.Summary(),
+		PrepareLatency:        prepare.Summary(),
+		CompileBackendLatency: compileBackend.Summary(),
+		RunLatency:            run.Summary(),
+		PeerFillLatency:       peerFill.Summary(),
 	}
 }
 
@@ -228,11 +235,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
 
 	p.HistogramVec("safetsa_stage_duration_seconds", "Pipeline stage latency.", "stage",
 		map[string]obs.HistogramSnapshot{
-			"compile":   m.compileHist.Snapshot(),
-			"decode":    m.decodeHist.Snapshot(),
-			"verify":    m.verifyHist.Snapshot(),
-			"prepare":   m.prepareHist.Snapshot(),
-			"run":       m.runHist.Snapshot(),
-			"peer_fill": m.peerFillHist.Snapshot(),
+			"compile":         m.compileHist.Snapshot(),
+			"decode":          m.decodeHist.Snapshot(),
+			"verify":          m.verifyHist.Snapshot(),
+			"prepare":         m.prepareHist.Snapshot(),
+			"compile_backend": m.compileBackendHist.Snapshot(),
+			"run":             m.runHist.Snapshot(),
+			"peer_fill":       m.peerFillHist.Snapshot(),
 		})
 }

@@ -53,6 +53,7 @@ func TestPrometheusGolden(t *testing.T) {
 	m.decodeHist.Observe(80 * time.Microsecond)
 	m.verifyHist.Observe(200 * time.Microsecond)
 	m.prepareHist.Observe(50 * time.Microsecond)
+	m.compileBackendHist.Observe(120 * time.Microsecond)
 	m.runHist.Observe(1500 * time.Microsecond)
 	m.runHist.Observe(900 * time.Nanosecond)
 

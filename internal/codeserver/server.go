@@ -47,8 +47,9 @@ type Config struct {
 	// /debug/traces (<=0: 64).
 	Traces int
 	// Engine selects the default execution engine for run sessions:
-	// driver.EnginePrepared (also the "" default) or
-	// driver.EngineReference. Requests may override it per session.
+	// driver.EnginePrepared (also the "" default),
+	// driver.EngineCompiled, or driver.EngineReference. Requests may
+	// override it per session.
 	Engine string
 	// NodeName identifies this server inside a fleet: it labels every
 	// Prometheus series and the stats snapshot. Empty for single-node
@@ -270,12 +271,14 @@ func resolveEngine(cfgEngine, reqEngine string) (string, error) {
 	switch e {
 	case "", driver.EnginePrepared:
 		return driver.EnginePrepared, nil
+	case driver.EngineCompiled:
+		return driver.EngineCompiled, nil
 	case driver.EngineReference:
 		return driver.EngineReference, nil
 	}
 	return "", &driver.Error{Kind: driver.KindParse,
-		Err: fmt.Errorf("codeserver: unknown engine %q (want %q or %q)",
-			e, driver.EnginePrepared, driver.EngineReference)}
+		Err: fmt.Errorf("codeserver: unknown engine %q (want %q, %q, or %q)",
+			e, driver.EnginePrepared, driver.EngineCompiled, driver.EngineReference)}
 }
 
 // RunUnit executes the unit's main on the server's default engine; see
@@ -285,9 +288,10 @@ func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult,
 }
 
 // RunUnitEngine executes the unit's main in a fresh, isolated session:
-// the decoded module and its prepared form come from the loader cache
-// (shared read-only), while the class metadata, statics, and heap are
-// rebuilt per call, so concurrent sessions cannot observe each other.
+// the decoded module and its prepared and compiled forms come from the
+// loader cache (shared read-only), while the class metadata, statics,
+// and heap are rebuilt per call, so concurrent sessions cannot observe
+// each other.
 // engine selects the evaluator ("" uses the server default). Guest
 // failures (uncaught exceptions, step limit) are reported inside
 // RunResult, not as an error.
@@ -335,9 +339,12 @@ func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engin
 	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: runCtx.Done()}
 	res := RunResult{OK: true}
 	var l *interp.Loader
-	if engine == driver.EnginePrepared {
+	switch engine {
+	case driver.EnginePrepared:
 		l, err = interp.LoadTrustedPrepared(lu.Mod, lu.Prep, env)
-	} else {
+	case driver.EngineCompiled:
+		l, err = interp.LoadTrustedCompiled(lu.Mod, lu.Comp, env)
+	default:
 		l, err = interp.LoadTrusted(lu.Mod, env)
 	}
 	if err == nil {
@@ -382,7 +389,7 @@ type CompileResponse struct {
 type RunRequest struct {
 	MaxSteps int64 `json:"max_steps"`
 	// Engine optionally overrides the server's default evaluator for
-	// this session: "prepared" or "reference".
+	// this session: "prepared", "compiled", or "reference".
 	Engine string `json:"engine,omitempty"`
 }
 

@@ -261,12 +261,13 @@ func TestStressMixedTraffic(t *testing.T) {
 }
 
 // TestStressEngineSplit runs 32 concurrent sessions of one cached unit
-// with the engine choice split 50/50 between the prepared register
-// machine and the reference evaluator. Both engines share the single
-// decoded+prepared module, must produce identical output, and — the
-// key accounting invariant — preparation happens once per distinct
-// unit load, never once per run: the prepare-stage histogram count
-// equals Loads (1), not the number of run requests.
+// with the engine choice split evenly across the prepared register
+// machine, the reference evaluator, and the closure-threaded compiled
+// engine. All three engines share the single decoded+prepared+compiled
+// module, must produce identical output, and — the key accounting
+// invariant — preparation happens once per distinct unit load, never
+// once per run: the prepare-stage histogram count equals Loads (1), not
+// the number of run requests.
 func TestStressEngineSplit(t *testing.T) {
 	s := newTestServer(t, Config{})
 	u, ok := corpus.ByName("BigDecimal")
@@ -289,8 +290,11 @@ func TestStressEngineSplit(t *testing.T) {
 			defer wg.Done()
 			<-start
 			engine := driver.EnginePrepared
-			if i%2 == 1 {
+			switch i % 3 {
+			case 1:
 				engine = driver.EngineReference
+			case 2:
+				engine = driver.EngineCompiled
 			}
 			results[i], errs[i] = s.RunUnitEngine(context.Background(), unit.Key, 0, engine)
 		}(i)

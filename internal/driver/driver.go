@@ -169,6 +169,7 @@ func RunBytecode(p *bytecode.Program, maxSteps int64) (string, error) {
 const (
 	EngineReference = "reference"
 	EnginePrepared  = "prepared"
+	EngineCompiled  = "compiled"
 )
 
 // RunModule loads and executes a module's main method, returning its
@@ -225,15 +226,55 @@ func RunModulePreparedContext(ctx context.Context, mod *core.Module, maxSteps in
 	return out.String(), nil
 }
 
+// RunModuleCompiled verifies, prepares, compiles, and executes a module
+// on the closure-threaded engine.
+func RunModuleCompiled(mod *core.Module, maxSteps int64) (string, error) {
+	return RunModuleCompiledContext(context.Background(), mod, maxSteps)
+}
+
+// RunModuleCompiledContext is the context-aware form of
+// RunModuleCompiled: verifier first, then the load-time Prepare pass
+// (under a "prepare" span), the closure-fusing Compile pass (under a
+// "compile_backend" span), then a compiled-engine session.
+func RunModuleCompiledContext(ctx context.Context, mod *core.Module, maxSteps int64) (string, error) {
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return "", wrapKind(KindVerify, fmt.Errorf("interp: module rejected by verifier: %w", err))
+	}
+	_, psp := obs.Start(ctx, "prepare")
+	prep, err := interp.Prepare(mod)
+	psp.End()
+	if err != nil {
+		return "", wrapKind(KindVerify, err)
+	}
+	_, csp := obs.Start(ctx, "compile_backend")
+	comp, err := interp.Compile(mod, prep)
+	csp.End()
+	if err != nil {
+		return "", wrapKind(KindVerify, err)
+	}
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: ctx.Done()}
+	l, err := interp.LoadTrustedCompiled(mod, comp, env)
+	if err != nil {
+		return out.String(), wrapKind(KindVerify, err)
+	}
+	if err := l.RunMain(); err != nil {
+		return out.String(), wrapKind(KindRuntime, err)
+	}
+	return out.String(), nil
+}
+
 // RunModuleEngine dispatches to the named engine: "prepared" (also the
-// default for ""), or "reference".
+// default for ""), "compiled", or "reference".
 func RunModuleEngine(ctx context.Context, mod *core.Module, maxSteps int64, engine string) (string, error) {
 	switch engine {
 	case "", EnginePrepared:
 		return RunModulePreparedContext(ctx, mod, maxSteps)
+	case EngineCompiled:
+		return RunModuleCompiledContext(ctx, mod, maxSteps)
 	case EngineReference:
 		return RunModuleContext(ctx, mod, maxSteps)
 	}
-	return "", wrapKind(KindParse, fmt.Errorf("unknown engine %q (want %q or %q)",
-		engine, EnginePrepared, EngineReference))
+	return "", wrapKind(KindParse, fmt.Errorf("unknown engine %q (want %q, %q, or %q)",
+		engine, EnginePrepared, EngineCompiled, EngineReference))
 }

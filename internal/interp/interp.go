@@ -24,6 +24,15 @@ type Loader struct {
 	// machine: every function body (static initializers included) runs
 	// through runPrepared instead of the reference CST walker.
 	prep *Prepared
+	// comp, when non-nil, switches the session to the closure-threaded
+	// compiled engine; it takes precedence over prep.
+	comp *Compiled
+	// cfree and afree are the compiled engine's per-session free lists
+	// for invocation frames and call-argument buffers (see getFrame in
+	// compile.go). A Loader is single-session, single-goroutine state, so
+	// the lists need no locking.
+	cfree []*cframe
+	afree [][]rt.Value
 }
 
 // Load verifies the module and prepares it for execution (class metadata
@@ -144,6 +153,9 @@ func (l *Loader) runStaticInit() error {
 
 // call invokes function index fi on the session's engine.
 func (l *Loader) call(fi int32, args []rt.Value) rt.Value {
+	if l.comp != nil {
+		return l.runCompiled(l.comp.Funcs[fi], args)
+	}
 	if l.prep != nil {
 		return l.runPrepared(l.prep.Funcs[fi], args)
 	}

@@ -113,8 +113,10 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 // linear interpolation inside the bucket holding the target rank. The
 // estimate is always within the true quantile's bucket, so it is off by
 // at most a factor of two for values above 1µs. An empty histogram
-// reports 0; ranks landing in the overflow bucket report the last finite
-// bound (a lower bound on the truth).
+// reports 0. A rank landing in the overflow bucket has no finite upper
+// bound, so it reports BucketUpperBound(NumBuckets) — max int64, the
+// "+Inf" saturation marker — rather than silently clamping to the last
+// finite bound (~134s) and masquerading as a measurement.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
@@ -136,7 +138,7 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 			continue
 		}
 		if i >= NumBuckets {
-			return BucketUpperBound(NumBuckets - 1)
+			return BucketUpperBound(NumBuckets)
 		}
 		lo := int64(0)
 		if i > 0 {
@@ -147,28 +149,33 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 		frac := float64(rank-cum) / float64(c)
 		return lo + int64(frac*float64(hi-lo))
 	}
-	return BucketUpperBound(NumBuckets - 1)
+	return BucketUpperBound(NumBuckets)
 }
 
 // LatencySummary is the JSON-friendly digest of one histogram: sample
-// count, total time, and estimated p50/p90/p99. It is what /stats and
-// benchtables -json embed.
+// count, total time, estimated p50/p90/p99, and the number of samples
+// that overflowed the finite bucket range. It is what /stats and
+// benchtables -json embed. A nonzero OverflowCount means some samples
+// exceeded the ~134s finite range; quantiles whose rank lands among them
+// saturate to max int64 instead of reporting a fake finite latency.
 type LatencySummary struct {
-	Count    uint64 `json:"count"`
-	SumNanos int64  `json:"sum_nanos"`
-	P50Nanos int64  `json:"p50_nanos"`
-	P90Nanos int64  `json:"p90_nanos"`
-	P99Nanos int64  `json:"p99_nanos"`
+	Count         uint64 `json:"count"`
+	SumNanos      int64  `json:"sum_nanos"`
+	OverflowCount uint64 `json:"overflow_count"`
+	P50Nanos      int64  `json:"p50_nanos"`
+	P90Nanos      int64  `json:"p90_nanos"`
+	P99Nanos      int64  `json:"p99_nanos"`
 }
 
 // Summary digests the snapshot.
 func (s HistogramSnapshot) Summary() LatencySummary {
 	return LatencySummary{
-		Count:    s.Count,
-		SumNanos: s.SumNanos,
-		P50Nanos: s.Quantile(0.50),
-		P90Nanos: s.Quantile(0.90),
-		P99Nanos: s.Quantile(0.99),
+		Count:         s.Count,
+		SumNanos:      s.SumNanos,
+		OverflowCount: s.Buckets[NumBuckets],
+		P50Nanos:      s.Quantile(0.50),
+		P90Nanos:      s.Quantile(0.90),
+		P99Nanos:      s.Quantile(0.99),
 	}
 }
 

@@ -100,11 +100,70 @@ func TestQuantileEdgeCases(t *testing.T) {
 		}
 	}
 
-	// Overflow samples report the last finite bound, not garbage.
+	// Overflow samples saturate to the +Inf marker, not to the last
+	// finite bound.
 	var o Histogram
 	o.ObserveNanos(BucketUpperBound(NumBuckets-1) + 12345)
-	if got := o.Snapshot().Quantile(0.5); got != BucketUpperBound(NumBuckets-1) {
-		t.Errorf("overflow quantile = %d, want %d", got, BucketUpperBound(NumBuckets-1))
+	if got := o.Snapshot().Quantile(0.5); got != BucketUpperBound(NumBuckets) {
+		t.Errorf("overflow quantile = %d, want saturation marker %d", got, BucketUpperBound(NumBuckets))
+	}
+}
+
+// TestQuantileOverflowSaturates is the regression test for the silent
+// overflow clamp: a rank that lands in the overflow bucket used to
+// report the last finite bound (~134s) as if it were a real measurement.
+// It must instead report BucketUpperBound(NumBuckets) — max int64, the
+// "+Inf" marker — and the summary must expose how many samples
+// overflowed, so a wedged stage cannot hide behind a plausible-looking
+// p99.
+func TestQuantileOverflowSaturates(t *testing.T) {
+	saturated := BucketUpperBound(NumBuckets)
+	if saturated != int64(^uint64(0)>>1) {
+		t.Fatalf("saturation marker = %d, want max int64", saturated)
+	}
+
+	// 98 fast samples and 2 wedged ones: p50/p90 stay finite, p99's rank
+	// (99 of 100) lands among the overflow samples and must saturate.
+	var h Histogram
+	for i := 0; i < 98; i++ {
+		h.ObserveNanos(5000)
+	}
+	h.ObserveNanos(BucketUpperBound(NumBuckets-1) + 1)
+	h.ObserveNanos(BucketUpperBound(NumBuckets-1) + 2)
+	sum := h.Summary()
+	if sum.OverflowCount != 2 {
+		t.Errorf("overflow_count = %d, want 2", sum.OverflowCount)
+	}
+	if sum.P50Nanos >= BucketUpperBound(NumBuckets-1) {
+		t.Errorf("p50 = %d, want finite (only 10%% of samples overflowed)", sum.P50Nanos)
+	}
+	if sum.P99Nanos != saturated {
+		t.Errorf("p99 = %d, want saturation marker %d", sum.P99Nanos, saturated)
+	}
+
+	// All-overflow histogram: every quantile saturates, none reports the
+	// old clamp value.
+	var o Histogram
+	o.ObserveNanos(BucketUpperBound(NumBuckets-1) + 777)
+	o.ObserveNanos(int64(^uint64(0) >> 2))
+	osum := o.Summary()
+	if osum.OverflowCount != 2 {
+		t.Errorf("overflow_count = %d, want 2", osum.OverflowCount)
+	}
+	for name, v := range map[string]int64{"p50": osum.P50Nanos, "p90": osum.P90Nanos, "p99": osum.P99Nanos} {
+		if v != saturated {
+			t.Errorf("%s = %d, want saturation marker %d", name, v, saturated)
+		}
+		if v == BucketUpperBound(NumBuckets-1) {
+			t.Errorf("%s reports the last finite bound — the silent clamp is back", name)
+		}
+	}
+
+	// A histogram with no overflow keeps overflow_count at zero.
+	var f Histogram
+	f.ObserveNanos(1234)
+	if got := f.Summary().OverflowCount; got != 0 {
+		t.Errorf("finite-only overflow_count = %d, want 0", got)
 	}
 }
 

@@ -17,10 +17,10 @@
 //   - Four-pipeline differential: the bytecode VM, the plain SafeTSA
 //     evaluator, the optimized SafeTSA evaluator, and the wire round
 //     trip must print identical output for the same program.
-//   - Prepared-engine equivalence: every admissible module behaves
-//     identically on the reference CST evaluator and the prepared
-//     register machine — output, errors, budget drain, kill reason,
-//     and final heap.
+//   - Execution-engine equivalence: every admissible module behaves
+//     identically on the reference CST evaluator, the prepared register
+//     machine, and the closure-threaded compiled engine — output,
+//     errors, budget drain, kill reason, and final heap.
 //
 // Every function returns nil for "behaved as specified" (including clean
 // rejections of bad input) and a descriptive error for an invariant
@@ -223,14 +223,24 @@ func Differential(files map[string]string, b Budgets) (string, error) {
 	return want, nil
 }
 
-// PreparedDifferential is the prepared-engine equivalence oracle: any
+// engineRun is the observable outcome of one oracle session: printed
+// bytes, error, budget drain, and the loader that owns the final heap.
+type engineRun struct {
+	out bytes.Buffer
+	env *rt.Env
+	l   *interp.Loader
+	err error
+}
+
+// PreparedDifferential is the execution-engine equivalence oracle: any
 // byte string that decodes and verifies (i.e. passes wire admission)
-// must behave identically on the reference CST evaluator and on the
-// prepared register machine — byte-identical output, identical error
-// text and KillReason, identical cumulative step/alloc budget drain,
-// and an identical final reachable-heap checksum. A verified module
-// that fails to Prepare is itself a violation: preparation is total on
-// admissible modules.
+// must behave identically on the reference CST evaluator, the prepared
+// register machine, and the closure-threaded compiled engine —
+// byte-identical output, identical error text and KillReason, identical
+// cumulative step/alloc budget drain, and an identical final
+// reachable-heap checksum. A verified module that fails to Prepare or
+// Compile is itself a violation: both lowerings are total on admissible
+// modules.
 func PreparedDifferential(data []byte, b Budgets) error {
 	mod, err := wire.DecodeModule(data)
 	if err != nil {
@@ -243,48 +253,66 @@ func PreparedDifferential(data []byte, b Budgets) error {
 	if err != nil {
 		return fmt.Errorf("oracle: verified module fails to prepare: %w", err)
 	}
+	comp, err := interp.Compile(mod, prep)
+	if err != nil {
+		return fmt.Errorf("oracle: prepared module fails to compile: %w", err)
+	}
 	b = b.orDefaults()
 
-	run := func(prepared bool) (out bytes.Buffer, env *rt.Env, l *interp.Loader, err error) {
-		env = b.newEnv(&out)
-		if prepared {
-			l, err = interp.LoadTrustedPrepared(mod, prep, env)
-		} else {
-			l, err = interp.LoadTrusted(mod, env)
+	run := func(engine string) *engineRun {
+		r := &engineRun{}
+		r.env = b.newEnv(&r.out)
+		switch engine {
+		case driver.EnginePrepared:
+			r.l, r.err = interp.LoadTrustedPrepared(mod, prep, r.env)
+		case driver.EngineCompiled:
+			r.l, r.err = interp.LoadTrustedCompiled(mod, comp, r.env)
+		default:
+			r.l, r.err = interp.LoadTrusted(mod, r.env)
 		}
-		if err != nil || mod.Entry < 0 {
-			return out, env, l, err
+		if r.err != nil || mod.Entry < 0 {
+			return r
 		}
-		return out, env, l, l.RunMain()
+		r.err = r.l.RunMain()
+		return r
 	}
-	refOut, refEnv, refL, refErr := run(false)
-	preOut, preEnv, preL, preErr := run(true)
+	ref := run(driver.EngineReference)
+	for _, engine := range []string{driver.EnginePrepared, driver.EngineCompiled} {
+		if err := compareEngineRuns(engine, ref, run(engine)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	if !bytes.Equal(refOut.Bytes(), preOut.Bytes()) {
-		return fmt.Errorf("oracle: prepared engine output diverges:\nreference: %q\nprepared:  %q",
-			refOut.String(), preOut.String())
+// compareEngineRuns holds one engine's session to the reference
+// session's observables, bit-exactly.
+func compareEngineRuns(engine string, ref, got *engineRun) error {
+	if !bytes.Equal(ref.out.Bytes(), got.out.Bytes()) {
+		return fmt.Errorf("oracle: %s engine output diverges:\nreference: %q\n%s: %q",
+			engine, ref.out.String(), engine, got.out.String())
 	}
-	refMsg, preMsg := "", ""
-	if refErr != nil {
-		refMsg = refErr.Error()
+	refMsg, gotMsg := "", ""
+	if ref.err != nil {
+		refMsg = ref.err.Error()
 	}
-	if preErr != nil {
-		preMsg = preErr.Error()
+	if got.err != nil {
+		gotMsg = got.err.Error()
 	}
-	if refMsg != preMsg {
-		return fmt.Errorf("oracle: prepared engine error diverges:\nreference: %q\nprepared:  %q",
-			refMsg, preMsg)
+	if refMsg != gotMsg {
+		return fmt.Errorf("oracle: %s engine error diverges:\nreference: %q\n%s: %q",
+			engine, refMsg, engine, gotMsg)
 	}
-	if rk, pk := rt.KillReason(refErr), rt.KillReason(preErr); rk != pk {
-		return fmt.Errorf("oracle: prepared engine kill reason diverges: reference %q, prepared %q", rk, pk)
+	if rk, gk := rt.KillReason(ref.err), rt.KillReason(got.err); rk != gk {
+		return fmt.Errorf("oracle: %s engine kill reason diverges: reference %q, %s %q", engine, rk, engine, gk)
 	}
-	if refEnv.Steps != preEnv.Steps || refEnv.Allocs != preEnv.Allocs {
-		return fmt.Errorf("oracle: prepared engine budget drain diverges: reference %d steps/%d allocs, prepared %d steps/%d allocs",
-			refEnv.Steps, refEnv.Allocs, preEnv.Steps, preEnv.Allocs)
+	if ref.env.Steps != got.env.Steps || ref.env.Allocs != got.env.Allocs {
+		return fmt.Errorf("oracle: %s engine budget drain diverges: reference %d steps/%d allocs, %s %d steps/%d allocs",
+			engine, ref.env.Steps, ref.env.Allocs, engine, got.env.Steps, got.env.Allocs)
 	}
-	if refL != nil && preL != nil {
-		if rh, ph := refL.HeapChecksum(), preL.HeapChecksum(); rh != ph {
-			return fmt.Errorf("oracle: prepared engine heap diverges: reference %#x, prepared %#x", rh, ph)
+	if ref.l != nil && got.l != nil {
+		if rh, gh := ref.l.HeapChecksum(), got.l.HeapChecksum(); rh != gh {
+			return fmt.Errorf("oracle: %s engine heap diverges: reference %#x, %s %#x", engine, rh, engine, gh)
 		}
 	}
 	return nil

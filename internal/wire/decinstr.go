@@ -65,6 +65,13 @@ func (fd *funcDecoder) decodeBlock(b *core.Block) error {
 	if err != nil {
 		return err
 	}
+	if nPhis > 0 && len(b.Preds) == 0 {
+		// A phi operand is a per-incoming-edge reference; a block with no
+		// predecessors offers no edge alphabet to draw from, so the
+		// spelling is inadmissible (the verifier would reject it too, but
+		// wire admission must not produce unverifiable modules at all).
+		return malformedf("phis in a block with no predecessors")
+	}
 	if b == fd.f.Entry {
 		// Re-create the untransmitted parameter pre-loads from the
 		// signature.
