@@ -7,7 +7,9 @@
 //	benchtables -json out.json # every table cell + claims + per-stage
 //	                           # latency histogram summaries + the
 //	                           # three-way reference/prepared/compiled
-//	                           # run comparison as JSON ("-" = stdout)
+//	                           # run comparison + the warm-vs-cold
+//	                           # session-pool comparison as JSON
+//	                           # ("-" = stdout)
 package main
 
 import (
@@ -37,7 +39,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		data, err := bench.FormatJSONTimed(rows, timings, rc)
+		wp, err := bench.MeasureWarmPool()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data, err := bench.FormatJSONTimed(rows, timings, rc, wp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

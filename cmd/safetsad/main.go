@@ -5,8 +5,9 @@
 // sessions.
 //
 //	safetsad [-addr :8743] [-cachedir DIR] [-workers N]
-//	         [-units N] [-modules N] [-maxsteps N] [-stagetimeout D]
-//	         [-traces N] [-debug-addr ADDR]
+//	         [-units N] [-modules N] [-maxsteps N] [-maxallocs N]
+//	         [-run-timeout D] [-tenant-inflight N] [-pool-units N]
+//	         [-stagetimeout D] [-traces N] [-debug-addr ADDR]
 //	         [-engine prepared|compiled|reference] [-drain D]
 //	         [-node NAME -peers NAME=URL,... [-vnodes N] [-gossip D]
 //	          [-hot-threshold N] [-hot-window D] [-replicas N]]
@@ -15,10 +16,21 @@
 //
 //	POST /compile       {"files": {"Main.tj": "..."}, "optimize": true}
 //	GET  /unit/{hash}   download the encoded distribution unit
-//	POST /run/{hash}    {"max_steps": 1000000, "engine": "reference"}
+//	POST /run/{hash}    {"max_steps": 1000000, "max_allocs": 1048576,
+//	                     "engine": "reference", "tenant": "acme"}
 //	GET  /stats         cache and latency metrics (JSON)
 //	GET  /metrics       Prometheus text format (per-stage latency histograms)
 //	GET  /debug/traces  recent request traces (JSON ring buffer)
+//
+// Every run is budgeted: -maxsteps / -maxallocs cap the per-run step and
+// allocation budgets (request asks above a cap fold down to it),
+// -run-timeout bounds wall clock, and -tenant-inflight bounds each
+// tenant's concurrent runs — beyond it the server answers 429 with
+// Retry-After: 1. Tenant identity comes from the request body or the
+// X-Safetsa-Tenant header (default "anon"). -pool-units sizes the
+// warm-session pool of post-static-init snapshots that serves repeat
+// runs of a unit without replaying its initializers (negative =
+// disabled).
 //
 // Cluster mode (-node plus -peers) turns the daemon into one member of a
 // consistent-hash sharded fleet: compiles route to each unit's ring
@@ -62,6 +74,10 @@ func main() {
 	units := flag.Int("units", 1024, "max encoded units cached in memory")
 	modules := flag.Int("modules", 256, "max decoded modules cached")
 	maxSteps := flag.Int64("maxsteps", 0, "hard per-run step budget (0 = unlimited)")
+	maxAllocs := flag.Int64("maxallocs", 0, "hard per-run allocation budget (0 = unlimited)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock deadline per guest run (0 = none)")
+	tenantInFlight := flag.Int("tenant-inflight", 0, "max concurrent runs per tenant, 429 beyond (0 = unlimited)")
+	poolUnits := flag.Int("pool-units", 0, "warm-session pool capacity in snapshots (0 = default 256, negative = disabled)")
 	stageTimeout := flag.Duration("stagetimeout", 30*time.Second, "per-stage compile timeout (0 = none)")
 	traces := flag.Int("traces", 64, "request traces retained for /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -81,15 +97,19 @@ func main() {
 	flag.Parse()
 
 	srv, err := codeserver.New(codeserver.Config{
-		CacheDir:     *cacheDir,
-		Workers:      *workers,
-		StageTimeout: *stageTimeout,
-		MaxUnits:     *units,
-		MaxModules:   *modules,
-		MaxSteps:     *maxSteps,
-		Traces:       *traces,
-		Engine:       *engine,
-		NodeName:     *node,
+		CacheDir:          *cacheDir,
+		Workers:           *workers,
+		StageTimeout:      *stageTimeout,
+		MaxUnits:          *units,
+		MaxModules:        *modules,
+		MaxSteps:          *maxSteps,
+		MaxAllocs:         *maxAllocs,
+		RunTimeout:        *runTimeout,
+		TenantMaxInFlight: *tenantInFlight,
+		PoolUnits:         *poolUnits,
+		Traces:            *traces,
+		Engine:            *engine,
+		NodeName:          *node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safetsad:", err)

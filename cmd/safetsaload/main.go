@@ -1,10 +1,11 @@
 // Command safetsaload replays mixed compile/run traffic against a
 // running safetsad (or a fleet of them) and reports client-observed
-// latency percentiles per stage as a safetsa-bench-v5 JSON snapshot.
+// latency percentiles per stage as a safetsa-bench-v6 JSON snapshot.
 //
 //	safetsaload -targets http://h1:8743,http://h2:8743 \
 //	    [-workers 8] [-duration 10s | -requests N] [-units 16] \
-//	    [-run-fraction 0.8] [-zipf 1.2] [-seed 1] [-maxsteps 1000000] \
+//	    [-tenants 1] [-run-fraction 0.8] [-zipf 1.2] [-seed 1] \
+//	    [-maxsteps 1000000] [-maxallocs N] \
 //	    [-engine prepared|compiled|reference] [-o report.json]
 //
 // An invalid flag combination (negative worker count, zipf skew outside
@@ -15,8 +16,13 @@
 // program), then drives the configured worker count with zipfian key
 // skew — a few hot units dominating run traffic, compiles trickling over
 // the tail — the access pattern a mobile-code distribution fleet
-// actually sees. The report carries request/error counters and the
-// compile/run latency digests (count, total, p50/p90/p99).
+// actually sees. With -tenants N, run traffic is spread over N tenant
+// identities ("tenant-0".."tenant-N-1") and the report digests run
+// latency per tenant; 429 admission rejections are counted as throttled,
+// not errors. The report carries request/throttle/error counters, the
+// guest step/alloc drain totals the servers reported (budget parity,
+// observable from outside), and the compile/run latency digests (count,
+// total, p50/p90/p99).
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 	zipf := flag.Float64("zipf", 1.2, "zipfian skew exponent over the unit universe (>1)")
 	seed := flag.Int64("seed", 1, "replay RNG seed")
 	maxSteps := flag.Int64("maxsteps", 1_000_000, "per-run step budget sent with run requests")
+	maxAllocs := flag.Int64("maxallocs", 0, "per-run allocation budget sent with run requests (0 = server cap only)")
+	tenants := flag.Int("tenants", 1, "distinct tenant identities to spread run traffic over")
 	engine := flag.String("engine", "", "execution engine override sent with run requests: prepared, compiled, or reference (empty = server default)")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
@@ -67,6 +75,8 @@ func main() {
 		ZipfS:       *zipf,
 		Seed:        *seed,
 		MaxSteps:    *maxSteps,
+		MaxAllocs:   *maxAllocs,
+		Tenants:     *tenants,
 		Engine:      *engine,
 	})
 	if err != nil {
@@ -99,14 +109,23 @@ func main() {
 // pure JSON for piping.
 func summarize(res *bench.LoadResult) {
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-	fmt.Fprintf(os.Stderr, "safetsaload: %d requests in %v (%.0f req/s) over %d target(s): %d runs, %d compiles (%d cached), %d errors\n",
+	fmt.Fprintf(os.Stderr, "safetsaload: %d requests in %v (%.0f req/s) over %d target(s): %d runs, %d compiles (%d cached), %d throttled, %d errors\n",
 		res.Requests, res.Elapsed.Round(time.Millisecond),
 		float64(res.Requests)/res.Elapsed.Seconds(),
-		res.Targets, res.Runs, res.Compiles, res.CachedCompiles, res.Errors)
+		res.Targets, res.Runs, res.Compiles, res.CachedCompiles, res.Throttled, res.Errors)
+	fmt.Fprintf(os.Stderr, "safetsaload: guest drain %d steps, %d allocs over %d accepted runs\n",
+		res.GuestSteps, res.GuestAllocs, res.Runs)
 	run := res.RunHist.Summary()
 	cmp := res.CompileHist.Summary()
 	fmt.Fprintf(os.Stderr, "safetsaload: run     p50 %.2fms  p90 %.2fms  p99 %.2fms  (%d samples)\n",
 		ms(run.P50Nanos), ms(run.P90Nanos), ms(run.P99Nanos), run.Count)
 	fmt.Fprintf(os.Stderr, "safetsaload: compile p50 %.2fms  p90 %.2fms  p99 %.2fms  (%d samples)\n",
 		ms(cmp.P50Nanos), ms(cmp.P90Nanos), ms(cmp.P99Nanos), cmp.Count)
+	if len(res.TenantRunHists) > 1 {
+		for i, h := range res.TenantRunHists {
+			s := h.Summary()
+			fmt.Fprintf(os.Stderr, "safetsaload: tenant-%d run p50 %.2fms  p99 %.2fms  (%d samples)\n",
+				i, ms(s.P50Nanos), ms(s.P99Nanos), s.Count)
+		}
+	}
 }

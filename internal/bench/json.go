@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"safetsa/internal/obs"
 )
@@ -61,6 +62,10 @@ type JSONReport struct {
 	// per unit, plus the geomean speedups). Absent when the comparison
 	// was not run.
 	RunComparison *JSONRunComparison `json:"run_comparison,omitempty"`
+	// WarmPool records the warm-session-pool comparison: cold (fresh
+	// static init) versus warm (snapshot clone) full-session latency per
+	// unit on the compiled engine. Absent when the comparison was not run.
+	WarmPool *JSONWarmPool `json:"warm_pool,omitempty"`
 	// Load records a load-generator replay against a running codeserver
 	// or fleet (see LoadResult). Absent from benchtables snapshots.
 	Load *JSONLoad `json:"load,omitempty"`
@@ -72,6 +77,7 @@ type JSONLoad struct {
 	Targets        int     `json:"targets"`
 	Workers        int     `json:"workers"`
 	Units          int     `json:"units"`
+	Tenants        int     `json:"tenants"`
 	RunFraction    float64 `json:"run_fraction"`
 	ZipfS          float64 `json:"zipf_s"`
 	ElapsedNanos   int64   `json:"elapsed_nanos"`
@@ -79,13 +85,41 @@ type JSONLoad struct {
 	Compiles       uint64  `json:"compiles"`
 	CachedCompiles uint64  `json:"cached_compiles"`
 	Runs           uint64  `json:"runs"`
+	Throttled      uint64  `json:"throttled"`
 	Errors         uint64  `json:"errors"`
+	// GuestSteps/GuestAllocs total the server-reported budget drain over
+	// all accepted runs — compare against the server's guest counters to
+	// check budget parity from outside.
+	GuestSteps  uint64 `json:"guest_steps"`
+	GuestAllocs uint64 `json:"guest_allocs"`
 	// ErrorSamples carries the first few failure messages so a red CI
 	// run is diagnosable from the archived report alone.
 	ErrorSamples []string `json:"error_samples,omitempty"`
 	// Latencies digests the client-observed stage histograms ("compile",
 	// "run"): count, total, p50/p90/p99 in nanoseconds.
 	Latencies map[string]obs.LatencySummary `json:"latencies"`
+	// TenantLatencies digests accepted-run latency per tenant identity —
+	// the fairness observable the admission gate protects.
+	TenantLatencies map[string]obs.LatencySummary `json:"tenant_latencies,omitempty"`
+}
+
+// JSONWarmRow is the machine-readable form of one warm-pool row.
+// "speedup" is cold-over-warm.
+type JSONWarmRow struct {
+	Name      string  `json:"name"`
+	InitHeavy bool    `json:"init_heavy"`
+	InitSteps int64   `json:"init_steps"`
+	ColdNanos int64   `json:"cold_nanos"`
+	WarmNanos int64   `json:"warm_nanos"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// JSONWarmPool is the machine-readable warm-session-pool comparison.
+type JSONWarmPool struct {
+	BestOf                  int           `json:"best_of"`
+	Rows                    []JSONWarmRow `json:"rows"`
+	GeomeanSpeedup          float64       `json:"geomean_speedup"`
+	GeomeanInitHeavySpeedup float64       `json:"geomean_init_heavy_speedup"`
 }
 
 // JSONRunRow is the machine-readable form of one engine-comparison row.
@@ -114,8 +148,10 @@ type JSONRunComparison struct {
 // "load" replay block emitted by safetsaload; v5 made the run
 // comparison three-way (compiled_nanos, compiled_speedup,
 // geomean_compiled_speedup) and added overflow_count to every latency
-// digest.
-const jsonSchema = "safetsa-bench-v5"
+// digest; v6 added the "warm_pool" cold-vs-warm session comparison and
+// the load block's multi-tenant fields (tenants, throttled,
+// guest_allocs).
+const jsonSchema = "safetsa-bench-v6"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -169,12 +205,30 @@ func FormatJSON(rows []Row) ([]byte, error) {
 }
 
 // FormatJSONTimed renders the report including the per-stage latency
-// summaries of a timed measurement run and, when rc is non-nil, the
-// reference-vs-prepared run comparison.
-func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison) ([]byte, error) {
+// summaries of a timed measurement run and, when non-nil, the
+// reference-vs-prepared run comparison and the warm-pool comparison.
+func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison, wp *WarmPoolComparison) ([]byte, error) {
 	rep := Report(rows)
 	if tm != nil {
 		rep.Latencies = tm.Summaries()
+	}
+	if wp != nil {
+		jw := &JSONWarmPool{
+			BestOf:                  wp.BestOf,
+			GeomeanSpeedup:          wp.GeomeanSpeedup,
+			GeomeanInitHeavySpeedup: wp.GeomeanInitHeavySpeedup,
+		}
+		for _, r := range wp.Rows {
+			jw.Rows = append(jw.Rows, JSONWarmRow{
+				Name:      r.Name,
+				InitHeavy: r.InitHeavy,
+				InitSteps: r.InitSteps,
+				ColdNanos: r.ColdNanos,
+				WarmNanos: r.WarmNanos,
+				Speedup:   r.Speedup,
+			})
+		}
+		rep.WarmPool = jw
 	}
 	if rc != nil {
 		jc := &JSONRunComparison{
@@ -199,10 +253,11 @@ func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison) ([]byte, e
 
 // JSON converts a load replay into its report block.
 func (r *LoadResult) JSON() *JSONLoad {
-	return &JSONLoad{
+	j := &JSONLoad{
 		Targets:        r.Targets,
 		Workers:        r.Workers,
 		Units:          r.Units,
+		Tenants:        r.Tenants,
 		RunFraction:    r.RunFraction,
 		ZipfS:          r.ZipfS,
 		ElapsedNanos:   int64(r.Elapsed),
@@ -210,13 +265,23 @@ func (r *LoadResult) JSON() *JSONLoad {
 		Compiles:       r.Compiles,
 		CachedCompiles: r.CachedCompiles,
 		Runs:           r.Runs,
+		Throttled:      r.Throttled,
 		Errors:         r.Errors,
+		GuestSteps:     r.GuestSteps,
+		GuestAllocs:    r.GuestAllocs,
 		ErrorSamples:   r.ErrorSamples,
 		Latencies: map[string]obs.LatencySummary{
 			"compile": r.CompileHist.Summary(),
 			"run":     r.RunHist.Summary(),
 		},
 	}
+	if len(r.TenantRunHists) > 0 {
+		j.TenantLatencies = make(map[string]obs.LatencySummary, len(r.TenantRunHists))
+		for i, h := range r.TenantRunHists {
+			j.TenantLatencies[fmt.Sprintf("tenant-%d", i)] = h.Summary()
+		}
+	}
+	return j
 }
 
 // FormatJSONLoad renders a load replay as a trajectory snapshot: a

@@ -45,6 +45,14 @@ type LoadConfig struct {
 	// MaxSteps is the per-run step budget sent with run requests
 	// (<=0: 1_000_000).
 	MaxSteps int64
+	// MaxAllocs is the per-run allocation budget sent with run requests
+	// (0: none — the server's own cap, if any, still applies).
+	MaxAllocs int64
+	// Tenants is the number of distinct tenant identities the replay
+	// spreads run traffic over (<=0: 1). Tenant i is named "tenant-i";
+	// each run draw picks one uniformly, and the result digests
+	// run latency per tenant — the fairness observable.
+	Tenants int
 	// Engine, when nonempty, is sent with every run request to override
 	// the server's default execution engine ("prepared", "compiled", or
 	// "reference").
@@ -123,6 +131,15 @@ func (cfg *LoadConfig) validate() error {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 1_000_000
 	}
+	if cfg.MaxAllocs < 0 {
+		return &ConfigError{Field: "MaxAllocs", Reason: fmt.Sprintf("must not be negative, got %d", cfg.MaxAllocs)}
+	}
+	if cfg.Tenants < 0 {
+		return &ConfigError{Field: "Tenants", Reason: fmt.Sprintf("must be positive, got %d", cfg.Tenants)}
+	}
+	if cfg.Tenants == 0 {
+		cfg.Tenants = 1
+	}
 	switch cfg.Engine {
 	case "", driver.EnginePrepared, driver.EngineCompiled, driver.EngineReference:
 	default:
@@ -140,6 +157,7 @@ type LoadResult struct {
 	Targets     int
 	Workers     int
 	Units       int
+	Tenants     int
 	RunFraction float64
 	ZipfS       float64
 	Elapsed     time.Duration
@@ -147,12 +165,22 @@ type LoadResult struct {
 	Requests       uint64
 	Compiles       uint64 // compile requests issued in the timed phase
 	CachedCompiles uint64 // ... of which the fleet served from cache
-	Runs           uint64
+	Runs           uint64 // run requests the server accepted (incl. guest kills)
+	Throttled      uint64 // run requests rejected 429 by the fair-admission gate
 	Errors         uint64
 	ErrorSamples   []string // first few failures, for diagnostics
 
+	// GuestSteps/GuestAllocs total the budget drain the server reported
+	// per accepted run — the client-side mirror of the server's guest
+	// counters, so budget parity is observable from the load generator.
+	GuestSteps  uint64
+	GuestAllocs uint64
+
 	CompileHist obs.Histogram
 	RunHist     obs.Histogram
+	// TenantRunHists digests accepted-run latency per tenant identity
+	// ("tenant-0".."tenant-N-1"), index-aligned with the tenant number.
+	TenantRunHists []*obs.Histogram
 }
 
 // loadProgram is the i-th distinct guest in the key universe: distinct
@@ -190,8 +218,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		Targets:     len(cfg.Targets),
 		Workers:     cfg.Workers,
 		Units:       cfg.Units,
+		Tenants:     cfg.Tenants,
 		RunFraction: cfg.RunFraction,
 		ZipfS:       cfg.ZipfS,
+	}
+	tenantNames := make([]string, cfg.Tenants)
+	for i := range tenantNames {
+		tenantNames[i] = fmt.Sprintf("tenant-%d", i)
+		res.TenantRunHists = append(res.TenantRunHists, &obs.Histogram{})
 	}
 
 	hashes := make([]string, cfg.Units)
@@ -204,12 +238,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	var (
-		requests atomic.Uint64
-		compiles atomic.Uint64
-		cached   atomic.Uint64
-		runs     atomic.Uint64
-		errCount atomic.Uint64
-		errMu    sync.Mutex
+		requests    atomic.Uint64
+		compiles    atomic.Uint64
+		cached      atomic.Uint64
+		runs        atomic.Uint64
+		throttled   atomic.Uint64
+		guestSteps  atomic.Uint64
+		guestAllocs atomic.Uint64
+		errCount    atomic.Uint64
+		errMu       sync.Mutex
 	)
 	recordErr := func(err error) {
 		errCount.Add(1)
@@ -247,13 +284,28 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				unit := int(zipf.Uint64())
 				target := cfg.Targets[rng.Intn(len(cfg.Targets))]
 				if rng.Float64() < cfg.RunFraction {
+					ti := rng.Intn(cfg.Tenants)
 					t0 := time.Now()
-					err := loadRun(timedCtx, client, target, hashes[unit], cfg.MaxSteps, cfg.Engine)
+					rr, wasThrottled, err := loadRun(timedCtx, client, target, hashes[unit], &cfg, tenantNames[ti])
 					if timedCtx.Err() != nil {
 						return // cutoff mid-request: don't score a truncated sample
 					}
-					res.RunHist.Observe(time.Since(t0))
+					if wasThrottled {
+						// A 429 is the admission gate working, not a failure:
+						// count it apart and keep it out of the latency
+						// digests, which score accepted runs.
+						throttled.Add(1)
+						continue
+					}
+					d := time.Since(t0)
+					res.RunHist.Observe(d)
+					res.TenantRunHists[ti].Observe(d)
 					runs.Add(1)
+					// rr carries the server-reported drain even for guest
+					// failures (zero on transport errors), so the parity
+					// totals mirror the server's counters exactly.
+					guestSteps.Add(uint64(rr.Steps))
+					guestAllocs.Add(uint64(rr.Allocs))
 					if err != nil {
 						recordErr(err)
 					}
@@ -280,7 +332,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	res.Compiles = compiles.Load()
 	res.CachedCompiles = cached.Load()
 	res.Runs = runs.Load()
-	res.Requests = res.Compiles + res.Runs
+	res.Throttled = throttled.Load()
+	res.Requests = res.Compiles + res.Runs + res.Throttled
+	res.GuestSteps = guestSteps.Load()
+	res.GuestAllocs = guestAllocs.Load()
 	res.Errors = errCount.Load()
 	return res, nil
 }
@@ -311,31 +366,39 @@ func loadCompile(ctx context.Context, client *http.Client, target string, files 
 	return cr.Hash, cr.Cached, nil
 }
 
-func loadRun(ctx context.Context, client *http.Client, target, hash string, maxSteps int64, engine string) error {
-	body, err := json.Marshal(codeserver.RunRequest{MaxSteps: maxSteps, Engine: engine})
+func loadRun(ctx context.Context, client *http.Client, target, hash string, cfg *LoadConfig, tenant string) (rr codeserver.RunResult, throttled bool, err error) {
+	body, err := json.Marshal(codeserver.RunRequest{
+		MaxSteps:  cfg.MaxSteps,
+		MaxAllocs: cfg.MaxAllocs,
+		Engine:    cfg.Engine,
+		Tenant:    tenant,
+	})
 	if err != nil {
-		return err
+		return rr, false, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/run/"+hash, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return rr, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return rr, false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return rr, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return fmt.Errorf("run via %s: status %d: %s", target, resp.StatusCode, b)
+		return rr, false, fmt.Errorf("run via %s: status %d: %s", target, resp.StatusCode, b)
 	}
-	var rr codeserver.RunResult
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return err
+		return rr, false, err
 	}
 	if !rr.OK {
-		return fmt.Errorf("run via %s: guest failure: %s", target, rr.Error)
+		return rr, false, fmt.Errorf("run via %s: guest failure: %s", target, rr.Error)
 	}
-	return nil
+	return rr, false, nil
 }

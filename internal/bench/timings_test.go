@@ -10,7 +10,7 @@ import (
 // TestMeasureAllTimedCounts pins the instrumentation contract of the
 // timed corpus run: every stage histogram sees exactly one sample per
 // corpus unit, and the JSON report carries the summaries under
-// "latencies" with the v4 schema.
+// "latencies" with the current schema.
 func TestMeasureAllTimedCounts(t *testing.T) {
 	rows, tm, err := MeasureAllTimed()
 	if err != nil {
@@ -35,7 +35,7 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 		}
 	}
 
-	data, err := FormatJSONTimed(rows, tm, nil)
+	data, err := FormatJSONTimed(rows, tm, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +46,8 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v5" {
-		t.Errorf("schema = %q, want safetsa-bench-v5", rep.Schema)
+	if rep.Schema != "safetsa-bench-v6" {
+		t.Errorf("schema = %q, want safetsa-bench-v6", rep.Schema)
 	}
 	if len(rep.Latencies) != len(sums) {
 		t.Errorf("report carries %d latency stages, want %d", len(rep.Latencies), len(sums))

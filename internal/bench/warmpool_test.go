@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+)
+
+// TestMeasureWarmPoolShape runs the warm-vs-cold comparison end to end:
+// every runnable corpus unit plus the three init-heavy synthetics gets a
+// row, byte-exact output parity is enforced inside the measurement, and
+// the init-heavy rows — whose static initializers the snapshot amortizes
+// to a heap clone — must show the latency win the pool exists for.
+func TestMeasureWarmPoolShape(t *testing.T) {
+	wc, err := MeasureWarmPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runnable := 0
+	for _, u := range corpus.Units() {
+		if hasEntry(t, u) {
+			runnable++
+		}
+	}
+	if want := runnable + 3; len(wc.Rows) != want {
+		t.Fatalf("measured %d rows, want %d (runnable corpus + 3 synthetics)", len(wc.Rows), want)
+	}
+	heavy := 0
+	for _, r := range wc.Rows {
+		if r.ColdNanos <= 0 || r.WarmNanos <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s: malformed row %+v", r.Name, r)
+		}
+		if r.InitHeavy {
+			heavy++
+			if r.InitSteps < 10_000 {
+				t.Errorf("%s: init-heavy row drained only %d init steps", r.Name, r.InitSteps)
+			}
+		}
+	}
+	if heavy != 3 {
+		t.Fatalf("%d init-heavy rows, want 3", heavy)
+	}
+	if wc.GeomeanSpeedup <= 0 || wc.GeomeanInitHeavySpeedup <= 0 {
+		t.Fatalf("geomeans not computed: %+v", wc)
+	}
+	t.Logf("warm-pool geomean speedup %.2fx (init-heavy %.2fx)",
+		wc.GeomeanSpeedup, wc.GeomeanInitHeavySpeedup)
+	// The acceptance bar for the pool: amortizing static init to a clone
+	// must win at least 1.2x on the init-heavy rows. The margin in
+	// practice is much larger, so this holds on loaded CI machines too.
+	if wc.GeomeanInitHeavySpeedup < 1.2 {
+		t.Errorf("init-heavy warm speedup %.2fx, want >= 1.2x", wc.GeomeanInitHeavySpeedup)
+	}
+}
+
+// hasEntry mirrors MeasureWarmPool's Entry >= 0 skip: units without a
+// main get no row.
+func hasEntry(t *testing.T, u corpus.Unit) bool {
+	t.Helper()
+	mod, _, err := driver.CompileTSASourceOpt(u.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.Entry >= 0
+}

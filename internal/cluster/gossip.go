@@ -29,12 +29,14 @@ type NodeStats struct {
 	PeerFillRejects uint64 `json:"peer_fill_rejects"`
 	ReplicaPushes   uint64 `json:"replica_pushes"`
 	Forwards        uint64 `json:"forwards"`
+	TenantRejects   uint64 `json:"tenant_rejects"`
 	// AgeSeconds is how stale this row was at snapshot time: 0 for the
 	// reporting node itself, the time since the last successful gossip
 	// exchange for a peer row.
 	AgeSeconds float64 `json:"age_seconds,omitempty"`
 	// Reachable is false when the last gossip attempt for this peer
-	// failed and no row has ever been obtained.
+	// failed — whether a row was ever obtained (the stale data is kept,
+	// with AgeSeconds growing) or not (an otherwise-empty row).
 	Reachable bool `json:"reachable"`
 
 	fetchedAt time.Time
@@ -73,6 +75,7 @@ func (n *Node) localRow() NodeStats {
 		PeerFillRejects: st.PeerFillRejects,
 		ReplicaPushes:   n.replicaPushes.Load(),
 		Forwards:        n.forwards.Load(),
+		TenantRejects:   st.TenantRejects,
 		Reachable:       true,
 	}
 }
@@ -102,8 +105,12 @@ func (n *Node) FleetView() []NodeStats {
 }
 
 // GossipOnce refreshes the stats row of every peer (sequentially; the
-// fleet is small and the rows are tiny). Failed peers keep their last
-// row, so a transient blip does not blank the fleet view.
+// fleet is small and the rows are tiny). A failed peer keeps its last
+// row data — a transient blip must not blank the fleet view — but the
+// row is marked unreachable and its fetchedAt stands still, so the
+// staleness keeps growing until the peer answers again. (It used to
+// only ever set Reachable on success, so a peer that died after one
+// good exchange was reported reachable forever.)
 func (n *Node) GossipOnce(ctx context.Context) {
 	for name := range n.cfg.Peers {
 		if name == n.cfg.Self {
@@ -112,6 +119,12 @@ func (n *Node) GossipOnce(ctx context.Context) {
 		row, err := n.fetchPeerStats(ctx, name)
 		if err != nil {
 			n.gossipErrors.Add(1)
+			n.gmu.Lock()
+			if old, ok := n.fleet[name]; ok && old.Reachable {
+				old.Reachable = false
+				n.fleet[name] = old
+			}
+			n.gmu.Unlock()
 			continue
 		}
 		row.fetchedAt = time.Now()

@@ -2,6 +2,8 @@ package codeserver
 
 import (
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"safetsa/internal/obs"
@@ -54,6 +56,29 @@ type Metrics struct {
 	stepLimitKills  atomic.Uint64
 	allocLimitKills atomic.Uint64
 	interruptKills  atomic.Uint64
+	deadlineKills   atomic.Uint64
+
+	// Warm-session pool accounting: sessions served from a snapshot
+	// clone (hits), snapshots built+verified+published (builds),
+	// requests whose budgets were too tight to admit a clone (declines,
+	// served fresh), snapshots that failed their publish-time
+	// self-verification (verifyFails — a clone-machinery alarm, always 0
+	// in a healthy server), and LRU evictions.
+	poolHits        atomic.Uint64
+	poolBuilds      atomic.Uint64
+	poolDeclines    atomic.Uint64
+	poolVerifyFails atomic.Uint64
+	poolEvictions   atomic.Uint64
+
+	// Per-tenant accounting. tenantRejects is the fleet-visible total of
+	// fair-admission 429s; the per-tenant breakdown (runs, rejects,
+	// in-flight, budget drain, kills by reason) lives in tenants, a
+	// lazily grown bounded map — beyond maxTenants, rows fold into the
+	// "overflow" tenant so a tenant-id flood cannot grow the map without
+	// bound.
+	tenantRejects atomic.Uint64
+	tmu           sync.Mutex
+	tenants       map[string]*tenantCounters
 
 	// Per-stage latency histograms. compileHist covers the whole
 	// producer pipeline (one sample per actual compile); decodeHist,
@@ -69,6 +94,85 @@ type Metrics struct {
 	compileBackendHist obs.Histogram
 	runHist            obs.Histogram
 	peerFillHist       obs.Histogram // one sample per peer fetch+admission attempt
+}
+
+// DefaultTenant is the accounting identity of run requests that carry
+// no tenant field.
+const DefaultTenant = "anon"
+
+// maxTenants bounds the per-tenant metrics map; the first maxTenants
+// distinct tenant ids get their own rows, later ones share "overflow".
+const maxTenants = 256
+
+// tenantCounters is one tenant's accounting row.
+type tenantCounters struct {
+	runs     atomic.Uint64
+	rejects  atomic.Uint64
+	inFlight atomic.Int64
+	steps    atomic.Int64
+	allocs   atomic.Int64
+	// kills indexed by killReasons order.
+	kills [len(killReasons)]atomic.Uint64
+}
+
+// killReasons is the stable label order of the kill-reason dimension.
+var killReasons = [...]string{"alloc_limit", "deadline", "interrupt", "step_limit"}
+
+func killIdx(reason string) int {
+	for i, r := range killReasons {
+		if r == reason {
+			return i
+		}
+	}
+	return -1
+}
+
+// tenant returns (creating on first sight) the counters row for name.
+func (m *Metrics) tenant(name string) *tenantCounters {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	if m.tenants == nil {
+		m.tenants = make(map[string]*tenantCounters)
+	}
+	tc, ok := m.tenants[name]
+	if !ok {
+		if len(m.tenants) >= maxTenants {
+			name = "overflow"
+			if tc, ok = m.tenants[name]; ok {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		m.tenants[name] = tc
+	}
+	return tc
+}
+
+// tenantRows snapshots the per-tenant map in sorted name order.
+func (m *Metrics) tenantRows() []tenantRow {
+	m.tmu.Lock()
+	rows := make([]tenantRow, 0, len(m.tenants))
+	for name, tc := range m.tenants {
+		rows = append(rows, tenantRow{name: name, tc: tc})
+	}
+	m.tmu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+type tenantRow struct {
+	name string
+	tc   *tenantCounters
+}
+
+// TenantStats is one tenant's row in the /stats snapshot.
+type TenantStats struct {
+	Runs     uint64            `json:"runs"`
+	Rejects  uint64            `json:"rejects"`
+	InFlight int64             `json:"in_flight"`
+	Steps    int64             `json:"steps"`
+	Allocs   int64             `json:"allocs"`
+	Kills    map[string]uint64 `json:"kills,omitempty"`
 }
 
 // Stats is the exported snapshot of Metrics, plus the cache sizes filled
@@ -110,6 +214,21 @@ type Stats struct {
 	StepLimitKills  uint64 `json:"step_limit_kills"`
 	AllocLimitKills uint64 `json:"alloc_limit_kills"`
 	InterruptKills  uint64 `json:"interrupt_kills"`
+	DeadlineKills   uint64 `json:"deadline_kills"`
+
+	// Warm-session pool (see Metrics). PoolSessions is the resident
+	// snapshot count, filled in by the server.
+	PoolHits        uint64 `json:"pool_hits"`
+	PoolBuilds      uint64 `json:"pool_builds"`
+	PoolDeclines    uint64 `json:"pool_declines"`
+	PoolVerifyFails uint64 `json:"pool_verify_fails"`
+	PoolEvictions   uint64 `json:"pool_evictions"`
+	PoolSessions    int    `json:"pool_sessions"`
+
+	// Multi-tenant accounting: total fair-admission rejections plus the
+	// per-tenant breakdown.
+	TenantRejects uint64                 `json:"tenant_rejects"`
+	Tenants       map[string]TenantStats `json:"tenants,omitempty"`
 
 	// Cumulative latencies (nanoseconds) over all requests. Legacy keys:
 	// derived from the histogram sums so they keep increasing exactly as
@@ -165,6 +284,14 @@ func (m *Metrics) snapshot() Stats {
 		StepLimitKills:        m.stepLimitKills.Load(),
 		AllocLimitKills:       m.allocLimitKills.Load(),
 		InterruptKills:        m.interruptKills.Load(),
+		DeadlineKills:         m.deadlineKills.Load(),
+		PoolHits:              m.poolHits.Load(),
+		PoolBuilds:            m.poolBuilds.Load(),
+		PoolDeclines:          m.poolDeclines.Load(),
+		PoolVerifyFails:       m.poolVerifyFails.Load(),
+		PoolEvictions:         m.poolEvictions.Load(),
+		TenantRejects:         m.tenantRejects.Load(),
+		Tenants:               m.tenantStats(),
 		CompileNanos:          compile.SumNanos,
 		DecodeNanos:           decode.SumNanos,
 		VerifyNanos:           verify.SumNanos,
@@ -182,9 +309,38 @@ func (m *Metrics) snapshot() Stats {
 	}
 }
 
+// tenantStats snapshots the per-tenant rows for /stats.
+func (m *Metrics) tenantStats() map[string]TenantStats {
+	rows := m.tenantRows()
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantStats, len(rows))
+	for _, r := range rows {
+		ts := TenantStats{
+			Runs:     r.tc.runs.Load(),
+			Rejects:  r.tc.rejects.Load(),
+			InFlight: r.tc.inFlight.Load(),
+			Steps:    r.tc.steps.Load(),
+			Allocs:   r.tc.allocs.Load(),
+		}
+		for i, reason := range killReasons {
+			if n := r.tc.kills[i].Load(); n > 0 {
+				if ts.Kills == nil {
+					ts.Kills = make(map[string]uint64)
+				}
+				ts.Kills[reason] = n
+			}
+		}
+		out[r.name] = ts
+	}
+	return out
+}
+
 // recordKill classifies an abnormal guest termination by the exhausted
-// budget (reason as reported by rt.KillReason; "" records nothing).
-func (m *Metrics) recordKill(reason string) {
+// budget (reason as reported by rt.KillReason plus the server-side
+// "deadline" refinement; "" records nothing), attributed to a tenant.
+func (m *Metrics) recordKill(reason string, tc *tenantCounters) {
 	switch reason {
 	case "step_limit":
 		m.stepLimitKills.Add(1)
@@ -192,14 +348,24 @@ func (m *Metrics) recordKill(reason string) {
 		m.allocLimitKills.Add(1)
 	case "interrupt":
 		m.interruptKills.Add(1)
+	case "deadline":
+		m.deadlineKills.Add(1)
+	default:
+		return
+	}
+	if tc != nil {
+		if i := killIdx(reason); i >= 0 {
+			tc.kills[i].Add(1)
+		}
 	}
 }
 
 // WritePrometheus renders the full metric surface in the Prometheus text
-// exposition format. unitsCached and modulesLoaded are the cache
-// occupancies owned by the store and loader. In cluster mode every
-// series carries a node="<name>" label so fleet scrapes stay per-node.
-func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
+// exposition format. unitsCached, modulesLoaded, and poolSessions are
+// the cache occupancies owned by the store, loader, and warm-session
+// pool. In cluster mode every series carries a node="<name>" label so
+// fleet scrapes stay per-node.
+func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded, poolSessions int) {
 	p := obs.NewPromWriter(w).ConstLabel("node", m.node)
 	p.Counter("safetsa_compile_requests_total", "Compile requests received.", m.compileRequests.Load())
 	p.Counter("safetsa_cache_hits_total", "Compile requests served from the in-memory unit store.", m.cacheHits.Load())
@@ -226,12 +392,48 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded int) {
 	p.Gauge("safetsa_runs_in_flight", "Execution sessions currently running.", m.runsInFlight.Load())
 	p.Counter("safetsa_guest_steps_total", "Interpreter steps executed by guest programs.", uint64(m.guestSteps.Load()))
 	p.Counter("safetsa_guest_allocs_total", "Allocation units charged by guest programs.", uint64(m.guestAllocs.Load()))
-	p.CounterVec("safetsa_guest_kills_total", "Guest sessions terminated by an exhausted budget.", "reason",
-		map[string]uint64{
-			"step_limit":  m.stepLimitKills.Load(),
-			"alloc_limit": m.allocLimitKills.Load(),
-			"interrupt":   m.interruptKills.Load(),
-		})
+
+	// Kill counters carry both the budget dimension and the tenant the
+	// killed session was accounted to; rows render in (reason, tenant)
+	// order, every reason emitted per tenant so scrapes see a fixed
+	// matrix.
+	tenants := m.tenantRows()
+	var killRows []obs.LabeledCounter
+	for ri, reason := range killReasons {
+		for _, tr := range tenants {
+			killRows = append(killRows, obs.LabeledCounter{
+				Labels: []string{"reason", reason, "tenant", tr.name},
+				Value:  tr.tc.kills[ri].Load(),
+			})
+		}
+	}
+	p.CounterRows("safetsa_guest_kills_total", "Guest sessions terminated by an exhausted budget, by reason and tenant.", killRows)
+
+	p.Counter("safetsa_pool_hits_total", "Run sessions served from a warm-session snapshot clone.", m.poolHits.Load())
+	p.Counter("safetsa_pool_builds_total", "Warm-session snapshots built, verified, and published.", m.poolBuilds.Load())
+	p.Counter("safetsa_pool_declines_total", "Runs declined by the pool because their budgets were below the init drain.", m.poolDeclines.Load())
+	p.Counter("safetsa_pool_verify_fails_total", "Warm-session snapshots rejected by publish-time self-verification.", m.poolVerifyFails.Load())
+	p.Counter("safetsa_pool_evictions_total", "Warm-session snapshots evicted by the pool LRU.", m.poolEvictions.Load())
+	p.Gauge("safetsa_pool_sessions", "Warm-session snapshots resident in the pool.", int64(poolSessions))
+
+	p.Counter("safetsa_tenant_rejects_total", "Runs rejected by the per-tenant fair-admission gate.", m.tenantRejects.Load())
+	tenantRuns := make(map[string]uint64, len(tenants))
+	tenantRejects := make(map[string]uint64, len(tenants))
+	tenantSteps := make(map[string]uint64, len(tenants))
+	tenantAllocs := make(map[string]uint64, len(tenants))
+	tenantInFlight := make(map[string]int64, len(tenants))
+	for _, tr := range tenants {
+		tenantRuns[tr.name] = tr.tc.runs.Load()
+		tenantRejects[tr.name] = tr.tc.rejects.Load()
+		tenantSteps[tr.name] = uint64(tr.tc.steps.Load())
+		tenantAllocs[tr.name] = uint64(tr.tc.allocs.Load())
+		tenantInFlight[tr.name] = tr.tc.inFlight.Load()
+	}
+	p.CounterVec("safetsa_tenant_runs_total", "Run sessions accounted per tenant.", "tenant", tenantRuns)
+	p.CounterVec("safetsa_tenant_throttled_total", "Fair-admission rejections per tenant.", "tenant", tenantRejects)
+	p.CounterVec("safetsa_tenant_steps_total", "Interpreter steps drained per tenant.", "tenant", tenantSteps)
+	p.CounterVec("safetsa_tenant_allocs_total", "Allocation units drained per tenant.", "tenant", tenantAllocs)
+	p.GaugeVec("safetsa_tenant_runs_in_flight", "Run sessions currently in flight per tenant.", "tenant", tenantInFlight)
 
 	p.HistogramVec("safetsa_stage_duration_seconds", "Pipeline stage latency.", "stage",
 		map[string]obs.HistogramSnapshot{

@@ -45,6 +45,28 @@ func TestPrometheusGolden(t *testing.T) {
 	m.stepLimitKills.Store(2)
 	m.allocLimitKills.Store(1)
 	m.interruptKills.Store(1)
+	m.deadlineKills.Store(1)
+	m.poolHits.Store(30)
+	m.poolBuilds.Store(6)
+	m.poolDeclines.Store(2)
+	m.poolEvictions.Store(1)
+	m.tenantRejects.Store(5)
+	// Two tenants so the per-tenant families and the (reason, tenant)
+	// kill matrix render with a deterministic multi-row shape.
+	acme := m.tenant("acme")
+	acme.runs.Store(40)
+	acme.rejects.Store(5)
+	acme.inFlight.Store(1)
+	acme.steps.Store(100000)
+	acme.allocs.Store(6000)
+	acme.kills[killIdx("step_limit")].Store(2)
+	acme.kills[killIdx("alloc_limit")].Store(1)
+	anon := m.tenant(DefaultTenant)
+	anon.runs.Store(18)
+	anon.steps.Store(23456)
+	anon.allocs.Store(1890)
+	anon.kills[killIdx("interrupt")].Store(1)
+	anon.kills[killIdx("deadline")].Store(1)
 	// Deterministic histogram contents: one sample per stage in known
 	// buckets plus one overflow sample for compile.
 	m.compileHist.Observe(3 * time.Millisecond)
@@ -58,7 +80,7 @@ func TestPrometheusGolden(t *testing.T) {
 	m.runHist.Observe(900 * time.Nanosecond)
 
 	var sb strings.Builder
-	m.WritePrometheus(&sb, 7, 4)
+	m.WritePrometheus(&sb, 7, 4, 3)
 	got := sb.String()
 
 	path := filepath.Join("testdata", "metrics.golden")

@@ -41,6 +41,25 @@ type Config struct {
 	// MaxSteps caps the per-run step budget; requests may ask for less
 	// but never more (0: unlimited).
 	MaxSteps int64
+	// MaxAllocs caps the per-run allocation budget (rt.Env.MaxAlloc)
+	// the same way: requests may ask for less but never more
+	// (0: unlimited). This is the server-side backstop that makes the
+	// in-library alloc budgets reachable from POST /run.
+	MaxAllocs int64
+	// RunTimeout is the wall-clock deadline of one run session; on
+	// expiry the guest is interrupted (it dies with rt.ErrInterrupted,
+	// recorded as a "deadline" kill) while its HTTP response still
+	// completes with the output produced so far (0: no deadline).
+	RunTimeout time.Duration
+	// TenantMaxInFlight bounds concurrent run sessions per tenant; a
+	// run beyond the bound is rejected with a TenantBusyError (HTTP 429
+	// + Retry-After) before any work happens (0: unlimited).
+	TenantMaxInFlight int
+	// PoolUnits bounds the warm-session pool: per-(unit, engine)
+	// snapshots of post-static-init state cloned into later sessions so
+	// static init runs once per unit, not once per request (0: default
+	// 256; negative: pool disabled, every session runs init fresh).
+	PoolUnits int
 	// MaxSourceBytes bounds the /compile request body (<=0: 8 MiB).
 	MaxSourceBytes int64
 	// Traces bounds the ring buffer of recent request traces served by
@@ -77,6 +96,10 @@ type Server struct {
 	pool   *Pool
 	loader *LoaderCache
 
+	// sessions is the warm-session pool (nil when Config.PoolUnits < 0):
+	// post-static-init snapshots cloned into later run sessions.
+	sessions *sessionPool
+
 	// peerFiller, when set (SetPeerFiller, before serving), turns a
 	// store miss on the run/unit paths into a peer fill instead of a
 	// hard ErrUnitNotFound.
@@ -104,6 +127,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
+	var sessions *sessionPool
+	if cfg.PoolUnits >= 0 {
+		units := cfg.PoolUnits
+		if units == 0 {
+			units = 256
+		}
+		sessions = newSessionPool(units, m)
+	}
 	return &Server{
 		cfg:        cfg,
 		m:          m,
@@ -111,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 		store:      store,
 		pool:       NewPool(cfg.Workers, cfg.StageTimeout, m),
 		loader:     NewLoaderCache(cfg.MaxModules, m),
+		sessions:   sessions,
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 	}, nil
@@ -151,6 +183,9 @@ func (s *Server) Stats() Stats {
 	st := s.m.snapshot()
 	st.UnitsCached = s.store.Len()
 	st.ModulesLoaded = s.loader.Len()
+	if s.sessions != nil {
+		st.PoolSessions = s.sessions.Len()
+	}
 	return st
 }
 
@@ -255,11 +290,24 @@ type RunResult struct {
 	Output string `json:"output"`
 	Error  string `json:"error,omitempty"`
 	Steps  int64  `json:"steps"`
+	Allocs int64  `json:"allocs"`
 }
 
 // ErrUnitNotFound is returned by RunUnit for a hash the store does not
 // hold.
 var ErrUnitNotFound = errors.New("codeserver: unit not found")
+
+// TenantBusyError is returned when a run would exceed the tenant's
+// in-flight bound. The HTTP layer maps it to 429 with a Retry-After
+// header; nothing is executed on the rejected path.
+type TenantBusyError struct {
+	Tenant string
+	Limit  int
+}
+
+func (e *TenantBusyError) Error() string {
+	return fmt.Sprintf("codeserver: tenant %q at its in-flight run limit (%d)", e.Tenant, e.Limit)
+}
 
 // resolveEngine folds the per-request engine over the server default
 // ("" falls through to the config, which itself defaults to prepared).
@@ -281,71 +329,160 @@ func resolveEngine(cfgEngine, reqEngine string) (string, error) {
 			e, driver.EnginePrepared, driver.EngineCompiled, driver.EngineReference)}
 }
 
-// RunUnit executes the unit's main on the server's default engine; see
-// RunUnitEngine.
-func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult, error) {
-	return s.RunUnitEngine(ctx, k, maxSteps, "")
+// clampBudget folds a per-request budget over the server cap: requests
+// may ask for less than the cap but never more, and a request that asks
+// for nothing (<= 0) gets the cap itself (or unlimited when the server
+// sets none).
+func clampBudget(req, cap int64) int64 {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	if req <= 0 {
+		return 0
+	}
+	return req
 }
 
-// RunUnitEngine executes the unit's main in a fresh, isolated session:
-// the decoded module and its prepared and compiled forms come from the
-// loader cache (shared read-only), while the class metadata, statics,
-// and heap are rebuilt per call, so concurrent sessions cannot observe
-// each other.
-// engine selects the evaluator ("" uses the server default). Guest
-// failures (uncaught exceptions, step limit) are reported inside
-// RunResult, not as an error.
+// RunOptions selects the budgets, engine, and accounting identity of
+// one run session. The zero value means: server-default budgets and
+// engine, tenant DefaultTenant.
+type RunOptions struct {
+	// MaxSteps / MaxAllocs request per-run budgets; both are clamped to
+	// the server caps (<= 0 requests the cap itself).
+	MaxSteps  int64
+	MaxAllocs int64
+	// Engine overrides the server's default evaluator ("" keeps it).
+	Engine string
+	// Tenant is the accounting identity ("" folds to DefaultTenant).
+	Tenant string
+}
+
+// RunUnit executes the unit's main on the server's default engine; see
+// RunUnitOpts.
+func (s *Server) RunUnit(ctx context.Context, k Key, maxSteps int64) (RunResult, error) {
+	return s.RunUnitOpts(ctx, k, RunOptions{MaxSteps: maxSteps})
+}
+
+// RunUnitEngine executes the unit's main with an explicit engine; see
+// RunUnitOpts.
 func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engine string) (RunResult, error) {
-	engine, err := resolveEngine(s.cfg.Engine, engine)
+	return s.RunUnitOpts(ctx, k, RunOptions{MaxSteps: maxSteps, Engine: engine})
+}
+
+// RunUnitOpts executes the unit's main in an isolated session: the
+// decoded module and its prepared and compiled forms come from the
+// loader cache (shared read-only), while the class metadata, statics,
+// and heap are per-session, so concurrent sessions cannot observe each
+// other. When the warm-session pool holds a snapshot for (unit, engine)
+// and the request's budgets admit it, the session is cloned from the
+// post-static-init snapshot instead of re-running the initializers —
+// byte-exact with a fresh session by the Snapshot contract. Guest
+// failures (uncaught exceptions, budget kills) are reported inside
+// RunResult, not as an error; a tenant over its in-flight bound gets a
+// *TenantBusyError before any work happens.
+func (s *Server) RunUnitOpts(ctx context.Context, k Key, opts RunOptions) (RunResult, error) {
+	engine, err := resolveEngine(s.cfg.Engine, opts.Engine)
 	if err != nil {
 		return RunResult{}, err
 	}
+	tenant := opts.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	tc := s.m.tenant(tenant)
+	// Fair admission: bound the tenant's concurrent sessions before any
+	// load or execution work happens, so one tenant's burst cannot
+	// monopolize the run capacity of the node.
+	if lim := s.cfg.TenantMaxInFlight; lim > 0 {
+		if tc.inFlight.Add(1) > int64(lim) {
+			tc.inFlight.Add(-1)
+			tc.rejects.Add(1)
+			s.m.tenantRejects.Add(1)
+			return RunResult{}, &TenantBusyError{Tenant: tenant, Limit: lim}
+		}
+	} else {
+		tc.inFlight.Add(1)
+	}
+	defer tc.inFlight.Add(-1)
 	ctx, tr := s.tracer.StartTrace(ctx, "run")
 	defer tr.Finish()
-	lctx, lsp := obs.Start(ctx, "load")
-	lu, err := s.loader.GetOrLoad(lctx, k, func() ([]byte, error) {
-		u, ok := s.store.Get(k)
-		if !ok {
-			// Cluster mode: a run for a unit this node lacks pulls the
-			// encoded bytes from the owner and re-admits them locally
-			// before the loader ever sees them.
-			pu, perr := s.fillFromPeer(lctx, k)
-			if perr != nil {
-				return nil, perr
-			}
-			u = pu
+	maxSteps := clampBudget(opts.MaxSteps, s.cfg.MaxSteps)
+	maxAllocs := clampBudget(opts.MaxAllocs, s.cfg.MaxAllocs)
+	var snap *interp.Snapshot
+	if s.sessions != nil {
+		if snap = s.sessions.Get(k, engine); snap != nil && !snap.Admits(maxSteps, maxAllocs) {
+			// The request's budgets would have killed static init; a
+			// clone cannot reproduce that mid-init death, so run fresh.
+			s.m.poolDeclines.Add(1)
+			snap = nil
 		}
-		return u.Wire, nil
-	})
-	lsp.End()
-	if err != nil {
-		return RunResult{}, err
 	}
-	if s.cfg.MaxSteps > 0 && (maxSteps <= 0 || maxSteps > s.cfg.MaxSteps) {
-		maxSteps = s.cfg.MaxSteps
+	var lu *LoadedUnit
+	if snap == nil {
+		lctx, lsp := obs.Start(ctx, "load")
+		lu, err = s.loader.GetOrLoad(lctx, k, func() ([]byte, error) {
+			u, ok := s.store.Get(k)
+			if !ok {
+				// Cluster mode: a run for a unit this node lacks pulls the
+				// encoded bytes from the owner and re-admits them locally
+				// before the loader ever sees them.
+				pu, perr := s.fillFromPeer(lctx, k)
+				if perr != nil {
+					return nil, perr
+				}
+				u = pu
+			}
+			return u.Wire, nil
+		})
+		lsp.End()
+		if err != nil {
+			return RunResult{}, err
+		}
 	}
 	s.m.runs.Add(1)
 	s.m.runsInFlight.Add(1)
 	_, esp := obs.Start(ctx, "exec")
 	start := time.Now()
 	var out bytes.Buffer
-	// The guest's interrupt fires when either the request is abandoned
-	// or the server is draining (Shutdown cancelled baseCtx) — a drain
-	// must stop runaway guests without tearing down their HTTP exchange.
+	// The guest's interrupt fires when the request is abandoned, the
+	// server is draining (Shutdown cancelled baseCtx), or the wall-clock
+	// run deadline expires — in every case the guest dies with
+	// rt.ErrInterrupted while its HTTP exchange stays up.
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	stopAfter := context.AfterFunc(s.baseCtx, cancelRun)
 	defer stopAfter()
-	env := &rt.Env{Out: &out, MaxSteps: maxSteps, Interrupt: runCtx.Done()}
+	var deadlineCtx context.Context
+	if s.cfg.RunTimeout > 0 {
+		var cancelDeadline context.CancelFunc
+		deadlineCtx, cancelDeadline = context.WithTimeout(context.Background(), s.cfg.RunTimeout)
+		defer cancelDeadline()
+		stopDeadline := context.AfterFunc(deadlineCtx, cancelRun)
+		defer stopDeadline()
+	}
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, MaxAlloc: maxAllocs, Interrupt: runCtx.Done()}
 	res := RunResult{OK: true}
 	var l *interp.Loader
-	switch engine {
-	case driver.EnginePrepared:
-		l, err = interp.LoadTrustedPrepared(lu.Mod, lu.Prep, env)
-	case driver.EngineCompiled:
-		l, err = interp.LoadTrustedCompiled(lu.Mod, lu.Comp, env)
-	default:
-		l, err = interp.LoadTrusted(lu.Mod, env)
+	if snap != nil {
+		l, err = snap.NewSession(env)
+		if err == nil {
+			s.m.poolHits.Add(1)
+		}
+	} else {
+		switch engine {
+		case driver.EnginePrepared:
+			l, err = interp.LoadTrustedDeferred(lu.Mod, lu.Prep, nil, env)
+		case driver.EngineCompiled:
+			l, err = interp.LoadTrustedDeferred(lu.Mod, nil, lu.Comp, env)
+		default:
+			l, err = interp.LoadTrustedDeferred(lu.Mod, nil, nil, env)
+		}
+		if err == nil {
+			err = l.RunStaticInit()
+			if err == nil && s.sessions != nil {
+				s.sessions.Offer(k, engine, l, out.Bytes())
+			}
+		}
 	}
 	if err == nil {
 		err = l.RunMain()
@@ -355,11 +492,21 @@ func (s *Server) RunUnitEngine(ctx context.Context, k Key, maxSteps int64, engin
 	s.m.runsInFlight.Add(-1)
 	s.m.guestSteps.Add(env.Steps)
 	s.m.guestAllocs.Add(env.Allocs)
+	tc.runs.Add(1)
+	tc.steps.Add(env.Steps)
+	tc.allocs.Add(env.Allocs)
 	res.Output = out.String()
 	res.Steps = env.Steps
+	res.Allocs = env.Allocs
 	if err != nil {
 		s.m.runErrors.Add(1)
-		s.m.recordKill(rt.KillReason(err))
+		reason := rt.KillReason(err)
+		if reason == "interrupt" && deadlineCtx != nil && deadlineCtx.Err() != nil {
+			// The interrupt the guest saw was the wall-clock enforcer,
+			// not a client abort or drain.
+			reason = "deadline"
+		}
+		s.m.recordKill(reason, tc)
 		res.OK = false
 		res.Error = err.Error()
 	}
@@ -387,11 +534,19 @@ type CompileResponse struct {
 
 // RunRequest is the POST /run/{hash} body.
 type RunRequest struct {
-	MaxSteps int64 `json:"max_steps"`
+	MaxSteps  int64 `json:"max_steps"`
+	MaxAllocs int64 `json:"max_allocs"`
 	// Engine optionally overrides the server's default evaluator for
 	// this session: "prepared", "compiled", or "reference".
 	Engine string `json:"engine,omitempty"`
+	// Tenant is the accounting identity of the session; empty falls
+	// back to the TenantHeader request header, then DefaultTenant.
+	Tenant string `json:"tenant,omitempty"`
 }
+
+// TenantHeader is the request header carrying the tenant identity when
+// the body does not (and the header routing layers use to forward it).
+const TenantHeader = "X-Safetsa-Tenant"
 
 // ErrorResponse is the JSON error body every endpoint uses.
 type ErrorResponse struct {
@@ -433,7 +588,14 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 func WriteError(w http.ResponseWriter, err error) {
 	kindStr := driver.KindOf(err).String()
 	status := http.StatusInternalServerError
+	var busy *TenantBusyError
 	switch {
+	case errors.As(err, &busy):
+		// Fair-admission rejection: the tenant is at its in-flight
+		// bound; the client should back off briefly and retry.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+		kindStr = "throttled"
 	case errors.Is(err, ErrUnitNotFound):
 		status = http.StatusNotFound
 		kindStr = "not_found"
@@ -516,7 +678,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.RunUnitEngine(r.Context(), k, req.MaxSteps, req.Engine)
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get(TenantHeader)
+	}
+	res, err := s.RunUnitOpts(r.Context(), k, RunOptions{
+		MaxSteps:  req.MaxSteps,
+		MaxAllocs: req.MaxAllocs,
+		Engine:    req.Engine,
+		Tenant:    req.Tenant,
+	})
 	if err != nil {
 		WriteError(w, err)
 		return
@@ -530,7 +700,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.WritePrometheus(w, s.store.Len(), s.loader.Len())
+	poolSessions := 0
+	if s.sessions != nil {
+		poolSessions = s.sessions.Len()
+	}
+	s.m.WritePrometheus(w, s.store.Len(), s.loader.Len(), poolSessions)
 }
 
 // tracesResponse is the wire shape of /debug/traces.

@@ -126,7 +126,7 @@ func LoadTrustedCompiled(mod *core.Module, comp *Compiled, env *rt.Env) (*Loader
 		return nil, err
 	}
 	l.comp = comp
-	if err := l.runStaticInit(); err != nil {
+	if err := l.RunStaticInit(); err != nil {
 		return nil, err
 	}
 	return l, nil

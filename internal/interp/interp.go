@@ -62,7 +62,7 @@ func LoadTrusted(mod *core.Module, env *rt.Env) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := l.runStaticInit(); err != nil {
+	if err := l.RunStaticInit(); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -136,9 +136,11 @@ func loadCommon(mod *core.Module, env *rt.Env) (*Loader, error) {
 	return l, nil
 }
 
-// runStaticInit executes the static initializers in class order on the
-// session's engine.
-func (l *Loader) runStaticInit() error {
+// RunStaticInit executes the static initializers in class order on the
+// session's engine. The LoadTrusted* entry points call it internally;
+// sessions built with LoadTrustedDeferred (the warm-pool build path)
+// call it exactly once themselves, before either RunMain or Snapshot.
+func (l *Loader) RunStaticInit() error {
 	var err error
 	func() {
 		defer l.catchTopLevel(&err)

@@ -30,7 +30,7 @@ func LoadTrustedPrepared(mod *core.Module, prep *Prepared, env *rt.Env) (*Loader
 		return nil, err
 	}
 	l.prep = prep
-	if err := l.runStaticInit(); err != nil {
+	if err := l.RunStaticInit(); err != nil {
 		return nil, err
 	}
 	return l, nil

@@ -82,6 +82,39 @@ func (p *PromWriter) CounterVec(name, help, label string, vals map[string]uint64
 	}
 }
 
+// LabeledCounter is one sample row of a multi-label counter family:
+// alternating label name/value pairs plus the counter value.
+type LabeledCounter struct {
+	Labels []string
+	Value  uint64
+}
+
+// CounterRows emits one counter family whose samples carry arbitrary
+// label sets, rendered in the given row order — callers sort their rows
+// so the exposition stays deterministic. An empty row set still emits
+// the HELP/TYPE header (a legal sample-less family), so the metric name
+// remains discoverable before the first sample exists.
+func (p *PromWriter) CounterRows(name, help string, rows []LabeledCounter) {
+	p.header(name, help, "counter")
+	for _, r := range rows {
+		fmt.Fprintf(p.w, "%s%s %d\n", name, p.labels(r.Labels...), r.Value)
+	}
+}
+
+// GaugeVec emits one gauge family with a single label dimension, label
+// values in sorted order so the rendering is deterministic.
+func (p *PromWriter) GaugeVec(name, help, label string, vals map[string]int64) {
+	p.header(name, help, "gauge")
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(p.w, "%s%s %d\n", name, p.labels(label, k), vals[k])
+	}
+}
+
 // Gauge emits one gauge.
 func (p *PromWriter) Gauge(name, help string, v int64) {
 	p.header(name, help, "gauge")

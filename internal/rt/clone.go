@@ -1,0 +1,90 @@
+package rt
+
+// This file is the session-cloning substrate under the warm-session
+// pools: a deep copy of guest values that preserves everything a guest
+// program can observe about its heap — aliasing structure (two statics
+// holding the same array must hold the same clone), cycles, and object
+// identity (Object.id feeds Identity and RefString, so a clone that
+// renumbered objects would print different "Class@id" strings than the
+// session it was copied from).
+//
+// A Cloner never executes guest code and never charges an Env: the
+// session the values were copied FROM already paid the allocation
+// budget for them, and the warm-pool machinery replays that charge onto
+// the destination Env separately (see interp.Snapshot). Keeping the
+// copy budget-free is what makes a cloned session bit-identical in
+// budget drain to a fresh session that ran the same initialization.
+
+// Cloner deep-copies values between sessions. One Cloner instance spans
+// one logical copy operation: values cloned through the same Cloner
+// share one identity map, so aliasing between them is preserved exactly.
+type Cloner struct {
+	seen map[Ref]Ref
+	// classes remaps ClassInfo pointers from the source session's class
+	// table to the destination session's (nil entries / nil map fall
+	// back to the source pointer). Sessions compare ClassInfos by
+	// pointer (IsSubclassOf, checked casts), so a clone that kept source
+	// pointers would fail every instanceof in its new session.
+	classes map[*ClassInfo]*ClassInfo
+}
+
+// NewCloner creates a cloner with the given class remapping (may be
+// nil when source and destination share one class table).
+func NewCloner(classes map[*ClassInfo]*ClassInfo) *Cloner {
+	return &Cloner{seen: make(map[Ref]Ref), classes: classes}
+}
+
+// Value deep-copies one value.
+func (c *Cloner) Value(v Value) Value {
+	if v.R == nil {
+		return v
+	}
+	return Value{I: v.I, D: v.D, R: c.ref(v.R)}
+}
+
+func (c *Cloner) class(ci *ClassInfo) *ClassInfo {
+	if dst, ok := c.classes[ci]; ok && dst != nil {
+		return dst
+	}
+	return ci
+}
+
+// ref copies one reference, recording the mapping before descending so
+// cyclic structures terminate and aliased references collapse onto one
+// clone.
+func (c *Cloner) ref(r Ref) Ref {
+	if dup, ok := c.seen[r]; ok {
+		return dup
+	}
+	switch r := r.(type) {
+	case *Str:
+		dup := &Str{S: r.S}
+		c.seen[r] = dup
+		return dup
+	case *Array:
+		dup := &Array{Elems: make([]Value, len(r.Elems)), TypeID: r.TypeID}
+		c.seen[r] = dup
+		for i, e := range r.Elems {
+			dup.Elems[i] = c.Value(e)
+		}
+		return dup
+	case *Object:
+		dup := &Object{Class: c.class(r.Class), Fields: make([]Value, len(r.Fields)), id: r.id}
+		c.seen[r] = dup
+		for i, f := range r.Fields {
+			dup.Fields[i] = c.Value(f)
+		}
+		return dup
+	}
+	return r
+}
+
+// NextID reports the environment's object-id allocation cursor, so a
+// session snapshot can record it.
+func (e *Env) NextID() int64 { return e.nextID }
+
+// SetNextID restores the object-id allocation cursor on a cloned
+// session's environment. Without this, the first object a clone
+// allocates would reuse an id the copied heap already holds, and
+// identity hashes would diverge from a fresh session.
+func (e *Env) SetNextID(id int64) { e.nextID = id }
