@@ -8,7 +8,8 @@
 //	                           # latency histogram summaries + the
 //	                           # three-way reference/prepared/compiled
 //	                           # run comparison + the warm-vs-cold
-//	                           # session-pool comparison as JSON
+//	                           # session-pool comparison + the
+//	                           # interprocedural-tier comparison as JSON
 //	                           # ("-" = stdout)
 package main
 
@@ -44,7 +45,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		data, err := bench.FormatJSONTimed(rows, timings, rc, wp)
+		mo, err := bench.MeasureModuleOpt()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data, err := bench.FormatJSONTimed(rows, timings, rc, wp, mo)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

@@ -1,29 +1,35 @@
 // Command safetsac is the code producer: it compiles TJ source files to a
 // SafeTSA distribution unit.
 //
-//	safetsac [-O] [-o out.tsa] [-dump] file.tj...
+//	safetsac [-O | -O2] [-o out.tsa] [-dump] file.tj...
 //
-// -O runs the producer-side optimizations (constant propagation, CSE with
-// the Mem variable, DCE / check elimination) before encoding.
+// -O runs the intraprocedural producer-side optimizations (constant
+// propagation, CSE with the Mem variable, DCE / check elimination)
+// before encoding. -O2 adds the interprocedural tier on top: CHA/RTA
+// devirtualization of monomorphic xdispatch sites, inlining of small
+// non-recursive callees, and flow-based null/bounds-check elimination.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"safetsa/internal/driver"
+	"safetsa/internal/opt"
 	"safetsa/internal/wire"
 )
 
 func main() {
-	optimize := flag.Bool("O", false, "run producer-side optimizations")
+	optimize := flag.Bool("O", false, "run intraprocedural producer-side optimizations")
+	moduleOpt := flag.Bool("O2", false, "run the interprocedural optimizer tier (implies -O)")
 	out := flag.String("o", "out.tsa", "output distribution unit")
 	dump := flag.Bool("dump", false, "print the SafeTSA form instead of writing the unit")
 	stats := flag.Bool("stats", false, "print optimization statistics")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: safetsac [-O] [-o out.tsa] file.tj...")
+		fmt.Fprintln(os.Stderr, "usage: safetsac [-O | -O2] [-o out.tsa] file.tj...")
 		os.Exit(2)
 	}
 
@@ -39,8 +45,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *optimize {
-		st, err := driver.OptimizeModule(mod)
+	if *optimize || *moduleOpt {
+		st, err := driver.OptimizeModuleOptions(context.Background(), mod, opt.Options{ModuleLevel: *moduleOpt})
 		if err != nil {
 			fatal(err)
 		}
@@ -50,6 +56,11 @@ func main() {
 				st.InstrsBefore, st.InstrsAfter, st.PhisBefore, st.PhisAfter,
 				st.NullChecksBefore, st.NullChecksAfter,
 				st.ArrayChecksBefore, st.ArrayChecksAfter)
+			if *moduleOpt {
+				fmt.Fprintf(os.Stderr,
+					"devirtualized %d, inlined %d, checks elided %d, exception edges pruned %d\n",
+					st.Devirtualized, st.Inlined, st.ChecksElided, st.ExcEdgesPruned)
+			}
 		}
 	}
 	if *dump {

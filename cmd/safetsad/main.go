@@ -8,7 +8,7 @@
 //	         [-units N] [-modules N] [-maxsteps N] [-maxallocs N]
 //	         [-run-timeout D] [-tenant-inflight N] [-pool-units N]
 //	         [-stagetimeout D] [-traces N] [-debug-addr ADDR]
-//	         [-engine prepared|compiled|reference] [-drain D]
+//	         [-engine prepared|compiled|reference] [-module-opt] [-drain D]
 //	         [-node NAME -peers NAME=URL,... [-vnodes N] [-gossip D]
 //	          [-hot-threshold N] [-hot-window D] [-replicas N]]
 //
@@ -83,6 +83,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	engine := flag.String("engine", "",
 		"default execution engine: prepared, compiled, or reference (empty = prepared); per-request \"engine\" overrides")
+	moduleOpt := flag.Bool("module-opt", false,
+		"upgrade optimizing compiles to the interprocedural tier (devirtualization, inlining, check elimination)")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight runs on shutdown")
 
 	node := flag.String("node", "", "fleet member name (enables cluster mode with -peers)")
@@ -109,6 +111,7 @@ func main() {
 		PoolUnits:         *poolUnits,
 		Traces:            *traces,
 		Engine:            *engine,
+		ModuleOpt:         *moduleOpt,
 		NodeName:          *node,
 	})
 	if err != nil {

@@ -66,6 +66,11 @@ type JSONReport struct {
 	// static init) versus warm (snapshot clone) full-session latency per
 	// unit on the compiled engine. Absent when the comparison was not run.
 	WarmPool *JSONWarmPool `json:"warm_pool,omitempty"`
+	// ModuleOpt records the interprocedural-tier measurement: per-pass
+	// instruction-count deltas over the corpus, the new passes' action
+	// counts, and the module-vs-intraprocedural run-latency comparison.
+	// Absent when the comparison was not run.
+	ModuleOpt *JSONModuleOpt `json:"module_opt,omitempty"`
 	// Load records a load-generator replay against a running codeserver
 	// or fleet (see LoadResult). Absent from benchtables snapshots.
 	Load *JSONLoad `json:"load,omitempty"`
@@ -142,6 +147,36 @@ type JSONRunComparison struct {
 	GeomeanCompiledSpeedup float64      `json:"geomean_compiled_speedup"`
 }
 
+// JSONPassDelta is one row of the Figure-6-style per-pass block: total
+// corpus instruction count entering and leaving one named pass of the
+// interprocedural pipeline.
+type JSONPassDelta struct {
+	Pass         string `json:"pass"`
+	InstrsBefore int    `json:"instrs_before"`
+	InstrsAfter  int    `json:"instrs_after"`
+}
+
+// JSONModuleRunRow is one unit's module-vs-intraprocedural run-latency
+// row. "speedup" is intra-over-module.
+type JSONModuleRunRow struct {
+	Name        string  `json:"name"`
+	IntraNanos  int64   `json:"intra_nanos"`
+	ModuleNanos int64   `json:"module_nanos"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// JSONModuleOpt is the machine-readable interprocedural-tier block.
+type JSONModuleOpt struct {
+	BestOf         int                `json:"best_of"`
+	PassDeltas     []JSONPassDelta    `json:"pass_deltas"`
+	Devirtualized  int                `json:"devirtualized"`
+	Inlined        int                `json:"inlined"`
+	ChecksElided   int                `json:"checks_elided"`
+	ExcEdgesPruned int                `json:"exc_edges_pruned"`
+	Rows           []JSONModuleRunRow `json:"rows"`
+	GeomeanSpeedup float64            `json:"geomean_speedup"`
+}
+
 // jsonSchema is bumped whenever the report layout changes, so trajectory
 // tooling can detect incompatible snapshots. v2 added "latencies"; v3
 // added the "prepare" latency stage and "run_comparison"; v4 added the
@@ -150,8 +185,10 @@ type JSONRunComparison struct {
 // geomean_compiled_speedup) and added overflow_count to every latency
 // digest; v6 added the "warm_pool" cold-vs-warm session comparison and
 // the load block's multi-tenant fields (tenants, throttled,
-// guest_allocs).
-const jsonSchema = "safetsa-bench-v6"
+// guest_allocs); v7 added the "module_opt" interprocedural-tier block
+// (per-pass instruction deltas, devirtualization/inlining/check-
+// elimination counts, module-vs-intraprocedural run comparison).
+const jsonSchema = "safetsa-bench-v7"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -206,11 +243,33 @@ func FormatJSON(rows []Row) ([]byte, error) {
 
 // FormatJSONTimed renders the report including the per-stage latency
 // summaries of a timed measurement run and, when non-nil, the
-// reference-vs-prepared run comparison and the warm-pool comparison.
-func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison, wp *WarmPoolComparison) ([]byte, error) {
+// reference-vs-prepared run comparison, the warm-pool comparison, and
+// the interprocedural-tier comparison.
+func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison, wp *WarmPoolComparison, mo *ModuleOptComparison) ([]byte, error) {
 	rep := Report(rows)
 	if tm != nil {
 		rep.Latencies = tm.Summaries()
+	}
+	if mo != nil {
+		jm := &JSONModuleOpt{
+			BestOf:         mo.BestOf,
+			Devirtualized:  mo.Devirtualized,
+			Inlined:        mo.Inlined,
+			ChecksElided:   mo.ChecksElided,
+			ExcEdgesPruned: mo.ExcEdgesPruned,
+			GeomeanSpeedup: mo.GeomeanSpeedup,
+		}
+		for _, d := range mo.PassDeltas {
+			jm.PassDeltas = append(jm.PassDeltas, JSONPassDelta{
+				Pass: d.Pass, InstrsBefore: d.InstrsBefore, InstrsAfter: d.InstrsAfter,
+			})
+		}
+		for _, r := range mo.Rows {
+			jm.Rows = append(jm.Rows, JSONModuleRunRow{
+				Name: r.Name, IntraNanos: r.IntraNanos, ModuleNanos: r.ModuleNanos, Speedup: r.Speedup,
+			})
+		}
+		rep.ModuleOpt = jm
 	}
 	if wp != nil {
 		jw := &JSONWarmPool{

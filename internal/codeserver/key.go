@@ -13,12 +13,16 @@ import (
 // with and without optimization are distinct units.
 type Options struct {
 	Optimize bool `json:"optimize"`
+	// ModuleOpt selects the interprocedural optimizer tier (CHA/RTA
+	// devirtualization, inlining, flow-based check elimination) on top
+	// of the intraprocedural pipeline. Implies Optimize.
+	ModuleOpt bool `json:"module_opt"`
 }
 
 // pipelineVersion is folded into every key so that a pipeline change
 // (new optimizer, new wire format) invalidates previously stored units
 // instead of serving stale code.
-const pipelineVersion = "safetsa-pipeline-v1"
+const pipelineVersion = "safetsa-pipeline-v2"
 
 // Key is the content address of a distribution unit: the SHA-256 of the
 // pipeline version, the options, and the full, order-independent source
@@ -42,11 +46,15 @@ func KeyFor(files map[string]string, opts Options) Key {
 		h.Write([]byte(s))
 	}
 	writeStr(pipelineVersion)
-	if opts.Optimize {
-		h.Write([]byte{1})
-	} else {
-		h.Write([]byte{0})
+	optByte := func(on bool) {
+		if on {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
 	}
+	optByte(opts.Optimize)
+	optByte(opts.ModuleOpt)
 	for _, n := range names {
 		writeStr(n)
 		writeStr(files[n])

@@ -10,6 +10,7 @@ import (
 	"safetsa/internal/driver"
 	"safetsa/internal/lang/sema"
 	"safetsa/internal/obs"
+	"safetsa/internal/opt"
 	"safetsa/internal/wire"
 )
 
@@ -67,10 +68,11 @@ func (p *Pool) Compile(ctx context.Context, files map[string]string, opts Option
 	if err != nil {
 		return nil, err
 	}
-	u := &Unit{Optimized: opts.Optimize}
-	if opts.Optimize {
+	u := &Unit{Optimized: opts.Optimize || opts.ModuleOpt}
+	if opts.Optimize || opts.ModuleOpt {
 		err = p.stage(ctx, "optimize", func(ctx context.Context) (err error) {
-			u.OptStats, err = driver.OptimizeModuleContext(ctx, mod)
+			u.OptStats, err = driver.OptimizeModuleOptions(ctx, mod,
+				opt.Options{ModuleLevel: opts.ModuleOpt})
 			return err
 		})
 		if err != nil {

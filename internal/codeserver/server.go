@@ -65,6 +65,12 @@ type Config struct {
 	// Traces bounds the ring buffer of recent request traces served by
 	// /debug/traces (<=0: 64).
 	Traces int
+	// ModuleOpt upgrades every optimizing compile to the interprocedural
+	// tier (CHA/RTA devirtualization, inlining, flow-based check
+	// elimination): requests asking for Optimize get ModuleOpt too. The
+	// tier participates in the content hash, so units built either way
+	// remain distinct.
+	ModuleOpt bool
 	// Engine selects the default execution engine for run sessions:
 	// driver.EnginePrepared (also the "" default),
 	// driver.EngineCompiled, or driver.EngineReference. Requests may
@@ -201,6 +207,16 @@ func (s *Server) CompileUnit(ctx context.Context, files map[string]string, opts 
 	ctx, tr := s.tracer.StartTrace(ctx, "compile")
 	defer tr.Finish()
 	s.m.compileRequests.Add(1)
+	// Normalize the tier before hashing: a server configured for the
+	// interprocedural tier upgrades every optimizing request, and
+	// ModuleOpt always implies Optimize. Hashing the normalized form
+	// keeps one canonical key per effective pipeline.
+	if s.cfg.ModuleOpt && opts.Optimize {
+		opts.ModuleOpt = true
+	}
+	if opts.ModuleOpt {
+		opts.Optimize = true
+	}
 	k := KeyFor(files, opts)
 	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
 		u, err := s.pool.Compile(ctx, files, opts)
@@ -521,6 +537,9 @@ func (s *Server) RunUnitOpts(ctx context.Context, k Key, opts RunOptions) (RunRe
 type CompileRequest struct {
 	Files    map[string]string `json:"files"`
 	Optimize bool              `json:"optimize"`
+	// ModuleOpt asks for the interprocedural optimizer tier (implies
+	// Optimize); it yields a distinct unit hash from plain Optimize.
+	ModuleOpt bool `json:"module_opt"`
 }
 
 // CompileResponse is the POST /compile response body.
@@ -628,7 +647,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			Error: "bad request body: " + err.Error(), Kind: "parse"})
 		return
 	}
-	u, cached, err := s.CompileUnit(r.Context(), req.Files, Options{Optimize: req.Optimize})
+	u, cached, err := s.CompileUnit(r.Context(), req.Files,
+		Options{Optimize: req.Optimize, ModuleOpt: req.ModuleOpt})
 	if err != nil {
 		WriteError(w, err)
 		return

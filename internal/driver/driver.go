@@ -122,11 +122,18 @@ func OptimizeModule(mod *core.Module) (opt.Stats, error) {
 
 // OptimizeModuleContext is the context-aware form of OptimizeModule.
 func OptimizeModuleContext(ctx context.Context, mod *core.Module) (opt.Stats, error) {
+	return OptimizeModuleOptions(ctx, mod, opt.Options{})
+}
+
+// OptimizeModuleOptions runs the optimizer tier the options select
+// (intraprocedural by default, interprocedural with ModuleLevel) and
+// re-verifies the module.
+func OptimizeModuleOptions(ctx context.Context, mod *core.Module, o opt.Options) (opt.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return opt.Stats{}, err
 	}
 	_, osp := obs.Start(ctx, "passes")
-	st := opt.Optimize(mod)
+	st := opt.OptimizeWithOptions(mod, o)
 	osp.End()
 	_, vsp := obs.Start(ctx, "verify")
 	err := mod.Verify(core.VerifyOptions{})

@@ -1,0 +1,269 @@
+package opt
+
+import (
+	"safetsa/internal/core"
+)
+
+// Inlining: a direct xcall to a small, non-recursive, straight-line
+// unit-local callee is replaced by an SSA-renamed copy of the callee's
+// body at the call site. Parameters map to the call's arguments (whose
+// planes the verifier already proved identical to the parameter planes),
+// every cloned result gets a fresh value ID, and uses of the call's
+// result are rewritten to the clone of the returned value.
+//
+// Exception-edge stitching: if the call site sits inside a try region,
+// its single exception edge (index k into the handler's predecessor
+// list) is replaced in place by one edge per cloned potentially-throwing
+// instruction, in clone order — the clones occupy the call's old
+// position in the code, so the decoder's strict program-order edge
+// numbering is preserved. Each handler phi duplicates its operand for
+// edge k across the new edges (sound: that operand was available before
+// the call, hence before every clone), and the edge indices of later
+// sites into the same handler shift by the difference. A callee that
+// cannot throw at all removes the call's edge entirely.
+const (
+	// inlineMaxInstrs bounds the callee body size (non-parameter code
+	// instructions).
+	inlineMaxInstrs = 16
+	// inlineMaxRounds bounds repeated expansion inside one caller, so a
+	// chain f → g → h inlines through at most this depth per pipeline
+	// run while the size budget keeps the caller from blowing up.
+	inlineMaxRounds = 3
+)
+
+func inlinePass() Pass {
+	var mod *core.Module
+	var rec map[*core.Func]bool
+	return Pass{Name: "inline", Run: func(m *core.Module, f *core.Func, o Options, st *Stats) {
+		if m != mod {
+			mod, rec = m, m.RecursiveFuncs()
+		}
+		st.Inlined += inline(m, f, rec)
+	}}
+}
+
+func inline(m *core.Module, f *core.Func, rec map[*core.Func]bool) int {
+	total := 0
+	for round := 0; round < inlineMaxRounds; round++ {
+		n := inlineRound(m, f, rec)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+func inlineRound(m *core.Module, f *core.Func, rec map[*core.Func]bool) int {
+	n := 0
+	repl := make(map[core.ValueID]core.ValueID)
+	for _, b := range f.Blocks {
+		var out []*core.Instr
+		changed := false
+		for _, in := range b.Code {
+			g, ret := inlinableCallee(m, f, in, rec)
+			if g == nil {
+				out = append(out, in)
+				continue
+			}
+			clones, res := cloneBody(f, b, g, in, ret)
+			out = append(out, clones...)
+			stitchExcEdges(f, in, clones)
+			if in.ID != core.NoValue {
+				repl[in.ID] = res
+			}
+			changed = true
+			n++
+		}
+		if changed {
+			b.Code = out
+		}
+	}
+	replaceUses(f, repl)
+	return n
+}
+
+// inlinableCallee decides whether the instruction is an xcall whose
+// callee can be expanded here, returning the callee and the value it
+// returns (NoValue for void). All structural conditions are checked up
+// front so that cloning cannot fail halfway.
+func inlinableCallee(m *core.Module, f *core.Func, in *core.Instr, rec map[*core.Func]bool) (*core.Func, core.ValueID) {
+	if in.Op != core.OpXCall {
+		return nil, core.NoValue
+	}
+	g := m.FuncOf(in.Method)
+	if g == nil || g == f || rec[g] {
+		return nil, core.NoValue
+	}
+	if len(g.Blocks) != 1 || g.Entry == nil || len(g.Entry.Phis) > 0 {
+		return nil, core.NoValue
+	}
+	ret, ok := straightLineBody(g)
+	if !ok {
+		return nil, core.NoValue
+	}
+	if in.ID != core.NoValue && ret == core.NoValue {
+		return nil, core.NoValue
+	}
+	size := 0
+	for _, gi := range g.Entry.Code {
+		switch gi.Op {
+		case core.OpParam:
+			if int(gi.Aux) < 0 || int(gi.Aux) >= len(in.Args) {
+				return nil, core.NoValue
+			}
+		case core.OpCatch, core.OpMem0:
+			// Neither belongs in a function entry; refuse rather than
+			// clone something the verifier would reject.
+			return nil, core.NoValue
+		default:
+			size++
+		}
+	}
+	if size > inlineMaxInstrs {
+		return nil, core.NoValue
+	}
+	return g, ret
+}
+
+// straightLineBody checks that a single-block function's CST is a pure
+// sequence: exactly one block leaf (the entry) optionally followed by
+// one return, nothing else. Such a body has no internal control flow and
+// no try regions, so its instructions can be spliced into any caller
+// position verbatim.
+func straightLineBody(g *core.Func) (ret core.ValueID, ok bool) {
+	var leaves []*core.CSTNode
+	var flatten func(n *core.CSTNode) bool
+	flatten = func(n *core.CSTNode) bool {
+		if n == nil {
+			return true
+		}
+		switch n.Kind {
+		case core.CSeq:
+			for _, k := range n.Kids {
+				if !flatten(k) {
+					return false
+				}
+			}
+			return true
+		case core.CBlock, core.CReturn:
+			leaves = append(leaves, n)
+			return true
+		}
+		return false
+	}
+	if !flatten(g.Body) {
+		return core.NoValue, false
+	}
+	if len(leaves) == 0 || len(leaves) > 2 {
+		return core.NoValue, false
+	}
+	if leaves[0].Kind != core.CBlock || leaves[0].Block != g.Entry {
+		return core.NoValue, false
+	}
+	if len(leaves) == 2 {
+		if leaves[1].Kind != core.CReturn {
+			return core.NoValue, false
+		}
+		return leaves[1].Val, true
+	}
+	return core.NoValue, true
+}
+
+// cloneBody copies the callee's code into the caller block at the call's
+// position, renaming every defined value and substituting the call's
+// arguments for parameters. Returns the clones in callee order and the
+// caller-side value standing for the callee's return.
+func cloneBody(f *core.Func, b *core.Block, g *core.Func, call *core.Instr, ret core.ValueID) ([]*core.Instr, core.ValueID) {
+	vmap := make(map[core.ValueID]core.ValueID, len(g.Entry.Code))
+	mapv := func(v core.ValueID) core.ValueID {
+		if v == core.NoValue {
+			return core.NoValue
+		}
+		return vmap[v]
+	}
+	var clones []*core.Instr
+	for _, gi := range g.Entry.Code {
+		if gi.Op == core.OpParam {
+			vmap[gi.ID] = call.Args[gi.Aux]
+			continue
+		}
+		c := &core.Instr{
+			Op:      gi.Op,
+			Type:    gi.Type,
+			ArgType: gi.ArgType,
+			TypeArg: gi.TypeArg,
+			Field:   gi.Field,
+			Method:  gi.Method,
+			Prim:    gi.Prim,
+			Aux:     gi.Aux,
+			Const:   gi.Const,
+			Blk:     b,
+		}
+		c.Args = make([]core.ValueID, len(gi.Args))
+		for i, a := range gi.Args {
+			c.Args[i] = mapv(a)
+		}
+		c.Bind = mapv(gi.Bind)
+		if gi.HasResult() {
+			f.Define(c)
+			vmap[gi.ID] = c.ID
+		}
+		clones = append(clones, c)
+	}
+	return clones, mapv(ret)
+}
+
+// stitchExcEdges rethreads the call's exception edge (if any) to the
+// cloned throwing instructions, keeping the handler's predecessor list
+// in strict program order and every handler phi aligned with it.
+func stitchExcEdges(f *core.Func, call *core.Instr, clones []*core.Instr) {
+	h := f.HandlerOf[call]
+	if h == nil {
+		return
+	}
+	var throwers []*core.Instr
+	for _, c := range clones {
+		if c.Op.CanThrow() {
+			throwers = append(throwers, c)
+		}
+	}
+	if len(throwers) == 0 {
+		f.RemoveExcSite(call)
+		return
+	}
+	k := f.ExcEdge[call]
+	n := len(throwers)
+	preds := make([]core.Pred, 0, len(h.Preds)+n-1)
+	preds = append(preds, h.Preds[:k]...)
+	for _, t := range throwers {
+		preds = append(preds, core.Pred{From: call.Blk, Site: t})
+	}
+	preds = append(preds, h.Preds[k+1:]...)
+	h.Preds = preds
+	for _, phi := range h.Phis {
+		args := make([]core.ValueID, 0, len(phi.Args)+n-1)
+		args = append(args, phi.Args[:k+1]...)
+		for i := 1; i < n; i++ {
+			args = append(args, phi.Args[k])
+		}
+		args = append(args, phi.Args[k+1:]...)
+		phi.Args = args
+	}
+	delete(f.ExcEdge, call)
+	delete(f.HandlerOf, call)
+	for site, e := range f.ExcEdge {
+		if f.HandlerOf[site] == h && e > k {
+			f.ExcEdge[site] = e + n - 1
+		}
+	}
+	for node, e := range f.ThrowEdge {
+		if f.ThrowHandler[node] == h && e > k {
+			f.ThrowEdge[node] = e + n - 1
+		}
+	}
+	for i, t := range throwers {
+		f.ExcEdge[t] = k + i
+		f.HandlerOf[t] = h
+	}
+}

@@ -31,6 +31,12 @@ type Stats struct {
 	ConstFolded int
 	CSERemoved  int
 	DCERemoved  int
+
+	// Interprocedural-tier counts (zero unless Options.ModuleLevel).
+	Devirtualized  int // xdispatch sites rewritten to direct xcalls
+	Inlined        int // call sites expanded into the caller
+	ChecksElided   int // checks replaced by witness phis at joins
+	ExcEdgesPruned int // exception edges of provably-safe sites removed
 }
 
 // Count tallies the statistics categories over a module.
@@ -62,6 +68,14 @@ type Options struct {
 	// common subexpressions. Off by default: the paper's measured
 	// configuration is the single conservative Mem.
 	FieldSensitiveMem bool
+
+	// ModuleLevel enables the interprocedural tier on top of the
+	// intraprocedural pipeline: CHA/RTA devirtualization of monomorphic
+	// xdispatch sites, inlining of small non-recursive callees, and
+	// flow-based null/bounds-check elimination, followed by a cleanup
+	// round. Off by default: the paper's measured configuration is
+	// intraprocedural.
+	ModuleLevel bool
 }
 
 // Optimize runs the paper's measured pipeline (single conservative Mem)
@@ -73,7 +87,7 @@ func Optimize(m *core.Module) Stats {
 // OptimizeWithOptions runs the producer-side pipeline with variant
 // selection.
 func OptimizeWithOptions(m *core.Module, o Options) Stats {
-	st, _ := RunPasses(m, o, Pipeline(), nil)
+	st, _ := RunPasses(m, o, PipelineFor(o), nil)
 	return st
 }
 
@@ -87,26 +101,58 @@ type Pass struct {
 	Run  func(m *core.Module, f *core.Func, o Options, st *Stats)
 }
 
+// The intraprocedural pass bodies, shared by every pipeline variant.
+func runConstProp(m *core.Module, f *core.Func, o Options, st *Stats) {
+	st.ConstFolded += constProp(m, f)
+}
+
+func runCSE(m *core.Module, f *core.Func, o Options, st *Stats) {
+	st.CSERemoved += cse(m, f, o)
+}
+
+func runDCE(m *core.Module, f *core.Func, o Options, st *Stats) {
+	st.DCERemoved += dce(m, f)
+}
+
 // Pipeline returns the paper's measured pass sequence. Two
 // constprop+CSE rounds (CSE exposes new constants and copies), then one
 // liveness DCE that prunes the pessimistically placed phis.
 func Pipeline() []Pass {
-	cp := func(m *core.Module, f *core.Func, o Options, st *Stats) {
-		st.ConstFolded += constProp(m, f)
-	}
-	cs := func(m *core.Module, f *core.Func, o Options, st *Stats) {
-		st.CSERemoved += cse(m, f, o)
-	}
-	dc := func(m *core.Module, f *core.Func, o Options, st *Stats) {
-		st.DCERemoved += dce(m, f)
-	}
 	return []Pass{
-		{Name: "constprop", Run: cp},
-		{Name: "cse", Run: cs},
-		{Name: "constprop2", Run: cp},
-		{Name: "cse2", Run: cs},
-		{Name: "dce", Run: dc},
+		{Name: "constprop", Run: runConstProp},
+		{Name: "cse", Run: runCSE},
+		{Name: "constprop2", Run: runConstProp},
+		{Name: "cse2", Run: runCSE},
+		{Name: "dce", Run: runDCE},
 	}
+}
+
+// ModulePipeline returns the interprocedural tier: the intraprocedural
+// pipeline first (smaller callees inline better), then devirtualization
+// (turning dispatch sites into inlinable direct calls), inlining, a
+// cleanup constprop+CSE round over the merged bodies, flow-based check
+// elimination (CSE first, so checkelim only sees the join cases CSE
+// cannot reach), and a final DCE sweep. Every pass is per-function and
+// leaves the module verifier-clean, so oracle.RunPassesVerified can
+// re-check each intermediate state.
+func ModulePipeline() []Pass {
+	ps := Pipeline()
+	return append(ps,
+		devirtPass(),
+		inlinePass(),
+		Pass{Name: "constprop3", Run: runConstProp},
+		Pass{Name: "cse3", Run: runCSE},
+		checkElimPass(),
+		Pass{Name: "dce2", Run: runDCE},
+	)
+}
+
+// PipelineFor selects the pass sequence the options ask for.
+func PipelineFor(o Options) []Pass {
+	if o.ModuleLevel {
+		return ModulePipeline()
+	}
+	return Pipeline()
 }
 
 // RunPasses applies each pass to every function of the module, calling

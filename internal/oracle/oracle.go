@@ -145,11 +145,24 @@ func OptimizePerPass(mod *core.Module) (opt.Stats, error) {
 	return RunPassesVerified(mod, opt.Pipeline())
 }
 
+// OptimizeModulePerPass runs the full interprocedural pipeline
+// (devirtualization, inlining, check elimination on top of the
+// intraprocedural passes) under the same per-pass verification.
+func OptimizeModulePerPass(mod *core.Module) (opt.Stats, error) {
+	return RunPassesVerifiedOptions(mod, opt.Options{ModuleLevel: true}, opt.ModulePipeline())
+}
+
 // RunPassesVerified applies an arbitrary pass sequence with the consumer
 // verifier as the after-each-pass oracle; the returned error names the
 // first pass whose output the verifier rejects.
 func RunPassesVerified(mod *core.Module, passes []opt.Pass) (opt.Stats, error) {
-	return opt.RunPasses(mod, opt.Options{}, passes, func(pass string) error {
+	return RunPassesVerifiedOptions(mod, opt.Options{}, passes)
+}
+
+// RunPassesVerifiedOptions is RunPassesVerified with the optimizer
+// options threaded through to every pass.
+func RunPassesVerifiedOptions(mod *core.Module, o opt.Options, passes []opt.Pass) (opt.Stats, error) {
+	return opt.RunPasses(mod, o, passes, func(pass string) error {
 		if err := mod.Verify(core.VerifyOptions{}); err != nil {
 			return fmt.Errorf("oracle: verifier rejects module after pass %q: %w", pass, err)
 		}
@@ -249,13 +262,21 @@ func PreparedDifferential(data []byte, b Budgets) error {
 	if err := mod.Verify(core.VerifyOptions{}); err != nil {
 		return fmt.Errorf("oracle: decoded module rejected by verifier: %w", err)
 	}
+	_, err = engineParity(mod, b)
+	return err
+}
+
+// engineParity runs a verified module on all three engines, holds the
+// prepared and compiled sessions to the reference session bit-exactly,
+// and returns the reference session for further comparison.
+func engineParity(mod *core.Module, b Budgets) (*engineRun, error) {
 	prep, err := interp.Prepare(mod)
 	if err != nil {
-		return fmt.Errorf("oracle: verified module fails to prepare: %w", err)
+		return nil, fmt.Errorf("oracle: verified module fails to prepare: %w", err)
 	}
 	comp, err := interp.Compile(mod, prep)
 	if err != nil {
-		return fmt.Errorf("oracle: prepared module fails to compile: %w", err)
+		return nil, fmt.Errorf("oracle: prepared module fails to compile: %w", err)
 	}
 	b = b.orDefaults()
 
@@ -279,7 +300,68 @@ func PreparedDifferential(data []byte, b Budgets) error {
 	ref := run(driver.EngineReference)
 	for _, engine := range []string{driver.EnginePrepared, driver.EngineCompiled} {
 		if err := compareEngineRuns(engine, ref, run(engine)); err != nil {
-			return err
+			return ref, err
+		}
+	}
+	return ref, nil
+}
+
+// ModuleDifferential is the interprocedural-optimizer oracle: any byte
+// string that decodes and verifies must (a) pass three-engine parity as
+// it arrived, (b) survive the full module-level pipeline with the
+// verifier accepting every intermediate state, (c) still be in canonical
+// wire form afterwards, (d) pass three-engine parity again, and (e) —
+// when neither session was killed by a budget — print the same bytes,
+// fail with the same error, and leave the same reachable heap as the
+// untransformed module. Budget drain is deliberately not compared across
+// the tiers: spending fewer steps is the point of the optimizer, and a
+// kill truncates output at a tier-dependent instant.
+func ModuleDifferential(data []byte, b Budgets) error {
+	mod, err := wire.DecodeModule(data)
+	if err != nil {
+		return nil // clean rejection, same contract as CheckWire
+	}
+	if err := mod.Verify(core.VerifyOptions{}); err != nil {
+		return fmt.Errorf("oracle: decoded module rejected by verifier: %w", err)
+	}
+	base, err := engineParity(mod, b)
+	if err != nil {
+		return err
+	}
+	tmod, err := wire.DecodeModule(data)
+	if err != nil {
+		return fmt.Errorf("oracle: second decode of accepted bytes failed: %w", err)
+	}
+	if _, err := OptimizeModulePerPass(tmod); err != nil {
+		return err
+	}
+	if err := CheckCanonicalWire(tmod); err != nil {
+		return err
+	}
+	after, err := engineParity(tmod, b)
+	if err != nil {
+		return err
+	}
+	if rt.KillReason(base.err) != "" || rt.KillReason(after.err) != "" {
+		return nil
+	}
+	if !bytes.Equal(base.out.Bytes(), after.out.Bytes()) {
+		return fmt.Errorf("oracle: module passes change output:\nbefore: %q\nafter:  %q",
+			base.out.String(), after.out.String())
+	}
+	baseMsg, afterMsg := "", ""
+	if base.err != nil {
+		baseMsg = base.err.Error()
+	}
+	if after.err != nil {
+		afterMsg = after.err.Error()
+	}
+	if baseMsg != afterMsg {
+		return fmt.Errorf("oracle: module passes change the error:\nbefore: %q\nafter:  %q", baseMsg, afterMsg)
+	}
+	if base.l != nil && after.l != nil {
+		if bh, ah := base.l.HeapChecksum(), after.l.HeapChecksum(); bh != ah {
+			return fmt.Errorf("oracle: module passes change the reachable heap: %#x vs %#x", bh, ah)
 		}
 	}
 	return nil
