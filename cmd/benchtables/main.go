@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to print: fig5 or fig6")
+	table := flag.String("table", "", "table to print: fig5, fig6, or wire")
 	claims := flag.Bool("claims", false, "check the prose claims")
 	all := flag.Bool("all", false, "print every table and the claims")
 	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md body (Markdown)")
@@ -50,7 +50,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		data, err := bench.FormatJSONTimed(rows, timings, rc, wp, mo)
+		wc, err := bench.MeasureWire(0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data, err := bench.FormatJSONTimed(rows, timings, rc, wp, mo, wc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
@@ -75,6 +80,15 @@ func main() {
 	}
 	if *all || *table == "fig6" {
 		fmt.Println(bench.FormatFig6(rows))
+		printed = true
+	}
+	if *all || *table == "wire" {
+		wc, err := bench.MeasureWire(0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatWire(wc))
 		printed = true
 	}
 	if *all || *claims {

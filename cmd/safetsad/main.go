@@ -8,7 +8,8 @@
 //	         [-units N] [-modules N] [-maxsteps N] [-maxallocs N]
 //	         [-run-timeout D] [-tenant-inflight N] [-pool-units N]
 //	         [-stagetimeout D] [-traces N] [-debug-addr ADDR]
-//	         [-engine prepared|compiled|reference] [-module-opt] [-drain D]
+//	         [-engine prepared|compiled|reference] [-module-opt]
+//	         [-wire-version 1|2] [-drain D]
 //	         [-node NAME -peers NAME=URL,... [-vnodes N] [-gossip D]
 //	          [-hot-threshold N] [-hot-window D] [-replicas N]]
 //
@@ -18,6 +19,9 @@
 //	GET  /unit/{hash}   download the encoded distribution unit
 //	POST /run/{hash}    {"max_steps": 1000000, "max_allocs": 1048576,
 //	                     "engine": "reference", "tenant": "acme"}
+//	POST /run-stream    raw wire unit in the body; decoded, verified, and
+//	                    executed function-by-function as bytes arrive
+//	                    (?max_steps=N&max_allocs=N, reference engine)
 //	GET  /stats         cache and latency metrics (JSON)
 //	GET  /metrics       Prometheus text format (per-stage latency histograms)
 //	GET  /debug/traces  recent request traces (JSON ring buffer)
@@ -85,6 +89,8 @@ func main() {
 		"default execution engine: prepared, compiled, or reference (empty = prepared); per-request \"engine\" overrides")
 	moduleOpt := flag.Bool("module-opt", false,
 		"upgrade optimizing compiles to the interprocedural tier (devirtualization, inlining, check elimination)")
+	wireVersion := flag.Int("wire-version", 0,
+		"wire format for newly encoded units: 1 fixed-code, 2 adaptive (0 = v1); part of the cache key")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight runs on shutdown")
 
 	node := flag.String("node", "", "fleet member name (enables cluster mode with -peers)")
@@ -112,6 +118,7 @@ func main() {
 		Traces:            *traces,
 		Engine:            *engine,
 		ModuleOpt:         *moduleOpt,
+		WireVersion:       *wireVersion,
 		NodeName:          *node,
 	})
 	if err != nil {

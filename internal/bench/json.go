@@ -74,6 +74,36 @@ type JSONReport struct {
 	// Load records a load-generator replay against a running codeserver
 	// or fleet (see LoadResult). Absent from benchtables snapshots.
 	Load *JSONLoad `json:"load,omitempty"`
+	// Wire records the wire-format comparison: per-unit sizes at v1, v2,
+	// and v2+dictionary against the bytecode baseline, plus the
+	// streaming time-to-first-instruction versus full-decode latency.
+	// Absent when the comparison was not run.
+	Wire *JSONWire `json:"wire,omitempty"`
+}
+
+// JSONWireRow is one unit's wire-format comparison row.
+type JSONWireRow struct {
+	Name            string `json:"name"`
+	Funcs           int    `json:"funcs"`
+	BytecodeSize    int    `json:"bytecode_size"`
+	V1Size          int    `json:"v1_size"`
+	V2Size          int    `json:"v2_size"`
+	V2DictSize      int    `json:"v2_dict_size"`
+	FullDecodeNanos int64  `json:"full_decode_nanos"`
+	TTFINanos       int64  `json:"ttfi_nanos"`
+}
+
+// JSONWire is the machine-readable wire-format comparison block. The
+// geomean ratios are < 1 when the numerator wins (v2 smaller than v1,
+// first instruction before full decode).
+type JSONWire struct {
+	BestOf              int           `json:"best_of"`
+	DictBytes           int           `json:"dict_bytes"`
+	Rows                []JSONWireRow `json:"rows"`
+	GeomeanV2OverV1     float64       `json:"geomean_v2_over_v1"`
+	GeomeanV2DictOverV1 float64       `json:"geomean_v2_dict_over_v1"`
+	GeomeanV1OverBC     float64       `json:"geomean_v1_over_bc"`
+	GeomeanTTFIOverFull float64       `json:"geomean_ttfi_over_full"`
 }
 
 // JSONLoad is the machine-readable load-replay block: the traffic shape
@@ -187,8 +217,10 @@ type JSONModuleOpt struct {
 // the load block's multi-tenant fields (tenants, throttled,
 // guest_allocs); v7 added the "module_opt" interprocedural-tier block
 // (per-pass instruction deltas, devirtualization/inlining/check-
-// elimination counts, module-vs-intraprocedural run comparison).
-const jsonSchema = "safetsa-bench-v7"
+// elimination counts, module-vs-intraprocedural run comparison); v8
+// added the "wire" block (v1/v2/v2+dict unit sizes vs the bytecode
+// baseline and the streaming time-to-first-instruction comparison).
+const jsonSchema = "safetsa-bench-v8"
 
 // Report assembles the machine-readable report from measured rows.
 func Report(rows []Row) JSONReport {
@@ -243,12 +275,35 @@ func FormatJSON(rows []Row) ([]byte, error) {
 
 // FormatJSONTimed renders the report including the per-stage latency
 // summaries of a timed measurement run and, when non-nil, the
-// reference-vs-prepared run comparison, the warm-pool comparison, and
-// the interprocedural-tier comparison.
-func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison, wp *WarmPoolComparison, mo *ModuleOptComparison) ([]byte, error) {
+// reference-vs-prepared run comparison, the warm-pool comparison, the
+// interprocedural-tier comparison, and the wire-format comparison.
+func FormatJSONTimed(rows []Row, tm *StageTimings, rc *RunComparison, wp *WarmPoolComparison, mo *ModuleOptComparison, wc *WireComparison) ([]byte, error) {
 	rep := Report(rows)
 	if tm != nil {
 		rep.Latencies = tm.Summaries()
+	}
+	if wc != nil {
+		jw := &JSONWire{
+			BestOf:              wc.BestOf,
+			DictBytes:           wc.DictBytes,
+			GeomeanV2OverV1:     wc.GeomeanV2OverV1,
+			GeomeanV2DictOverV1: wc.GeomeanV2DictOverV1,
+			GeomeanV1OverBC:     wc.GeomeanV1OverBC,
+			GeomeanTTFIOverFull: wc.GeomeanTTFIOverFull,
+		}
+		for _, r := range wc.Rows {
+			jw.Rows = append(jw.Rows, JSONWireRow{
+				Name:            r.Name,
+				Funcs:           r.Funcs,
+				BytecodeSize:    r.BCSize,
+				V1Size:          r.V1Size,
+				V2Size:          r.V2Size,
+				V2DictSize:      r.V2DictSize,
+				FullDecodeNanos: r.FullDecodeNanos,
+				TTFINanos:       r.TTFINanos,
+			})
+		}
+		rep.Wire = jw
 	}
 	if mo != nil {
 		jm := &JSONModuleOpt{

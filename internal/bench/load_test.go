@@ -16,7 +16,7 @@ import (
 // codeserver with a fixed request quota and pins the replay contract:
 // every request is accounted, the mix approximates the configured 80/20
 // run/compile split, the run stage has a real latency distribution, and
-// the archived report is valid safetsa-bench-v7 JSON.
+// the archived report is valid safetsa-bench-v8 JSON.
 func TestRunLoadReplay(t *testing.T) {
 	srv, err := codeserver.New(codeserver.Config{})
 	if err != nil {
@@ -105,8 +105,8 @@ func TestRunLoadReplay(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v7" {
-		t.Errorf("schema %q, want safetsa-bench-v7", rep.Schema)
+	if rep.Schema != "safetsa-bench-v8" {
+		t.Errorf("schema %q, want safetsa-bench-v8", rep.Schema)
 	}
 	if rep.Load == nil {
 		t.Fatal("report lacks the load block")

@@ -48,7 +48,7 @@ func TestMeasureModuleOptShape(t *testing.T) {
 		t.Errorf("geomean speedup %f", mc.GeomeanSpeedup)
 	}
 
-	data, err := FormatJSONTimed(nil, nil, nil, nil, mc)
+	data, err := FormatJSONTimed(nil, nil, nil, nil, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

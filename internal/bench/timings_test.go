@@ -35,7 +35,7 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 		}
 	}
 
-	data, err := FormatJSONTimed(rows, tm, nil, nil, nil)
+	data, err := FormatJSONTimed(rows, tm, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +46,8 @@ func TestMeasureAllTimedCounts(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "safetsa-bench-v7" {
-		t.Errorf("schema = %q, want safetsa-bench-v7", rep.Schema)
+	if rep.Schema != "safetsa-bench-v8" {
+		t.Errorf("schema = %q, want safetsa-bench-v8", rep.Schema)
 	}
 	if len(rep.Latencies) != len(sums) {
 		t.Errorf("report carries %d latency stages, want %d", len(rep.Latencies), len(sums))

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/wire"
+)
+
+// WireRow is one corpus unit's wire-format comparison: javac-baseline
+// and per-version unit sizes, plus the streaming observables — full
+// decode+verify latency versus time-to-first-instruction (the moment
+// the entry prefix is admitted and main may begin).
+type WireRow struct {
+	Name  string
+	Funcs int
+
+	BCSize     int // serialized bytecode class files (the javac stand-in)
+	V1Size     int // fixed-code v1
+	V2Size     int // adaptive v2, no dictionary
+	V2DictSize int // adaptive v2 with the bundle-trained dictionary
+
+	FullDecodeNanos int64 // decode + verify of the whole v2 unit
+	TTFINanos       int64 // streaming: header + tables + entry prefix admitted
+}
+
+// WireComparison is the corpus-wide wire-format measurement.
+type WireComparison struct {
+	BestOf    int
+	DictBytes int // serialized size of the shared dictionary
+	Rows      []WireRow
+
+	// Size ratios, geomean over the corpus (< 1 means the numerator
+	// format is smaller).
+	GeomeanV2OverV1     float64
+	GeomeanV2DictOverV1 float64
+	GeomeanV1OverBC     float64
+
+	// GeomeanTTFIOverFull is the streaming win: time-to-first-instruction
+	// over full-decode latency, geomean over multi-function units only
+	// (single-function units have no prefix to exploit).
+	GeomeanTTFIOverFull float64
+}
+
+// MeasureWire measures the wire-format comparison over the whole
+// corpus: the shared dictionary is trained over the full distribution
+// bundle (every corpus module), then each unit is encoded at v1, v2,
+// and v2+dictionary, and the v2 stream is decoded both ways (full and
+// streaming) best-of-K.
+func MeasureWire(bestOf int) (*WireComparison, error) {
+	if bestOf <= 0 {
+		bestOf = 5
+	}
+	units := corpus.Units()
+	mods := make([]*core.Module, 0, len(units))
+	bcSizes := make([]int, 0, len(units))
+	for _, u := range units {
+		prog, err := driver.Frontend(u.Files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: frontend: %w", u.Name, err)
+		}
+		bc, err := driver.CompileBytecode(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bytecode: %w", u.Name, err)
+		}
+		mod, err := driver.CompileTSA(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: safetsa: %w", u.Name, err)
+		}
+		if _, err := driver.OptimizeModule(mod); err != nil {
+			return nil, fmt.Errorf("%s: optimize: %w", u.Name, err)
+		}
+		mods = append(mods, mod)
+		bcSizes = append(bcSizes, bc.SerializedSize())
+	}
+	dict := wire.TrainDictionary(mods)
+	wc := &WireComparison{BestOf: bestOf}
+	if dict != nil {
+		wc.DictBytes = len(dict.Bytes())
+	}
+
+	var rv2v1, rv2dv1, rv1bc, rttfi []float64
+	for i, u := range units {
+		mod := mods[i]
+		row := WireRow{
+			Name:   u.Name,
+			Funcs:  len(mod.Funcs),
+			BCSize: bcSizes[i],
+			V1Size: len(wire.EncodeModule(mod)),
+		}
+		v2 := wire.EncodeModuleV2(mod, nil)
+		row.V2Size = len(v2)
+		row.V2DictSize = len(wire.EncodeModuleV2(mod, dict))
+
+		row.FullDecodeNanos = int64(bestOfK(bestOf, func() error {
+			_, err := wire.DecodeVerified(v2)
+			return err
+		}))
+		row.TTFINanos = int64(bestOfK(bestOf, func() error {
+			su, err := wire.DecodeVerifiedStream(bytes.NewReader(v2), wire.DecodeOptions{})
+			if err != nil {
+				return err
+			}
+			if err := su.WaitEntry(); err != nil {
+				return err
+			}
+			// The clock stops here; the tail is drained outside the
+			// timed section by the caller's next iteration.
+			go func() { _ = su.Wait() }()
+			return nil
+		}))
+
+		if row.V1Size > 0 {
+			rv2v1 = append(rv2v1, float64(row.V2Size)/float64(row.V1Size))
+			rv2dv1 = append(rv2dv1, float64(row.V2DictSize)/float64(row.V1Size))
+		}
+		if row.BCSize > 0 {
+			rv1bc = append(rv1bc, float64(row.V1Size)/float64(row.BCSize))
+		}
+		if row.Funcs > 1 && row.FullDecodeNanos > 0 {
+			rttfi = append(rttfi, float64(row.TTFINanos)/float64(row.FullDecodeNanos))
+		}
+		wc.Rows = append(wc.Rows, row)
+	}
+	wc.GeomeanV2OverV1 = geomean(rv2v1)
+	wc.GeomeanV2DictOverV1 = geomean(rv2dv1)
+	wc.GeomeanV1OverBC = geomean(rv1bc)
+	wc.GeomeanTTFIOverFull = geomean(rttfi)
+	return wc, nil
+}
+
+// bestOfK times fn k times and returns the fastest successful run; an
+// error makes the sample +Inf so failures are visible as absurd rows
+// rather than silently zero.
+func bestOfK(k int, fn func() error) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < k; i++ {
+		start := time.Now()
+		err := fn()
+		d := time.Since(start)
+		if err == nil && d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// FormatWire renders the wire comparison as a text table.
+func FormatWire(wc *WireComparison) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wire formats: size in bytes | streaming time-to-first-instruction (best of %d)\n", wc.BestOf)
+	fmt.Fprintf(&sb, "%-26s %9s %9s %9s %9s | %6s %12s %12s\n",
+		"Class Name", "Bytecode", "v1", "v2", "v2+dict", "funcs", "full-decode", "TTFI")
+	for _, r := range wc.Rows {
+		fmt.Fprintf(&sb, "%-26s %9d %9d %9d %9d | %6d %10dns %10dns\n",
+			"  "+r.Name, r.BCSize, r.V1Size, r.V2Size, r.V2DictSize,
+			r.Funcs, r.FullDecodeNanos, r.TTFINanos)
+	}
+	fmt.Fprintf(&sb, "geomean v2/v1 %.3f, v2+dict/v1 %.3f, v1/bytecode %.3f, TTFI/full-decode %.3f (dict %d bytes)\n",
+		wc.GeomeanV2OverV1, wc.GeomeanV2DictOverV1, wc.GeomeanV1OverBC, wc.GeomeanTTFIOverFull, wc.DictBytes)
+	return sb.String()
+}

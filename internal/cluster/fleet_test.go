@@ -337,7 +337,7 @@ func TestFleetStatsGossip(t *testing.T) {
 
 // TestFleetLoadReplay is acceptance for the load generator against the
 // cluster: a zipfian 80/20 run/compile replay sprayed over all three
-// nodes completes without errors and emits a valid safetsa-bench-v7
+// nodes completes without errors and emits a valid safetsa-bench-v8
 // report with a real run-latency distribution.
 func TestFleetLoadReplay(t *testing.T) {
 	f := newFleet(t, []string{"a1", "b2", "c3"}, nil)
@@ -384,8 +384,8 @@ func TestFleetLoadReplay(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Schema != "safetsa-bench-v7" {
-		t.Errorf("schema %q, want safetsa-bench-v7", rep.Schema)
+	if rep.Schema != "safetsa-bench-v8" {
+		t.Errorf("schema %q, want safetsa-bench-v8", rep.Schema)
 	}
 	if rep.Load == nil || rep.Load.Latencies["run"].P50Nanos <= 0 || rep.Load.Latencies["run"].P99Nanos <= 0 {
 		t.Errorf("archived run latencies not populated: %+v", rep.Load)

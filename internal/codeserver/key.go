@@ -17,6 +17,10 @@ type Options struct {
 	// devirtualization, inlining, flow-based check elimination) on top
 	// of the intraprocedural pipeline. Implies Optimize.
 	ModuleOpt bool `json:"module_opt"`
+	// WireV2 encodes the unit in wire format v2 (adaptive range-coded
+	// streams). The wire version is part of the unit's identity: the
+	// same sources at v1 and v2 are distinct units with distinct bytes.
+	WireV2 bool `json:"wire_v2"`
 }
 
 // pipelineVersion is folded into every key so that a pipeline change
@@ -55,10 +59,24 @@ func KeyFor(files map[string]string, opts Options) Key {
 	}
 	optByte(opts.Optimize)
 	optByte(opts.ModuleOpt)
+	optByte(opts.WireV2)
 	for _, n := range names {
 		writeStr(n)
 		writeStr(files[n])
 	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// KeyForWire computes the content address of a unit delivered as raw
+// wire bytes (the streaming run path, where no source set exists). The
+// domain is separated from KeyFor so source-addressed and
+// wire-addressed units can never collide.
+func KeyForWire(data []byte) Key {
+	h := sha256.New()
+	h.Write([]byte(pipelineVersion + "/wire\x00"))
+	h.Write(data)
 	var k Key
 	h.Sum(k[:0])
 	return k

@@ -47,6 +47,12 @@ type Metrics struct {
 	runErrors    atomic.Uint64
 	runsInFlight atomic.Int64
 
+	// streamRejects counts streaming runs whose unit was rejected at any
+	// point in the stream (header, tables, a function the verifier
+	// refused, truncation, trailing garbage). Rejected bytes never reach
+	// either cache tier.
+	streamRejects atomic.Uint64
+
 	// Run-session budget accounting: cumulative guest work (rt.Env step
 	// and allocation counters drained after every session) and kill
 	// counters by budget, so hostile-guest terminations are visible as
@@ -94,6 +100,10 @@ type Metrics struct {
 	compileBackendHist obs.Histogram
 	runHist            obs.Histogram
 	peerFillHist       obs.Histogram // one sample per peer fetch+admission attempt
+	// wireDecodeStreamHist covers the whole streaming decode of one
+	// /run-stream unit, first header byte to final admission (or
+	// rejection) — it overlaps guest execution by design.
+	wireDecodeStreamHist obs.Histogram
 }
 
 // DefaultTenant is the accounting identity of run requests that carry
@@ -207,6 +217,7 @@ type Stats struct {
 	Runs          uint64 `json:"runs"`
 	RunErrors     uint64 `json:"run_errors"`
 	RunsInFlight  int64  `json:"runs_in_flight"`
+	StreamRejects uint64 `json:"stream_rejects"`
 
 	// Guest budget accounting (see Metrics).
 	GuestSteps      int64  `json:"guest_steps"`
@@ -233,22 +244,24 @@ type Stats struct {
 	// Cumulative latencies (nanoseconds) over all requests. Legacy keys:
 	// derived from the histogram sums so they keep increasing exactly as
 	// before the histograms existed.
-	CompileNanos        int64 `json:"compile_nanos"`
-	DecodeNanos         int64 `json:"decode_nanos"`
-	VerifyNanos         int64 `json:"verify_nanos"`
-	PrepareNanos        int64 `json:"prepare_nanos"`
-	CompileBackendNanos int64 `json:"compile_backend_nanos"`
-	RunNanos            int64 `json:"run_nanos"`
-	PeerFillNanos       int64 `json:"peer_fill_nanos"`
+	CompileNanos          int64 `json:"compile_nanos"`
+	DecodeNanos           int64 `json:"decode_nanos"`
+	VerifyNanos           int64 `json:"verify_nanos"`
+	PrepareNanos          int64 `json:"prepare_nanos"`
+	CompileBackendNanos   int64 `json:"compile_backend_nanos"`
+	RunNanos              int64 `json:"run_nanos"`
+	PeerFillNanos         int64 `json:"peer_fill_nanos"`
+	WireDecodeStreamNanos int64 `json:"wire_decode_stream_nanos"`
 
 	// Per-stage latency distributions (count, sum, p50/p90/p99).
-	CompileLatency        obs.LatencySummary `json:"compile_latency"`
-	DecodeLatency         obs.LatencySummary `json:"decode_latency"`
-	VerifyLatency         obs.LatencySummary `json:"verify_latency"`
-	PrepareLatency        obs.LatencySummary `json:"prepare_latency"`
-	CompileBackendLatency obs.LatencySummary `json:"compile_backend_latency"`
-	RunLatency            obs.LatencySummary `json:"run_latency"`
-	PeerFillLatency       obs.LatencySummary `json:"peer_fill_latency"`
+	CompileLatency          obs.LatencySummary `json:"compile_latency"`
+	DecodeLatency           obs.LatencySummary `json:"decode_latency"`
+	VerifyLatency           obs.LatencySummary `json:"verify_latency"`
+	PrepareLatency          obs.LatencySummary `json:"prepare_latency"`
+	CompileBackendLatency   obs.LatencySummary `json:"compile_backend_latency"`
+	RunLatency              obs.LatencySummary `json:"run_latency"`
+	PeerFillLatency         obs.LatencySummary `json:"peer_fill_latency"`
+	WireDecodeStreamLatency obs.LatencySummary `json:"wire_decode_stream_latency"`
 }
 
 func (m *Metrics) snapshot() Stats {
@@ -259,53 +272,57 @@ func (m *Metrics) snapshot() Stats {
 	compileBackend := m.compileBackendHist.Snapshot()
 	run := m.runHist.Snapshot()
 	peerFill := m.peerFillHist.Snapshot()
+	wireStream := m.wireDecodeStreamHist.Snapshot()
 	return Stats{
-		Node:                  m.node,
-		CompileRequests:       m.compileRequests.Load(),
-		CacheHits:             m.cacheHits.Load(),
-		DiskHits:              m.diskHits.Load(),
-		Compiles:              m.compiles.Load(),
-		Coalesced:             m.coalesced.Load(),
-		CompileErrors:         m.compileErrors.Load(),
-		CompilesInFlight:      m.compilesInFlight.Load(),
-		Evictions:             m.evictions.Load(),
-		PeerFills:             m.peerFills.Load(),
-		PeerFillErrors:        m.peerFillErrors.Load(),
-		PeerFillRejects:       m.peerFillRejects.Load(),
-		Loads:                 m.loads.Load(),
-		LoaderHits:            m.loaderHits.Load(),
-		LoadErrors:            m.loadErrors.Load(),
-		LoaderEvicted:         m.loaderEvict.Load(),
-		Runs:                  m.runs.Load(),
-		RunErrors:             m.runErrors.Load(),
-		RunsInFlight:          m.runsInFlight.Load(),
-		GuestSteps:            m.guestSteps.Load(),
-		GuestAllocs:           m.guestAllocs.Load(),
-		StepLimitKills:        m.stepLimitKills.Load(),
-		AllocLimitKills:       m.allocLimitKills.Load(),
-		InterruptKills:        m.interruptKills.Load(),
-		DeadlineKills:         m.deadlineKills.Load(),
-		PoolHits:              m.poolHits.Load(),
-		PoolBuilds:            m.poolBuilds.Load(),
-		PoolDeclines:          m.poolDeclines.Load(),
-		PoolVerifyFails:       m.poolVerifyFails.Load(),
-		PoolEvictions:         m.poolEvictions.Load(),
-		TenantRejects:         m.tenantRejects.Load(),
-		Tenants:               m.tenantStats(),
-		CompileNanos:          compile.SumNanos,
-		DecodeNanos:           decode.SumNanos,
-		VerifyNanos:           verify.SumNanos,
-		PrepareNanos:          prepare.SumNanos,
-		CompileBackendNanos:   compileBackend.SumNanos,
-		RunNanos:              run.SumNanos,
-		PeerFillNanos:         peerFill.SumNanos,
-		CompileLatency:        compile.Summary(),
-		DecodeLatency:         decode.Summary(),
-		VerifyLatency:         verify.Summary(),
-		PrepareLatency:        prepare.Summary(),
-		CompileBackendLatency: compileBackend.Summary(),
-		RunLatency:            run.Summary(),
-		PeerFillLatency:       peerFill.Summary(),
+		Node:                    m.node,
+		CompileRequests:         m.compileRequests.Load(),
+		CacheHits:               m.cacheHits.Load(),
+		DiskHits:                m.diskHits.Load(),
+		Compiles:                m.compiles.Load(),
+		Coalesced:               m.coalesced.Load(),
+		CompileErrors:           m.compileErrors.Load(),
+		CompilesInFlight:        m.compilesInFlight.Load(),
+		Evictions:               m.evictions.Load(),
+		PeerFills:               m.peerFills.Load(),
+		PeerFillErrors:          m.peerFillErrors.Load(),
+		PeerFillRejects:         m.peerFillRejects.Load(),
+		Loads:                   m.loads.Load(),
+		LoaderHits:              m.loaderHits.Load(),
+		LoadErrors:              m.loadErrors.Load(),
+		LoaderEvicted:           m.loaderEvict.Load(),
+		Runs:                    m.runs.Load(),
+		RunErrors:               m.runErrors.Load(),
+		RunsInFlight:            m.runsInFlight.Load(),
+		StreamRejects:           m.streamRejects.Load(),
+		GuestSteps:              m.guestSteps.Load(),
+		GuestAllocs:             m.guestAllocs.Load(),
+		StepLimitKills:          m.stepLimitKills.Load(),
+		AllocLimitKills:         m.allocLimitKills.Load(),
+		InterruptKills:          m.interruptKills.Load(),
+		DeadlineKills:           m.deadlineKills.Load(),
+		PoolHits:                m.poolHits.Load(),
+		PoolBuilds:              m.poolBuilds.Load(),
+		PoolDeclines:            m.poolDeclines.Load(),
+		PoolVerifyFails:         m.poolVerifyFails.Load(),
+		PoolEvictions:           m.poolEvictions.Load(),
+		TenantRejects:           m.tenantRejects.Load(),
+		Tenants:                 m.tenantStats(),
+		CompileNanos:            compile.SumNanos,
+		DecodeNanos:             decode.SumNanos,
+		VerifyNanos:             verify.SumNanos,
+		PrepareNanos:            prepare.SumNanos,
+		CompileBackendNanos:     compileBackend.SumNanos,
+		RunNanos:                run.SumNanos,
+		PeerFillNanos:           peerFill.SumNanos,
+		WireDecodeStreamNanos:   wireStream.SumNanos,
+		CompileLatency:          compile.Summary(),
+		DecodeLatency:           decode.Summary(),
+		VerifyLatency:           verify.Summary(),
+		PrepareLatency:          prepare.Summary(),
+		CompileBackendLatency:   compileBackend.Summary(),
+		RunLatency:              run.Summary(),
+		PeerFillLatency:         peerFill.Summary(),
+		WireDecodeStreamLatency: wireStream.Summary(),
 	}
 }
 
@@ -389,6 +406,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded, poolS
 
 	p.Counter("safetsa_runs_total", "Execution sessions started.", m.runs.Load())
 	p.Counter("safetsa_run_errors_total", "Execution sessions ending in a guest failure.", m.runErrors.Load())
+	p.Counter("safetsa_stream_rejects_total", "Streaming runs whose unit was rejected mid-stream; nothing cached.", m.streamRejects.Load())
 	p.Gauge("safetsa_runs_in_flight", "Execution sessions currently running.", m.runsInFlight.Load())
 	p.Counter("safetsa_guest_steps_total", "Interpreter steps executed by guest programs.", uint64(m.guestSteps.Load()))
 	p.Counter("safetsa_guest_allocs_total", "Allocation units charged by guest programs.", uint64(m.guestAllocs.Load()))
@@ -437,12 +455,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, unitsCached, modulesLoaded, poolS
 
 	p.HistogramVec("safetsa_stage_duration_seconds", "Pipeline stage latency.", "stage",
 		map[string]obs.HistogramSnapshot{
-			"compile":         m.compileHist.Snapshot(),
-			"decode":          m.decodeHist.Snapshot(),
-			"verify":          m.verifyHist.Snapshot(),
-			"prepare":         m.prepareHist.Snapshot(),
-			"compile_backend": m.compileBackendHist.Snapshot(),
-			"run":             m.runHist.Snapshot(),
-			"peer_fill":       m.peerFillHist.Snapshot(),
+			"compile":            m.compileHist.Snapshot(),
+			"decode":             m.decodeHist.Snapshot(),
+			"verify":             m.verifyHist.Snapshot(),
+			"prepare":            m.prepareHist.Snapshot(),
+			"compile_backend":    m.compileBackendHist.Snapshot(),
+			"run":                m.runHist.Snapshot(),
+			"peer_fill":          m.peerFillHist.Snapshot(),
+			"wire_decode_stream": m.wireDecodeStreamHist.Snapshot(),
 		})
 }

@@ -80,7 +80,11 @@ func (p *Pool) Compile(ctx context.Context, files map[string]string, opts Option
 		}
 	}
 	err = p.stage(ctx, "encode", func(context.Context) error {
-		u.Wire = wire.EncodeModule(mod)
+		if opts.WireV2 {
+			u.Wire = wire.EncodeModuleV2(mod, nil)
+		} else {
+			u.Wire = wire.EncodeModule(mod)
+		}
 		return nil
 	})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"safetsa/internal/driver"
@@ -80,6 +81,11 @@ type Config struct {
 	// Prometheus series and the stats snapshot. Empty for single-node
 	// deployments (no label, historical wire shape).
 	NodeName string
+	// WireVersion selects the wire format units are encoded in: 0 or 1
+	// for the fixed-code v1 format, 2 for the adaptive range-coded v2
+	// format. The version participates in the content hash, so a fleet
+	// upgrading to v2 never serves mislabeled bytes.
+	WireVersion int
 }
 
 // PeerFiller fetches the encoded bytes of a unit this node lacks from
@@ -123,6 +129,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = 8 << 20
+	}
+	switch cfg.WireVersion {
+	case 0, 1, 2:
+	default:
+		return nil, fmt.Errorf("codeserver: unknown wire version %d (want 1 or 2)", cfg.WireVersion)
 	}
 	if _, err := resolveEngine(cfg.Engine, ""); err != nil {
 		return nil, err
@@ -216,6 +227,9 @@ func (s *Server) CompileUnit(ctx context.Context, files map[string]string, opts 
 	}
 	if opts.ModuleOpt {
 		opts.Optimize = true
+	}
+	if s.cfg.WireVersion == 2 {
+		opts.WireV2 = true
 	}
 	k := KeyFor(files, opts)
 	return s.store.GetOrFill(ctx, k, func(ctx context.Context) (*Unit, error) {
@@ -529,6 +543,137 @@ func (s *Server) RunUnitOpts(ctx context.Context, k Key, opts RunOptions) (RunRe
 	return res, nil
 }
 
+// RunStreamResult is the outcome of one streaming run session: the run
+// result plus the content address the admitted unit was cached under.
+type RunStreamResult struct {
+	RunResult
+	// Hash is the wire-addressed key (KeyForWire) of the admitted unit;
+	// it is only present when the whole stream verified cleanly, which
+	// is also the only case where the unit was cached.
+	Hash string `json:"hash,omitempty"`
+}
+
+// maxStreamUnitBytes bounds the body of one streaming run. A longer
+// body is surfaced as a truncation (the decoder sees the stream end
+// mid-unit) or as trailing garbage, both of which reject the unit.
+const maxStreamUnitBytes = 64 << 20
+
+// RunUnitStream executes a distribution unit delivered as raw wire
+// bytes, starting the guest before the final byte arrives: the symbol
+// tables are decoded and statically verified up front, each function is
+// admitted by the plane-counter verifier the moment it streams in, and
+// execution proceeds exactly as far as admitted code exists
+// (wire.DecodeVerifiedStream + interp.LoadTrustedStreaming, reference
+// engine). Any failure anywhere in the stream — truncation, a function
+// the verifier rejects, trailing garbage — rejects the whole unit: the
+// response is a verify error and nothing is cached in either the store
+// or the loader tier. Only after Wait returns nil are the exact bytes
+// cached under their wire address.
+func (s *Server) RunUnitStream(ctx context.Context, body io.Reader, opts RunOptions) (RunStreamResult, error) {
+	if opts.Engine != "" && opts.Engine != driver.EngineReference {
+		return RunStreamResult{}, &driver.Error{Kind: driver.KindParse,
+			Err: fmt.Errorf("codeserver: streaming runs use the %q engine, not %q",
+				driver.EngineReference, opts.Engine)}
+	}
+	tenant := opts.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	tc := s.m.tenant(tenant)
+	if lim := s.cfg.TenantMaxInFlight; lim > 0 {
+		if tc.inFlight.Add(1) > int64(lim) {
+			tc.inFlight.Add(-1)
+			tc.rejects.Add(1)
+			s.m.tenantRejects.Add(1)
+			return RunStreamResult{}, &TenantBusyError{Tenant: tenant, Limit: lim}
+		}
+	} else {
+		tc.inFlight.Add(1)
+	}
+	defer tc.inFlight.Add(-1)
+	ctx, tr := s.tracer.StartTrace(ctx, "run_stream")
+	defer tr.Finish()
+	maxSteps := clampBudget(opts.MaxSteps, s.cfg.MaxSteps)
+	maxAllocs := clampBudget(opts.MaxAllocs, s.cfg.MaxAllocs)
+
+	// The body is teed into a buffer as it is consumed, so the bytes the
+	// decoder admitted — and only those — can be cached afterwards.
+	var buf bytes.Buffer
+	tee := io.TeeReader(io.LimitReader(body, maxStreamUnitBytes+1), &buf)
+
+	_, dsp := obs.Start(ctx, "wire_decode_stream")
+	decodeStart := time.Now()
+	su, err := wire.DecodeVerifiedStream(tee, wire.DecodeOptions{})
+	if err != nil {
+		s.m.wireDecodeStreamHist.Observe(time.Since(decodeStart))
+		dsp.End()
+		s.m.streamRejects.Add(1)
+		return RunStreamResult{}, &driver.Error{Kind: driver.KindVerify,
+			Err: fmt.Errorf("codeserver: streamed unit rejected: %w", err)}
+	}
+
+	s.m.runs.Add(1)
+	s.m.runsInFlight.Add(1)
+	_, esp := obs.Start(ctx, "exec")
+	start := time.Now()
+	var out bytes.Buffer
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelRun)
+	defer stopAfter()
+	var deadlineCtx context.Context
+	if s.cfg.RunTimeout > 0 {
+		var cancelDeadline context.CancelFunc
+		deadlineCtx, cancelDeadline = context.WithTimeout(context.Background(), s.cfg.RunTimeout)
+		defer cancelDeadline()
+		stopDeadline := context.AfterFunc(deadlineCtx, cancelRun)
+		defer stopDeadline()
+	}
+	env := &rt.Env{Out: &out, MaxSteps: maxSteps, MaxAlloc: maxAllocs, Interrupt: runCtx.Done()}
+	res := RunStreamResult{RunResult: RunResult{OK: true}}
+	l, err := interp.LoadTrustedStreaming(su.Mod, su.WaitFunc, env)
+	if err == nil {
+		err = l.RunMain()
+	}
+	// The guest may finish before the tail of the stream arrives;
+	// admissibility of the whole unit is decided only by Wait.
+	werr := su.Wait()
+	s.m.wireDecodeStreamHist.Observe(time.Since(decodeStart))
+	dsp.End()
+	s.m.runHist.Observe(time.Since(start))
+	esp.End()
+	s.m.runsInFlight.Add(-1)
+	s.m.guestSteps.Add(env.Steps)
+	s.m.guestAllocs.Add(env.Allocs)
+	tc.runs.Add(1)
+	tc.steps.Add(env.Steps)
+	tc.allocs.Add(env.Allocs)
+	if werr != nil {
+		s.m.streamRejects.Add(1)
+		s.m.runErrors.Add(1)
+		return RunStreamResult{}, &driver.Error{Kind: driver.KindVerify,
+			Err: fmt.Errorf("codeserver: streamed unit rejected: %w", werr)}
+	}
+	res.Output = out.String()
+	res.Steps = env.Steps
+	res.Allocs = env.Allocs
+	if err != nil {
+		s.m.runErrors.Add(1)
+		reason := rt.KillReason(err)
+		if reason == "interrupt" && deadlineCtx != nil && deadlineCtx.Err() != nil {
+			reason = "deadline"
+		}
+		s.m.recordKill(reason, tc)
+		res.OK = false
+		res.Error = err.Error()
+	}
+	data := bytes.Clone(buf.Bytes())
+	k := KeyForWire(data)
+	s.store.Put(&Unit{Key: k, Wire: data, Size: len(data), Instrs: su.Mod.NumInstrs()})
+	res.Hash = k.String()
+	return res, nil
+}
+
 // ---------------------------------------------------------------------
 // HTTP API
 
@@ -578,6 +723,7 @@ type ErrorResponse struct {
 //	POST /compile       {"files": {...}, "optimize": bool} → unit summary
 //	GET  /unit/{hash}   raw distribution-unit bytes
 //	POST /run/{hash}    {"max_steps": n} → execution result
+//	POST /run-stream    raw unit bytes → streaming execution result
 //	GET  /stats         metrics snapshot (JSON)
 //	GET  /metrics       metrics in Prometheus text format
 //	GET  /debug/traces  ring buffer of recent request traces (JSON)
@@ -586,6 +732,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("GET /unit/{hash}", s.handleUnit)
 	mux.HandleFunc("POST /run/{hash}", s.handleRun)
+	mux.HandleFunc("POST /run-stream", s.handleRunStream)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -707,6 +854,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Engine:    req.Engine,
 		Tenant:    req.Tenant,
 	})
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, res)
+}
+
+// handleRunStream is POST /run-stream: the body is the raw distribution
+// unit (octet-stream), executed as it arrives. Budgets and tenant ride
+// on query parameters and the tenant header, since the body is the unit
+// itself.
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	opts := RunOptions{Tenant: r.Header.Get(TenantHeader)}
+	q := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"max_steps", &opts.MaxSteps}, {"max_allocs", &opts.MaxAllocs}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+					Error: fmt.Sprintf("bad %s: %v", p.name, err), Kind: "parse"})
+				return
+			}
+			*p.dst = n
+		}
+	}
+	res, err := s.RunUnitStream(r.Context(), r.Body, opts)
 	if err != nil {
 		WriteError(w, err)
 		return

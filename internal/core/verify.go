@@ -21,7 +21,7 @@ type VerifyOptions struct {
 // inexpressible in the encoding.
 func (m *Module) Verify(opts VerifyOptions) error {
 	var errs []error
-	errs = append(errs, m.verifyTables()...)
+	errs = append(errs, m.verifyTables(true)...)
 	for _, f := range m.Funcs {
 		if err := m.verifyFunc(f, opts); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", f.Name, err))
@@ -30,13 +30,32 @@ func (m *Module) Verify(opts VerifyOptions) error {
 	return errors.Join(errs...)
 }
 
+// VerifyFunc runs the per-function checks of Verify on a single
+// function: type separation, referential integrity, phi/edge
+// consistency, and safe-index binding. The streaming wire decoder
+// admits each function with this the moment it arrives, before the
+// rest of the unit exists.
+func (m *Module) VerifyFunc(f *Func, opts VerifyOptions) error {
+	return m.verifyFunc(f, opts)
+}
+
 // VerifyTables runs only the symbol-table consistency checks — the
 // paper's residual "trivial counter comparisons". The wire decoder runs
 // this as its final admission step so that DecodeModule can never hand
 // out a module with inconsistent linking metadata; the full Verify
 // additionally checks every function body.
 func (m *Module) VerifyTables() error {
-	return errors.Join(m.verifyTables()...)
+	return errors.Join(m.verifyTables(true)...)
+}
+
+// VerifyTablesStatic runs the symbol-table checks that do not inspect
+// the function list — the half of VerifyTables a streaming consumer can
+// discharge before any function body has arrived. The function-linked
+// residue (method-body backlinks, static-initializer signatures) is
+// enforced incrementally per arriving function and re-checked in full
+// by the final VerifyTables before a streamed unit may be cached.
+func (m *Module) VerifyTablesStatic() error {
+	return errors.Join(m.verifyTables(false)...)
 }
 
 // verifyTables checks the linking consistency of the symbol tables: field
@@ -44,8 +63,9 @@ func (m *Module) VerifyTables() error {
 // superclass layout, and method/function cross references. These are the
 // "safe linking" conditions of section 4 — the parts of the type table
 // that come from the mobile program must be internally consistent before
-// any instruction is trusted.
-func (m *Module) verifyTables() []error {
+// any instruction is trusted. withFuncs gates the checks that look into
+// m.Funcs, which is still filling during a streaming decode.
+func (m *Module) verifyTables(withFuncs bool) []error {
 	var errs []error
 	bad := func(format string, args ...interface{}) {
 		errs = append(errs, fmt.Errorf(format, args...))
@@ -170,6 +190,9 @@ func (m *Module) verifyTables() []error {
 		}
 		switch {
 		case mr.FuncIdx >= 0:
+			if !withFuncs {
+				break
+			}
 			if int(mr.FuncIdx) >= len(m.Funcs) {
 				bad("method %d (%s): body index out of range", i, mr.Name)
 			} else if m.Funcs[mr.FuncIdx].Method != int32(i) {
@@ -199,7 +222,7 @@ func (m *Module) verifyTables() []error {
 		}
 	}
 	for i, si := range m.StaticInit {
-		if si < 0 {
+		if si < 0 || !withFuncs {
 			continue
 		}
 		if int(si) >= len(m.Funcs) {

@@ -145,6 +145,13 @@ func (l *Loader) execCall(fr *frame, in *core.Instr) rt.Value {
 	var out rt.Value
 	call := func() {
 		if mr.FuncIdx >= 0 {
+			// Streaming sessions gate every body behind its admission;
+			// a rejected stream unwinds past any handler in between.
+			if l.gate != nil {
+				if err := l.gate(int(mr.FuncIdx)); err != nil {
+					panic(streamAbort{err})
+				}
+			}
 			out = l.callFunc(l.Mod.Funcs[mr.FuncIdx], args)
 			return
 		}

@@ -33,6 +33,11 @@ type Loader struct {
 	// the lists need no locking.
 	cfree []*cframe
 	afree [][]rt.Value
+	// gate, when non-nil, marks a streaming session: before any
+	// function index is executed, gate blocks until that function has
+	// been admitted by the streaming decoder (or returns the stream's
+	// error, aborting the run). See LoadTrustedStreaming.
+	gate func(fi int) error
 }
 
 // Load verifies the module and prepares it for execution (class metadata
@@ -62,6 +67,29 @@ func LoadTrusted(mod *core.Module, env *rt.Env) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := l.RunStaticInit(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// LoadTrustedStreaming prepares a module whose function bodies are
+// still arriving (wire.DecodeVerifiedStream). The symbol tables must be
+// complete and statically verified — the streaming decoder guarantees
+// both — while Mod.Funcs fills in behind the session's back. gate(i)
+// must block until function i is admitted, returning nil, or return the
+// stream's terminal error; every function invocation passes through it,
+// so execution proceeds exactly as far as verified code exists and a
+// mid-stream failure aborts the run with the stream's error. The
+// session runs on the reference CST engine: the prepared and compiled
+// engines need the complete function list at load time, which is the
+// opposite of the point.
+func LoadTrustedStreaming(mod *core.Module, gate func(fi int) error, env *rt.Env) (*Loader, error) {
+	l, err := loadCommon(mod, env)
+	if err != nil {
+		return nil, err
+	}
+	l.gate = gate
 	if err := l.RunStaticInit(); err != nil {
 		return nil, err
 	}
@@ -153,8 +181,18 @@ func (l *Loader) RunStaticInit() error {
 	return err
 }
 
+// streamAbort unwinds guest execution when the streaming decoder
+// rejects the unit mid-run; catchTopLevel converts it to the stream's
+// error.
+type streamAbort struct{ err error }
+
 // call invokes function index fi on the session's engine.
 func (l *Loader) call(fi int32, args []rt.Value) rt.Value {
+	if l.gate != nil {
+		if err := l.gate(int(fi)); err != nil {
+			panic(streamAbort{err})
+		}
+	}
 	if l.comp != nil {
 		return l.runCompiled(l.comp.Funcs[fi], args)
 	}
@@ -169,6 +207,8 @@ func (l *Loader) catchTopLevel(err *error) {
 	r := recover()
 	switch t := r.(type) {
 	case nil:
+	case streamAbort:
+		*err = t.err
 	case rt.Thrown:
 		*err = fmt.Errorf("uncaught exception: %s", l.describeExc(t.Val))
 	case error:
@@ -200,6 +240,15 @@ func (l *Loader) describeExc(v rt.Value) string {
 func (l *Loader) RunMain() error {
 	if l.Mod.Entry < 0 {
 		return fmt.Errorf("interp: module has no main method")
+	}
+	if l.gate != nil {
+		// Streaming: the entry slot may not be published yet — wait for
+		// its admission before inspecting the body.
+		if fi := l.Mod.Methods[l.Mod.Entry].FuncIdx; fi >= 0 {
+			if err := l.gate(int(fi)); err != nil {
+				return err
+			}
+		}
 	}
 	f := l.Mod.FuncOf(l.Mod.Entry)
 	if f == nil {

@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"safetsa/internal/core"
+	"safetsa/internal/wire"
+)
+
+// CheckCanonicalWireV2 asserts the canonical-form invariant for the
+// adaptive v2 wire format, per model version: encoding a verified
+// module with the given shared dictionary (nil for none), decoding the
+// bytes with the same dictionary, and encoding again must reproduce the
+// first byte string exactly — the adaptive frequency models update
+// symmetrically on both sides, so the spelling is a function of the
+// module and the negotiated model alone. The decoded module must also
+// be structurally identical to the input.
+func CheckCanonicalWireV2(mod *core.Module, dict *wire.Dictionary) error {
+	first := wire.EncodeModuleV2(mod, dict)
+	dec, err := wire.DecodeModuleOpts(first, wire.DecodeOptions{Dict: dict})
+	if err != nil {
+		return fmt.Errorf("oracle: v2-encoded module does not decode: %w", err)
+	}
+	if err := dec.Verify(core.VerifyOptions{}); err != nil {
+		return fmt.Errorf("oracle: v2 re-decoded module rejected by verifier: %w", err)
+	}
+	second := wire.EncodeModuleV2(dec, dict)
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("oracle: v2 wire form is not canonical: re-encoding %d bytes yielded %d different bytes",
+			len(first), len(second))
+	}
+	if mod.Dump() != dec.Dump() {
+		return fmt.Errorf("oracle: v2 round trip is not structure-preserving")
+	}
+	return nil
+}
+
+// CheckStreamingWire holds the streaming decoder to the non-streaming
+// decoder over arbitrary bytes: both must agree on admissibility (a
+// unit the full decode+verify path accepts must stream-admit, and one
+// it rejects must stream-reject — at any point, with nothing admitted),
+// and on acceptance the streamed module must be structurally identical
+// to the fully decoded one and executable under the budgets without
+// crashing the host.
+func CheckStreamingWire(data []byte, b Budgets) error {
+	full, fullErr := wire.DecodeVerified(data)
+	var streamed *core.Module
+	su, streamErr := wire.DecodeVerifiedStream(bytes.NewReader(data), wire.DecodeOptions{})
+	if streamErr == nil {
+		streamErr = su.Wait()
+		streamed = su.Mod
+	}
+	if (fullErr == nil) != (streamErr == nil) {
+		return fmt.Errorf("oracle: streaming and full decode disagree on admissibility:\nfull:   %v\nstream: %v",
+			fullErr, streamErr)
+	}
+	if fullErr != nil {
+		return nil // both rejected cleanly: the specified behavior
+	}
+	if full.Dump() != streamed.Dump() {
+		return fmt.Errorf("oracle: streamed module differs structurally from the full decode")
+	}
+	_, _ = runBounded(streamed, b)
+	return nil
+}
+
+// CheckAdaptiveWire is the fuzz oracle behind FuzzAdaptiveWire: any
+// byte string that passes wire admission (either version) must be in
+// canonical form under both the v1 fixed-code and the v2 adaptive
+// model, and the streaming decoder must agree with the full decoder on
+// both the verdict and the structure. Clean rejections — including the
+// version errors a dictionary-bearing stream draws without its
+// dictionary — return nil.
+func CheckAdaptiveWire(data []byte, b Budgets) error {
+	if mod, err := wire.DecodeModule(data); err == nil {
+		if err := mod.Verify(core.VerifyOptions{}); err != nil {
+			return fmt.Errorf("oracle: decoded module rejected by verifier: %w", err)
+		}
+		if err := CheckCanonicalWire(mod); err != nil {
+			return err
+		}
+		if err := CheckCanonicalWireV2(mod, nil); err != nil {
+			return err
+		}
+	}
+	return CheckStreamingWire(data, b)
+}

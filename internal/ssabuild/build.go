@@ -43,7 +43,54 @@ func Build(prog *sema.Program) (*core.Module, error) {
 	if err := b.buildBodies(); err != nil {
 		return nil, err
 	}
+	orderFuncsForStreaming(b.mod)
 	return b.mod, nil
+}
+
+// orderFuncsForStreaming permutes the function list so that everything
+// a consumer needs to begin execution — the static initializers, then
+// the entry method's body — leads the unit. A streaming decoder
+// (wire.DecodeVerifiedStream) can then start main after admitting a
+// short prefix, while the remaining bodies are still in flight. Method
+// body links and the static-initializer table are rewritten to match;
+// the permutation is semantics-free and survives verification
+// unchanged.
+func orderFuncsForStreaming(m *core.Module) {
+	n := len(m.Funcs)
+	if n == 0 {
+		return
+	}
+	perm := make([]int32, n) // old index -> new index
+	taken := make([]bool, n)
+	order := make([]*core.Func, 0, n)
+	take := func(i int32) {
+		if i < 0 || int(i) >= n || taken[i] {
+			return
+		}
+		taken[i] = true
+		perm[i] = int32(len(order))
+		order = append(order, m.Funcs[i])
+	}
+	for _, si := range m.StaticInit {
+		take(si)
+	}
+	if m.Entry >= 0 {
+		take(m.Methods[m.Entry].FuncIdx)
+	}
+	for i := 0; i < n; i++ {
+		take(int32(i))
+	}
+	m.Funcs = order
+	for i := range m.Methods {
+		if m.Methods[i].FuncIdx >= 0 {
+			m.Methods[i].FuncIdx = perm[m.Methods[i].FuncIdx]
+		}
+	}
+	for i, si := range m.StaticInit {
+		if si >= 0 {
+			m.StaticInit[i] = perm[si]
+		}
+	}
 }
 
 // typeOf maps a sema type to the module type table.

@@ -1,18 +1,22 @@
 // Package wire implements the SafeTSA externalization of section 7: a
 // program is a sequence of symbols, each drawn from a finite alphabet
-// fully determined by the preceding context, emitted with a simple
-// fixed-probability prefix code (truncated binary — the code Huffman's
-// algorithm produces for equiprobable symbols). The encoder transmits the
-// Control Structure Tree first, then the basic blocks in the CST-derived
-// dominator pre-order, and the phi operands last. Because every operand
-// is decoded against the register planes actually in scope, a decoded
-// module is referentially secure by construction: a malicious byte stream
-// either fails to decode or denotes some well-formed program.
+// fully determined by the preceding context. Version 1 emits each symbol
+// with a simple fixed-probability prefix code (truncated binary — the
+// code Huffman's algorithm produces for equiprobable symbols); version 2
+// keeps the identical symbol decomposition but drives every bit through
+// per-production adaptive probability models and a binary range coder
+// (see model.go). The encoder transmits the Control Structure Tree
+// first, then the basic blocks in the CST-derived dominator pre-order,
+// and the phi operands last. Because every operand is decoded against
+// the register planes actually in scope, a decoded module is
+// referentially secure by construction: a malicious byte stream either
+// fails to decode or denotes some well-formed program.
 package wire
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 )
@@ -22,6 +26,41 @@ var ErrMalformed = errors.New("wire: malformed SafeTSA stream")
 
 func malformedf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// symWriter is the symbol sink the encoder writes productions through.
+// bitWriter (v1, fixed-probability truncated binary) and acWriter (v2,
+// adaptive range coding) both implement it, so one production walk
+// serves every wire version.
+type symWriter interface {
+	bit(b bool)
+	symbol(v, n int)
+	uvarint(v uint64)
+	svarint(v int64)
+	float64bits(f float64)
+	str(s string)
+	// setProd switches the adaptive probability context to the given
+	// production (an opcode or one of the prod* section ids); the v1
+	// fixed code ignores it. Encoder and decoder call it at identical
+	// grammar points, which is what keeps the adaptive models in
+	// lockstep.
+	setProd(p int)
+}
+
+// symReader mirrors symWriter on the decode side.
+type symReader interface {
+	bit() (bool, error)
+	symbol(n int) (int, error)
+	uvarint() (uint64, error)
+	svarint() (int64, error)
+	float64bits() (float64, error)
+	str() (string, error)
+	setProd(p int)
+	// end reports whether the stream is cleanly exhausted: at most a
+	// partial byte of zero padding may remain, and the underlying source
+	// must be at EOF. Trailing data after the final production is a
+	// decode error — a distribution unit has exactly one spelling.
+	end() error
 }
 
 // bitWriter accumulates a bit stream, most significant bit of each byte
@@ -114,22 +153,34 @@ func (w *bitWriter) bit(b bool) {
 	}
 }
 
-// bitReader mirrors bitWriter.
+// setProd is a no-op: the v1 fixed-probability code has no adaptive
+// state to steer.
+func (w *bitWriter) setProd(int) {}
+
+// bitReader mirrors bitWriter over an incremental byte source, so the
+// same decoder drives both whole-buffer decoding and streaming decode
+// behind an io.Reader.
 type bitReader struct {
-	buf []byte
-	pos int // bit position
+	src io.ByteReader
+	cur byte // unconsumed bits, left-aligned
+	n   uint // number of unconsumed bits in cur
 }
 
+func newBitReader(src io.ByteReader) *bitReader { return &bitReader{src: src} }
+
 func (r *bitReader) readBits(n uint) (uint64, error) {
-	if r.pos+int(n) > len(r.buf)*8 {
-		return 0, malformedf("stream truncated")
-	}
 	var v uint64
 	for i := uint(0); i < n; i++ {
-		byteIdx := r.pos >> 3
-		bitIdx := uint(7 - r.pos&7)
-		v = v<<1 | uint64(r.buf[byteIdx]>>bitIdx&1)
-		r.pos++
+		if r.n == 0 {
+			b, err := r.src.ReadByte()
+			if err != nil {
+				return 0, malformedf("stream truncated")
+			}
+			r.cur, r.n = b, 8
+		}
+		v = v<<1 | uint64(r.cur>>7)
+		r.cur <<= 1
+		r.n--
 	}
 	return v, nil
 }
@@ -229,4 +280,21 @@ func (r *bitReader) bit() (bool, error) {
 		return false, err
 	}
 	return v == 1, nil
+}
+
+// setProd is a no-op for the fixed-probability code.
+func (r *bitReader) setProd(int) {}
+
+// end enforces the canonical tail: any unconsumed bits of the current
+// byte must be the encoder's zero padding, and the byte source must be
+// exhausted. Trailing garbage after the final production is rejected so
+// every admissible unit has exactly one on-the-wire spelling.
+func (r *bitReader) end() error {
+	if r.cur != 0 {
+		return malformedf("nonzero padding after the final production")
+	}
+	if _, err := r.src.ReadByte(); err == nil {
+		return malformedf("trailing data after the final production")
+	}
+	return nil
 }

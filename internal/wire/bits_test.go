@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ func TestSymbolRoundTrip(t *testing.T) {
 		w := &bitWriter{}
 		w.symbol(v, n)
 		w.symbol(n-1, n) // a second symbol to catch bit misalignment
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		got, err := r.symbol(n)
 		if err != nil || got != v {
 			return false
@@ -61,7 +62,7 @@ func TestUvarintRoundTrip(t *testing.T) {
 		w := &bitWriter{}
 		w.uvarint(v)
 		w.uvarint(0)
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		got, err := r.uvarint()
 		if err != nil || got != v {
 			return false
@@ -78,7 +79,7 @@ func TestSvarintRoundTrip(t *testing.T) {
 	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), math.MaxInt32, math.MinInt32} {
 		w := &bitWriter{}
 		w.svarint(v)
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		got, err := r.svarint()
 		if err != nil || got != v {
 			t.Fatalf("svarint(%d) -> %d, %v", v, got, err)
@@ -88,7 +89,7 @@ func TestSvarintRoundTrip(t *testing.T) {
 		v %= 1 << 58
 		w := &bitWriter{}
 		w.svarint(v)
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		got, err := r.svarint()
 		return err == nil && got == v
 	}
@@ -101,7 +102,7 @@ func TestFloatAndStringRoundTrip(t *testing.T) {
 	for _, f := range []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64} {
 		w := &bitWriter{}
 		w.float64bits(f)
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		got, err := r.float64bits()
 		if err != nil || got != f {
 			t.Fatalf("float %v -> %v, %v", f, got, err)
@@ -110,7 +111,7 @@ func TestFloatAndStringRoundTrip(t *testing.T) {
 	// NaN round-trips by bit pattern.
 	w := &bitWriter{}
 	w.float64bits(math.NaN())
-	r := &bitReader{buf: w.bytes()}
+	r := newBitReader(bytes.NewReader(w.bytes()))
 	got, err := r.float64bits()
 	if err != nil || !math.IsNaN(got) {
 		t.Fatalf("NaN lost: %v %v", got, err)
@@ -120,7 +121,7 @@ func TestFloatAndStringRoundTrip(t *testing.T) {
 		w := &bitWriter{}
 		w.str(s)
 		w.bit(true)
-		r := &bitReader{buf: w.bytes()}
+		r := newBitReader(bytes.NewReader(w.bytes()))
 		gs, err := r.str()
 		if err != nil || gs != s {
 			t.Fatalf("str %q -> %q, %v", s, gs, err)
@@ -137,14 +138,14 @@ func TestReaderTruncation(t *testing.T) {
 	w.uvarint(1 << 40)
 	data := w.bytes()
 	for cut := 0; cut < len(data); cut++ {
-		r := &bitReader{buf: data[:cut]}
+		r := newBitReader(bytes.NewReader(data[:cut]))
 		if _, err := r.uvarint(); err == nil && cut < len(data)-1 {
 			// Short prefixes may decode a smaller value; the final
 			// byte boundary is the only guaranteed success.
 			continue
 		}
 	}
-	r := &bitReader{buf: nil}
+	r := newBitReader(bytes.NewReader(nil))
 	if _, err := r.readBits(1); err == nil {
 		t.Fatal("read from empty stream succeeded")
 	}

@@ -61,6 +61,7 @@ func (fd *funcDecoder) decodeBlocks(n *core.CSTNode) error {
 func (fd *funcDecoder) decodeBlock(b *core.Block) error {
 	d := fd.d
 	tt := d.m.Types
+	d.r.setProd(prodBlock)
 	nPhis, err := d.count("phi")
 	if err != nil {
 		return err
@@ -214,10 +215,14 @@ func (fd *funcDecoder) decodeInstr(b *core.Block, p int) (*core.Instr, error) {
 	d := fd.d
 	r := d.r
 	tt := d.m.Types
+	r.setProd(prodOp)
 	opv, err := r.symbol(core.NumOps)
 	if err != nil {
 		return nil, err
 	}
+	// Payload symbols adapt in the opcode's own production context,
+	// mirroring encodeInstr.
+	r.setProd(opv)
 	in := &core.Instr{Op: core.Op(opv)}
 	ref := func(plane core.PlaneKey) error {
 		v, err := fd.decodeRef(b, plane)

@@ -1,17 +1,42 @@
 package wire
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
 
 	"safetsa/internal/core"
 )
 
-// DecodeModule reads a SafeTSA distribution unit. Every symbol is decoded
-// against the alphabet the preceding context allows, so the result is
-// always a well-formed module (or an error) — in particular, no operand
-// can name a register that is not in scope on the required plane. The
-// residual checks are the trivial counter comparisons of the paper.
-func DecodeModule(data []byte) (m *core.Module, err error) {
+// ErrUnsupportedVersion marks a clean version-negotiation failure: the
+// stream is intact and self-describing, but the consumer does not speak
+// its wire version (or its adaptive model revision). It is distinct
+// from ErrMalformed so a fleet can distinguish "upgrade me" from
+// "hostile bytes".
+var ErrUnsupportedVersion = errors.New("wire: unsupported wire version")
+
+// DecodeOptions carries per-decode negotiation state.
+type DecodeOptions struct {
+	// Dict supplies the shared dictionary for dictionary-bearing v2
+	// streams. A stream that names a dictionary id other than Dict's
+	// (or names one when Dict is nil) is rejected before any symbol is
+	// decoded.
+	Dict *Dictionary
+}
+
+// DecodeModule reads a SafeTSA distribution unit of any supported wire
+// version. Every symbol is decoded against the alphabet the preceding
+// context allows, so the result is always a well-formed module (or an
+// error) — in particular, no operand can name a register that is not in
+// scope on the required plane. The residual checks are the trivial
+// counter comparisons of the paper.
+func DecodeModule(data []byte) (*core.Module, error) {
+	return DecodeModuleOpts(data, DecodeOptions{})
+}
+
+// DecodeModuleOpts is DecodeModule with explicit negotiation options.
+func DecodeModuleOpts(data []byte, o DecodeOptions) (m *core.Module, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Structural panics during decoding indicate a malformed
@@ -19,16 +44,98 @@ func DecodeModule(data []byte) (m *core.Module, err error) {
 			m, err = nil, malformedf("invalid structure: %v", r)
 		}
 	}()
-	r := &bitReader{buf: data}
-	for _, want := range magic {
-		b, err := r.readBits(8)
+	src := bytes.NewReader(data)
+	r, err := newStreamReader(src, o, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(r)
+}
+
+// DecodeModuleV1 decodes with the original fixed-probability code only,
+// behaving like a consumer that predates the adaptive model: a v2
+// stream is rejected with a clean ErrUnsupportedVersion, never a parse
+// error or panic.
+func DecodeModuleV1(data []byte) (m *core.Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, malformedf("invalid structure: %v", r)
+		}
+	}()
+	src := bytes.NewReader(data)
+	r, err := newStreamReader(src, DecodeOptions{}, true)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(r)
+}
+
+// newStreamReader parses the container header from an incremental byte
+// source and returns the matching symbol reader. v1Only models a
+// fixed-code-only consumer.
+func newStreamReader(src io.ByteReader, o DecodeOptions, v1Only bool) (symReader, error) {
+	var hdr [4]byte
+	for i := range hdr {
+		b, err := src.ReadByte()
+		if err != nil {
+			return nil, malformedf("stream truncated")
+		}
+		hdr[i] = b
+	}
+	if hdr[0] != 'S' || hdr[1] != 'T' || hdr[2] != 'S' {
+		return nil, malformedf("bad magic")
+	}
+	switch hdr[3] {
+	case versionV1:
+		return newBitReader(src), nil
+	case versionV2:
+		if v1Only {
+			return nil, fmt.Errorf("%w: stream is wire v2, this consumer speaks only v1", ErrUnsupportedVersion)
+		}
+		mb, err := src.ReadByte()
+		if err != nil {
+			return nil, malformedf("stream truncated")
+		}
+		if mb&7 != modelAdaptive {
+			return nil, fmt.Errorf("%w: adaptive model revision %d", ErrUnsupportedVersion, mb&7)
+		}
+		if mb&^byte(7|dictFlag) != 0 {
+			return nil, malformedf("reserved model-byte bits set")
+		}
+		var dict *Dictionary
+		if mb&dictFlag != 0 {
+			var id [8]byte
+			for i := range id {
+				b, err := src.ReadByte()
+				if err != nil {
+					return nil, malformedf("stream truncated")
+				}
+				id[i] = b
+			}
+			if o.Dict == nil {
+				return nil, fmt.Errorf("%w: stream requires shared dictionary %x, none loaded", ErrUnsupportedVersion, id)
+			}
+			if o.Dict.ID != id {
+				return nil, fmt.Errorf("%w: stream requires shared dictionary %x, have %x", ErrUnsupportedVersion, id, o.Dict.ID)
+			}
+			dict = o.Dict
+		}
+		plen, err := readLEB(src)
 		if err != nil {
 			return nil, err
 		}
-		if byte(b) != want {
-			return nil, malformedf("bad magic")
+		if plen > 1<<31 {
+			return nil, malformedf("payload length too large")
 		}
+		return newACReader(src, dict, int64(plen))
+	default:
+		return nil, fmt.Errorf("%w: version byte %q", ErrUnsupportedVersion, hdr[3])
 	}
+}
+
+// decodeBody runs the shared production walk over an already-negotiated
+// symbol reader.
+func decodeBody(r symReader) (*core.Module, error) {
 	d := &decoder{r: r, m: &core.Module{Types: core.NewTypeTable()}}
 	nFuncs, err := d.decodeTables()
 	if err != nil {
@@ -40,6 +147,12 @@ func DecodeModule(data []byte) (m *core.Module, err error) {
 			return nil, fmt.Errorf("function %d: %w", i, err)
 		}
 		d.m.Funcs = append(d.m.Funcs, f)
+	}
+	// A distribution unit has exactly one spelling: anything after the
+	// final production — trailing bytes, nonzero padding, or a payload
+	// length that disagrees with the coder — is rejected.
+	if err := r.end(); err != nil {
+		return nil, err
 	}
 	// Residual admission checks (the paper's "trivial counter
 	// comparisons"): cross-table linking consistency that the
@@ -57,7 +170,12 @@ func DecodeModule(data []byte) (m *core.Module, err error) {
 // call this exactly once per unit; the returned module is safe to share
 // read-only between concurrent execution sessions (see interp.LoadTrusted).
 func DecodeVerified(data []byte) (*core.Module, error) {
-	m, err := DecodeModule(data)
+	return DecodeVerifiedOpts(data, DecodeOptions{})
+}
+
+// DecodeVerifiedOpts is DecodeVerified with explicit negotiation options.
+func DecodeVerifiedOpts(data []byte, o DecodeOptions) (*core.Module, error) {
+	m, err := DecodeModuleOpts(data, o)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +186,7 @@ func DecodeVerified(data []byte) (*core.Module, error) {
 }
 
 type decoder struct {
-	r *bitReader
+	r symReader
 	m *core.Module
 }
 
@@ -108,6 +226,7 @@ func (d *decoder) count(what string) (int, error) {
 func (d *decoder) decodeTables() (int, error) {
 	tt := d.m.Types
 	r := d.r
+	r.setProd(prodTables)
 
 	nTypes, err := d.count("type")
 	if err != nil {
@@ -314,6 +433,7 @@ func (d *decoder) decodeTables() (int, error) {
 func (d *decoder) decodeFunc() (*core.Func, error) {
 	r := d.r
 	tt := d.m.Types
+	r.setProd(prodSig)
 	name, err := r.str()
 	if err != nil {
 		return nil, err
@@ -352,6 +472,7 @@ func (d *decoder) decodeFunc() (*core.Func, error) {
 	}
 
 	// Phase 1: CST productions; blocks materialize in order.
+	r.setProd(prodCST)
 	f.Body, err = d.decodeCST(f, 0)
 	if err != nil {
 		return nil, err
@@ -369,6 +490,7 @@ func (d *decoder) decodeFunc() (*core.Func, error) {
 	}
 
 	// Phase 3: phi operands, then CST value references.
+	r.setProd(prodRefs)
 	for _, b := range f.Blocks {
 		for _, phi := range b.Phis {
 			phi.Args = make([]core.ValueID, len(b.Preds))

@@ -1,0 +1,181 @@
+package wire
+
+import "io"
+
+// Binary range coder for wire format v2. The construction is the
+// classic carry-cached range coder (as used by LZMA): 32-bit range,
+// 11-bit probabilities adapted by shift, byte-at-a-time renormalization
+// with carry propagation buffered through a cache byte. Everything is
+// integer arithmetic, so encoder and decoder are exactly reproducible
+// across platforms — the determinism the canonical-wire oracle depends
+// on.
+//
+// Byte-count symmetry: the decoder preloads 5 bytes and then reads one
+// byte per renormalization; the encoder's final flush performs 5 extra
+// shiftLow steps, the last of which always drains the pending
+// carry-cache run (a pending run of 0xFF bytes in `low` is at most 4
+// bytes long, so the condition in shiftLow fires by the fifth flush
+// step at the latest). The encoder therefore emits exactly the number
+// of bytes the decoder consumes, which lets the v2 container enforce
+// consumed == declared-length and reject any trailing garbage.
+const (
+	rcTop        = 1 << 24
+	probBits     = 11
+	probOne      = 1 << probBits
+	probInit     = probOne / 2
+	probMoveBits = 5
+)
+
+type rcEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int
+	out       []byte
+}
+
+func newRCEncoder() *rcEncoder {
+	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+func (e *rcEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// encodeBit codes one bit against the adaptive probability *p (the
+// chance that the bit is 0, in 1/probOne units) and moves *p toward the
+// observed outcome. The decoder applies the identical update, keeping
+// both models in lockstep.
+func (e *rcEncoder) encodeBit(p *uint16, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (probOne - *p) >> probMoveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> probMoveBits
+	}
+	for e.rng < rcTop {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// encodeDirect codes n bits of v (most significant first) at fixed
+// probability 1/2 with no model update — used for float64 payloads
+// where adaptation has nothing to learn.
+func (e *rcEncoder) encodeDirect(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if v>>uint(i)&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < rcTop {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// finish flushes the coder and returns the complete payload. The first
+// emitted byte is always 0 (the initial cache), which the decoder
+// verifies.
+func (e *rcEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rcDecoder struct {
+	src io.ByteReader
+	rng uint32
+	cod uint32
+}
+
+func newRCDecoder(src io.ByteReader) (*rcDecoder, error) {
+	d := &rcDecoder{src: src, rng: 0xFFFFFFFF}
+	b, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	if b != 0 {
+		return nil, malformedf("corrupt range-coder prologue")
+	}
+	for i := 0; i < 4; i++ {
+		b, err := d.readByte()
+		if err != nil {
+			return nil, err
+		}
+		d.cod = d.cod<<8 | uint32(b)
+	}
+	return d, nil
+}
+
+func (d *rcDecoder) readByte() (byte, error) {
+	b, err := d.src.ReadByte()
+	if err != nil {
+		return 0, malformedf("stream truncated")
+	}
+	return b, nil
+}
+
+func (d *rcDecoder) decodeBit(p *uint16) (int, error) {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.cod < bound {
+		d.rng = bound
+		*p += (probOne - *p) >> probMoveBits
+	} else {
+		d.cod -= bound
+		d.rng -= bound
+		*p -= *p >> probMoveBits
+		bit = 1
+	}
+	for d.rng < rcTop {
+		b, err := d.readByte()
+		if err != nil {
+			return 0, err
+		}
+		d.cod = d.cod<<8 | uint32(b)
+		d.rng <<= 8
+	}
+	return bit, nil
+}
+
+func (d *rcDecoder) decodeDirect(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		d.rng >>= 1
+		var bit uint64
+		if d.cod >= d.rng {
+			d.cod -= d.rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		for d.rng < rcTop {
+			b, err := d.readByte()
+			if err != nil {
+				return 0, err
+			}
+			d.cod = d.cod<<8 | uint32(b)
+			d.rng <<= 8
+		}
+	}
+	return v, nil
+}

@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"safetsa/internal/core"
@@ -194,18 +195,34 @@ func TestDecodeTruncations(t *testing.T) {
 	}
 }
 
-// TestDecodeAppendedGarbageIgnored: trailing bytes after the final
-// function are padding from the consumer's perspective.
+// TestDecodeAppendedGarbage: a stream with trailing data after the
+// final production is rejected at decode time, for both wire versions —
+// an admissible unit has exactly one on-the-wire spelling. A nonzero
+// bit smuggled into the v1 zero padding of the last byte is rejected
+// too.
 func TestDecodeAppendedGarbage(t *testing.T) {
 	mod := compileAll(t, testPrograms["arith"], false)
-	data := append(wire.EncodeModule(mod), 0xFF, 0x00, 0xAB)
-	dec, err := wire.DecodeModule(data)
-	if err != nil {
-		t.Fatalf("trailing bytes broke decoding: %v", err)
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"v1", wire.EncodeModule(mod)},
+		{"v2", wire.EncodeModuleV2(mod, nil)},
+	} {
+		for _, tail := range [][]byte{{0x00}, {0xFF, 0x00, 0xAB}} {
+			garbled := append(append([]byte{}, tc.data...), tail...)
+			if _, err := wire.DecodeModule(garbled); err == nil {
+				t.Fatalf("%s: %d trailing bytes accepted", tc.name, len(tail))
+			} else if !errors.Is(err, wire.ErrMalformed) {
+				t.Fatalf("%s: trailing bytes gave a non-decode error: %v", tc.name, err)
+			}
+		}
+		// The exact stream still decodes.
+		if _, err := wire.DecodeModule(tc.data); err != nil {
+			t.Fatalf("%s: clean stream rejected: %v", tc.name, err)
+		}
 	}
-	if err := dec.Verify(core.VerifyOptions{}); err != nil {
-		t.Fatal(err)
-	}
+
 }
 
 // TestTamperResistance is the paper's section 2 security argument made

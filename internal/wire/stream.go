@@ -1,0 +1,286 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"safetsa/internal/core"
+)
+
+// StreamingUnit is a distribution unit being decoded and verified
+// incrementally behind an io.Reader. The symbol tables are complete and
+// statically verified before the constructor returns; function bodies
+// are admitted one by one, in transmission (dominator pre-) order, each
+// passing the full per-function plane-counter verification the moment
+// it arrives. A consumer may begin executing any admitted function —
+// WaitFunc provides the gate — while later functions are still in
+// flight. Any failure, at any point, poisons the whole unit: WaitFunc
+// and Wait report the error, and nothing may be cached unless Wait
+// returns nil.
+//
+// Soundness sketch (DESIGN.md §11): the admitted prefix is exactly as
+// trustworthy as a fully decoded unit because (a) the tables are
+// immutable and statically verified up front, (b) a function's
+// verification depends only on the tables and its own body, (c) the
+// cross-table residue — method↔body backlinks and static-initializer
+// signatures — is enforced per arrival against the claims the method
+// table made, and (d) the final VerifyTables re-checks everything
+// before Wait can succeed.
+type StreamingUnit struct {
+	// Mod has complete, verified tables from construction time. Funcs
+	// is pre-sized; slot i is published only after function i is
+	// admitted (synchronized through WaitFunc).
+	Mod *core.Module
+
+	nFuncs    int
+	entryNeed int // highest func index needed to begin main, -1 if none
+
+	claims    map[int32]int32 // func index -> method that declares it as body
+	staticSet map[int32]bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	ready      int
+	done       bool
+	err        error
+	boundaries []int64
+}
+
+// DecodeVerifiedStream begins a streaming decode. It consumes the
+// header and symbol tables synchronously (failing fast on anything a
+// non-streaming decode would reject about them) and decodes the
+// function bodies on a background goroutine. The returned unit's Wait
+// must return nil before the unit is treated as fully admitted.
+func DecodeVerifiedStream(r io.Reader, o DecodeOptions) (su *StreamingUnit, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			su, err = nil, malformedf("invalid structure: %v", p)
+		}
+	}()
+	src := &byteSource{r: r}
+	sr, err := newStreamReader(src, o, false)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{r: sr, m: &core.Module{Types: core.NewTypeTable()}}
+	nFuncs, err := d.decodeTables()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.m.VerifyTablesStatic(); err != nil {
+		return nil, malformedf("inconsistent tables: %v", err)
+	}
+
+	su = &StreamingUnit{Mod: d.m, nFuncs: nFuncs, entryNeed: -1}
+	su.cond = sync.NewCond(&su.mu)
+
+	// The function-linked residue of VerifyTables cannot run yet, but
+	// the method table's claims can be pinned now: every body index in
+	// range, and no two methods sharing one body. Each arriving
+	// function is then checked against these claims, so no admitted
+	// prefix can ever dispatch a body under the wrong signature.
+	su.claims = make(map[int32]int32)
+	for i := range d.m.Methods {
+		fi := d.m.Methods[i].FuncIdx
+		if fi < 0 {
+			continue
+		}
+		if int(fi) >= nFuncs {
+			return nil, malformedf("method %d: body index out of range", i)
+		}
+		if _, dup := su.claims[fi]; dup {
+			return nil, malformedf("two methods claim function %d as their body", fi)
+		}
+		su.claims[fi] = int32(i)
+	}
+	su.staticSet = make(map[int32]bool)
+	for i, si := range d.m.StaticInit {
+		if si < 0 {
+			continue
+		}
+		if int(si) >= nFuncs {
+			return nil, malformedf("static initializer %d out of range", i)
+		}
+		su.staticSet[si] = true
+		if int(si) > su.entryNeed {
+			su.entryNeed = int(si)
+		}
+	}
+	if d.m.Entry >= 0 && int(d.m.Entry) < len(d.m.Methods) {
+		if fi := d.m.Methods[d.m.Entry].FuncIdx; fi >= 0 && int(fi) > su.entryNeed {
+			su.entryNeed = int(fi)
+		}
+	}
+
+	d.m.Funcs = make([]*core.Func, nFuncs)
+	go su.run(d, sr, src)
+	return su, nil
+}
+
+// run is the background decode loop: decode, verify, publish, repeat;
+// then the canonical-tail and final whole-unit table checks.
+func (su *StreamingUnit) run(d *decoder, r symReader, src *byteSource) {
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = malformedf("invalid structure: %v", p)
+			}
+		}()
+		for j := 0; j < su.nFuncs; j++ {
+			f, err := d.decodeFunc()
+			if err != nil {
+				return fmt.Errorf("function %d: %w", j, err)
+			}
+			if err := su.admit(j, f); err != nil {
+				return err
+			}
+			su.mu.Lock()
+			su.Mod.Funcs[j] = f
+			su.ready = j + 1
+			su.boundaries = append(su.boundaries, src.off)
+			su.cond.Broadcast()
+			su.mu.Unlock()
+		}
+		if err := r.end(); err != nil {
+			return err
+		}
+		if err := su.Mod.VerifyTables(); err != nil {
+			return malformedf("inconsistent tables: %v", err)
+		}
+		return nil
+	}()
+	su.mu.Lock()
+	su.done = true
+	su.err = err
+	su.cond.Broadcast()
+	su.mu.Unlock()
+}
+
+// admit runs the per-function admission: the plane-counter verifier
+// over the body, plus the incremental half of the cross-table residue —
+// exactly as strict as the final VerifyTables, no more and no less, so
+// the streaming and the full decoder always agree on admissibility. The
+// residue checks only the method→body direction (a method that claims j
+// must be named back by f); an orphan function naming a method that
+// never dispatches it is tolerated by both paths.
+func (su *StreamingUnit) admit(j int, f *core.Func) error {
+	if mi, ok := su.claims[int32(j)]; ok && f.Method != mi {
+		return malformedf("function %d: body belongs to another method", j)
+	}
+	if su.staticSet[int32(j)] && (f.Method >= 0 || len(f.Params) != 0) {
+		return malformedf("static initializer %d has a signature", j)
+	}
+	if err := su.Mod.VerifyFunc(f, core.VerifyOptions{}); err != nil {
+		return fmt.Errorf("wire: streamed function %d rejected by verifier: %w", j, err)
+	}
+	return nil
+}
+
+// NumFuncs reports the declared function count.
+func (su *StreamingUnit) NumFuncs() int { return su.nFuncs }
+
+// Ready reports how many functions (a prefix) are currently admitted.
+func (su *StreamingUnit) Ready() int {
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	return su.ready
+}
+
+// WaitFunc blocks until function i has been admitted, returning nil,
+// or until the stream has failed, returning its error. This is the
+// execution gate: after a nil return, Mod.Funcs[i] is published and
+// fully verified.
+func (su *StreamingUnit) WaitFunc(i int) error {
+	if i < 0 || i >= su.nFuncs {
+		return malformedf("function index %d out of range", i)
+	}
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	for su.ready <= i && !su.done {
+		su.cond.Wait()
+	}
+	if su.ready > i {
+		return nil
+	}
+	return su.streamErr()
+}
+
+// WaitEntry blocks until every function needed to begin main — the
+// static initializers and the entry method's body — has been admitted.
+func (su *StreamingUnit) WaitEntry() error {
+	if su.entryNeed < 0 {
+		return nil
+	}
+	return su.WaitFunc(su.entryNeed)
+}
+
+// Wait blocks until the entire unit is decoded, verified, and ended
+// cleanly. Only a nil return makes the unit cacheable; any mid-stream
+// failure surfaces here even if execution of the admitted prefix
+// already completed.
+func (su *StreamingUnit) Wait() error {
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	for !su.done {
+		su.cond.Wait()
+	}
+	return su.err
+}
+
+// Err reports the stream's terminal error without blocking (nil while
+// in flight or on success).
+func (su *StreamingUnit) Err() error {
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	if !su.done {
+		return nil
+	}
+	return su.err
+}
+
+func (su *StreamingUnit) streamErr() error {
+	if su.err != nil {
+		return su.err
+	}
+	return malformedf("stream ended before the requested function")
+}
+
+// Boundaries returns the byte offset just past each function, valid
+// after Wait returns nil — the cut points for partial-delivery tests.
+func (su *StreamingUnit) Boundaries() []int64 {
+	su.mu.Lock()
+	defer su.mu.Unlock()
+	return append([]int64(nil), su.boundaries...)
+}
+
+// byteSource adapts an io.Reader to io.ByteReader with a small buffer
+// and a consumed-byte count. It never reads ahead of demand more than
+// the buffer size, and — critically for streaming — a short Read is
+// accepted as-is, so bytes are handed to the decoder as soon as the
+// transport delivers them.
+type byteSource struct {
+	r    io.Reader
+	buf  [4096]byte
+	i, n int
+	off  int64
+}
+
+func (s *byteSource) ReadByte() (byte, error) {
+	if s.i >= s.n {
+		for {
+			n, err := s.r.Read(s.buf[:])
+			if n > 0 {
+				s.i, s.n = 0, n
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	b := s.buf[s.i]
+	s.i++
+	s.off++
+	return b, nil
+}

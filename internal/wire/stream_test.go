@@ -1,0 +1,263 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/interp"
+	"safetsa/internal/rt"
+	"safetsa/internal/wire"
+)
+
+// decodeStreamAll runs a full streaming decode over in-memory bytes and
+// returns the unit (with Wait already settled) or the stream error.
+func decodeStreamAll(data []byte) (*wire.StreamingUnit, error) {
+	su, err := wire.DecodeVerifiedStream(bytes.NewReader(data), wire.DecodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := su.Wait(); err != nil {
+		return nil, err
+	}
+	return su, nil
+}
+
+// TestStreamingMatchesFull: a streaming decode of every test program at
+// both wire versions yields the same module as the one-shot decoder,
+// and records one boundary per function.
+func TestStreamingMatchesFull(t *testing.T) {
+	for name, src := range testPrograms {
+		t.Run(name, func(t *testing.T) {
+			mod := compileAll(t, src, true)
+			for _, tc := range []struct {
+				label string
+				data  []byte
+			}{
+				{"v1", wire.EncodeModule(mod)},
+				{"v2", wire.EncodeModuleV2(mod, nil)},
+			} {
+				full, err := wire.DecodeVerified(tc.data)
+				if err != nil {
+					t.Fatalf("%s: full decode: %v", tc.label, err)
+				}
+				su, err := decodeStreamAll(tc.data)
+				if err != nil {
+					t.Fatalf("%s: streaming decode: %v", tc.label, err)
+				}
+				if su.Mod.Dump() != full.Dump() {
+					t.Fatalf("%s: streaming and full decode disagree structurally", tc.label)
+				}
+				bs := su.Boundaries()
+				if len(bs) != len(full.Funcs) {
+					t.Fatalf("%s: %d boundaries for %d functions", tc.label, len(bs), len(full.Funcs))
+				}
+				for i := 1; i < len(bs); i++ {
+					if bs[i] <= bs[i-1] {
+						t.Fatalf("%s: boundaries not strictly increasing: %v", tc.label, bs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamPartialDelivery is the partial-delivery battery over the
+// corpus: every unit, both wire versions, truncated at every function
+// boundary and at mid-varint cuts around each boundary, must be
+// verify-rejected by the streaming decoder — constructor error or Wait
+// error, never a nil Wait, never a panic.
+func TestStreamPartialDelivery(t *testing.T) {
+	units := corpus.Units()
+	for _, u := range units {
+		t.Run(u.Name, func(t *testing.T) {
+			prog, err := driver.Frontend(u.Files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := driver.CompileTSA(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct {
+				label string
+				data  []byte
+			}{
+				{"v1", wire.EncodeModule(mod)},
+				{"v2", wire.EncodeModuleV2(mod, nil)},
+			} {
+				su, err := decodeStreamAll(tc.data)
+				if err != nil {
+					t.Fatalf("%s: clean stream rejected: %v", tc.label, err)
+				}
+				cuts := map[int64]bool{0: true, 1: true, 3: true}
+				for _, b := range su.Boundaries() {
+					// The boundary itself plus mid-symbol cuts around it:
+					// one byte short lands mid-production, one or two past
+					// land inside the next function's first varints.
+					for _, c := range []int64{b - 1, b, b + 1, b + 2} {
+						if c >= 0 && c < int64(len(tc.data)) {
+							cuts[c] = true
+						}
+					}
+				}
+				for cut := range cuts {
+					if _, err := decodeStreamAll(tc.data[:cut]); err == nil {
+						t.Fatalf("%s: truncation to %d/%d bytes was admitted", tc.label, cut, len(tc.data))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamTruncationSweep is the exhaustive version of the boundary
+// cuts over one unit: every byte-level prefix must be rejected.
+func TestStreamTruncationSweep(t *testing.T) {
+	mod := compileAll(t, testPrograms["objects"], true)
+	for _, tc := range []struct {
+		label string
+		data  []byte
+	}{
+		{"v1", wire.EncodeModule(mod)},
+		{"v2", wire.EncodeModuleV2(mod, nil)},
+	} {
+		for cut := 0; cut < len(tc.data); cut++ {
+			if _, err := decodeStreamAll(tc.data[:cut]); err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes was admitted", tc.label, cut, len(tc.data))
+			}
+		}
+	}
+}
+
+// TestStreamSlowReader proves the streaming claim end to end: with the
+// tail of the stream withheld, the entry function is admitted and
+// executes to completion — first-instruction execution strictly before
+// the final byte arrives — and releasing the tail then completes
+// admission of the whole unit.
+func TestStreamSlowReader(t *testing.T) {
+	// Helper methods after Main keep functions beyond the entry prefix
+	// on the wire; main never calls them, so execution needs only the
+	// prefix.
+	src := `
+class Helper {
+    int spareOne(int x) { return x * 3 + 1; }
+    int spareTwo(int x) { return x - 7; }
+    int spareThree(int x) { return x * x; }
+}
+class Main {
+    static void main() { System.out.println(6 * 7); }
+}`
+	mod := compileAll(t, src, false)
+	data := wire.EncodeModuleV2(mod, nil)
+
+	// A reference pass over the complete stream pins the prefix length:
+	// every function up to and including the entry's body (the module is
+	// transmitted entry-first, see ssabuild's streaming order).
+	ref, err := decodeStreamAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := -1
+	for _, si := range ref.Mod.StaticInit {
+		if int(si) > need {
+			need = int(si)
+		}
+	}
+	if e := ref.Mod.Entry; e >= 0 {
+		if fi := ref.Mod.Methods[e].FuncIdx; int(fi) > need {
+			need = int(fi)
+		}
+	}
+	if need < 0 || need >= ref.NumFuncs()-1 {
+		t.Fatalf("entry prefix (%d) is not a proper prefix of %d functions; the test proves nothing", need, ref.NumFuncs())
+	}
+	prefix := ref.Boundaries()[need]
+
+	pr, pw := io.Pipe()
+	release := make(chan struct{})
+	go func() {
+		if _, err := pw.Write(data[:prefix]); err != nil {
+			t.Error(err)
+		}
+		<-release
+		_, _ = pw.Write(data[prefix:])
+		pw.Close()
+	}()
+
+	su, err := wire.DecodeVerifiedStream(pr, wire.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := su.WaitEntry(); err != nil {
+		t.Fatalf("entry prefix not admitted from partial stream: %v", err)
+	}
+
+	// Execute main while the tail is still withheld.
+	var out bytes.Buffer
+	env := &rt.Env{Out: &out, MaxSteps: 1_000_000}
+	l, err := interp.LoadTrustedStreaming(su.Mod, su.WaitFunc, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RunMain(); err != nil {
+		t.Fatalf("run over partial stream: %v", err)
+	}
+	if got := out.String(); got != "42\n" {
+		t.Fatalf("output %q, want %q", got, "42\n")
+	}
+	if r, n := su.Ready(), su.NumFuncs(); r >= n {
+		t.Fatalf("all %d functions admitted before the tail was released — the slow reader did not hold anything back", n)
+	}
+
+	close(release)
+	if err := su.Wait(); err != nil {
+		t.Fatalf("released stream failed admission: %v", err)
+	}
+	if su.Mod.Dump() != ref.Mod.Dump() {
+		t.Fatal("slow-reader decode disagrees with reference decode")
+	}
+}
+
+// TestStreamMidStreamFailurePoisonsWait: a stream that turns bad after
+// several functions were already admitted (and possibly executed) must
+// still fail Wait — the admitted prefix never launders the unit into
+// cacheability.
+func TestStreamMidStreamFailurePoisonsWait(t *testing.T) {
+	mod := compileAll(t, testPrograms["objects"], true)
+	data := wire.EncodeModule(mod)
+	ref, err := decodeStreamAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ref.Boundaries()
+	if len(bs) < 2 {
+		t.Skip("unit too small to corrupt mid-stream")
+	}
+	// Corrupt a byte inside the LAST function's span, after every
+	// earlier function was admitted.
+	mut := bytes.Clone(data)
+	mut[bs[len(bs)-1]-2] ^= 0x55
+	su, err := wire.DecodeVerifiedStream(bytes.NewReader(mut), wire.DecodeOptions{})
+	if err == nil {
+		err = su.Wait()
+	}
+	if err == nil {
+		// The flip may still decode to a well-formed unit (tamper
+		// tolerance); only a *rejected* stream must poison Wait. Retry
+		// with a guaranteed-bad mutation: hard truncation.
+		if _, err := decodeStreamAll(data[:bs[len(bs)-1]-2]); err == nil {
+			t.Fatal("mid-stream truncation after admitted prefix passed Wait")
+		}
+		return
+	}
+	// The terminal error is observable without blocking once Wait has
+	// settled. (WaitFunc may still answer nil for functions that were
+	// admitted before the stream went bad — admission is a prefix
+	// property; cacheability is Wait's alone.)
+	if su != nil && su.Err() == nil {
+		t.Fatal("Err() reports nil on a poisoned stream")
+	}
+}

@@ -1,0 +1,204 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"safetsa/internal/core"
+	"safetsa/internal/corpus"
+	"safetsa/internal/driver"
+	"safetsa/internal/wire"
+)
+
+// TestV2RoundTrip is TestRoundTrip for the adaptive v2 stream: the
+// decoded module must verify, behave identically, re-encode to the
+// byte-identical stream (the adaptive models update symmetrically on
+// both sides), and dump structurally equal to the original.
+func TestV2RoundTrip(t *testing.T) {
+	for name, src := range testPrograms {
+		for _, optimized := range []bool{false, true} {
+			label := name
+			if optimized {
+				label += "-opt"
+			}
+			t.Run(label, func(t *testing.T) {
+				mod := compileAll(t, src, optimized)
+				want := runMod(t, mod)
+				data := wire.EncodeModuleV2(mod, nil)
+				if v1 := wire.EncodeModule(mod); len(data) >= len(v1) {
+					t.Logf("v2 (%d bytes) not smaller than v1 (%d bytes)", len(data), len(v1))
+				}
+				dec, err := wire.DecodeModule(data)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if err := dec.Verify(core.VerifyOptions{}); err != nil {
+					t.Fatalf("decoded module fails verification: %v", err)
+				}
+				if got := runMod(t, dec); got != want {
+					t.Fatalf("decoded module diverges:\nwant %q\ngot  %q", want, got)
+				}
+				if data2 := wire.EncodeModuleV2(dec, nil); !bytes.Equal(data, data2) {
+					t.Fatalf("re-encoding is not canonical: %d vs %d bytes", len(data), len(data2))
+				}
+				if mod.Dump() != dec.Dump() {
+					t.Fatalf("dump mismatch after round trip")
+				}
+			})
+		}
+	}
+}
+
+// testProgramModules compiles every testProgram (optimized) for
+// dictionary training.
+func testProgramModules(t *testing.T) []*core.Module {
+	t.Helper()
+	mods := make([]*core.Module, 0, len(testPrograms))
+	for _, src := range testPrograms {
+		mods = append(mods, compileAll(t, src, true))
+	}
+	return mods
+}
+
+// TestDictionaryRoundTrip trains a shared dictionary over the test
+// bundle and checks the dictionary-bearing streams: byte-identical
+// re-encode, structural identity, and that the serialized dictionary
+// survives its own round trip.
+func TestDictionaryRoundTrip(t *testing.T) {
+	mods := testProgramModules(t)
+	dict := wire.TrainDictionary(mods)
+	if dict == nil {
+		t.Fatal("training over the full bundle produced no dictionary")
+	}
+
+	// The serialized dictionary parses back with the identical identity
+	// and serialization.
+	ser := dict.Bytes()
+	re, err := wire.ParseDictionary(ser)
+	if err != nil {
+		t.Fatalf("ParseDictionary(Bytes()): %v", err)
+	}
+	if re.ID != dict.ID {
+		t.Fatalf("dictionary ID changed across serialization: %x vs %x", re.ID, dict.ID)
+	}
+	if !bytes.Equal(re.Bytes(), ser) {
+		t.Fatal("dictionary serialization is not canonical")
+	}
+
+	for i, mod := range mods {
+		data := wire.EncodeModuleV2(mod, dict)
+		dec, err := wire.DecodeModuleOpts(data, wire.DecodeOptions{Dict: dict})
+		if err != nil {
+			t.Fatalf("module %d: decode with dictionary: %v", i, err)
+		}
+		if err := dec.Verify(core.VerifyOptions{}); err != nil {
+			t.Fatalf("module %d: decoded module fails verification: %v", i, err)
+		}
+		if mod.Dump() != dec.Dump() {
+			t.Fatalf("module %d: dump mismatch through dictionary stream", i)
+		}
+		if data2 := wire.EncodeModuleV2(dec, dict); !bytes.Equal(data, data2) {
+			t.Fatalf("module %d: dictionary re-encoding is not canonical", i)
+		}
+		// The parsed copy of the dictionary decodes the same stream.
+		if _, err := wire.DecodeModuleOpts(data, wire.DecodeOptions{Dict: re}); err != nil {
+			t.Fatalf("module %d: parsed dictionary copy rejected the stream: %v", i, err)
+		}
+	}
+}
+
+// TestDictionaryNegotiation: a dictionary-bearing stream decoded
+// without the dictionary, or with one of a different identity, fails
+// with a clean ErrUnsupportedVersion — "fetch the dictionary", never a
+// parse error.
+func TestDictionaryNegotiation(t *testing.T) {
+	mods := testProgramModules(t)
+	dict := wire.TrainDictionary(mods)
+	if dict == nil {
+		t.Fatal("no dictionary")
+	}
+	data := wire.EncodeModuleV2(mods[0], dict)
+
+	if _, err := wire.DecodeModule(data); !errors.Is(err, wire.ErrUnsupportedVersion) {
+		t.Fatalf("missing dictionary: got %v, want ErrUnsupportedVersion", err)
+	}
+	wrong := *dict
+	wrong.ID[0] ^= 0xFF
+	if _, err := wire.DecodeModuleOpts(data, wire.DecodeOptions{Dict: &wrong}); !errors.Is(err, wire.ErrUnsupportedVersion) {
+		t.Fatalf("mismatched dictionary: got %v, want ErrUnsupportedVersion", err)
+	}
+	// With the right dictionary the stream is fine.
+	if _, err := wire.DecodeModuleOpts(data, wire.DecodeOptions{Dict: dict}); err != nil {
+		t.Fatalf("matching dictionary rejected: %v", err)
+	}
+}
+
+// TestCrossVersionMatrix runs every corpus unit through every wire
+// spelling — v1, v2, v2+dictionary — and demands structural identity of
+// the decoded modules, plus clean version negotiation: a v1-only
+// consumer rejects a v2 stream with ErrUnsupportedVersion, never a
+// parse panic.
+func TestCrossVersionMatrix(t *testing.T) {
+	units := corpus.Units()
+	mods := make([]*core.Module, len(units))
+	for i, u := range units {
+		prog, err := driver.Frontend(u.Files)
+		if err != nil {
+			t.Fatalf("%s: frontend: %v", u.Name, err)
+		}
+		mod, err := driver.CompileTSA(prog)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", u.Name, err)
+		}
+		mods[i] = mod
+	}
+	dict := wire.TrainDictionary(mods)
+	if dict == nil {
+		t.Fatal("corpus bundle trained no dictionary")
+	}
+
+	for i, u := range units {
+		t.Run(u.Name, func(t *testing.T) {
+			mod := mods[i]
+			want := mod.Dump()
+
+			v1 := wire.EncodeModule(mod)
+			v2 := wire.EncodeModuleV2(mod, nil)
+			v2d := wire.EncodeModuleV2(mod, dict)
+
+			for _, tc := range []struct {
+				label string
+				data  []byte
+				opts  wire.DecodeOptions
+			}{
+				{"v1", v1, wire.DecodeOptions{}},
+				{"v2", v2, wire.DecodeOptions{}},
+				{"v2+dict", v2d, wire.DecodeOptions{Dict: dict}},
+			} {
+				dec, err := wire.DecodeModuleOpts(tc.data, tc.opts)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", tc.label, err)
+				}
+				if err := dec.Verify(core.VerifyOptions{}); err != nil {
+					t.Fatalf("%s: verify: %v", tc.label, err)
+				}
+				if got := dec.Dump(); got != want {
+					t.Fatalf("%s: structural mismatch against source module", tc.label)
+				}
+			}
+
+			// A v1-only consumer: decodes the v1 stream, and answers the
+			// v2 streams with a clean version error.
+			if _, err := wire.DecodeModuleV1(v1); err != nil {
+				t.Fatalf("v1-only consumer rejected a v1 stream: %v", err)
+			}
+			for _, data := range [][]byte{v2, v2d} {
+				_, err := wire.DecodeModuleV1(data)
+				if !errors.Is(err, wire.ErrUnsupportedVersion) {
+					t.Fatalf("v1-only consumer on v2 stream: got %v, want ErrUnsupportedVersion", err)
+				}
+			}
+		})
+	}
+}
